@@ -1,0 +1,319 @@
+(* One regeneration procedure per table/figure of the paper (DESIGN.md's
+   per-experiment index names these E1..E8, A1, A2). *)
+
+module P = Anf.Poly
+
+let poly = Anf.Anf_io.poly_of_string
+let header title = Format.printf "@.=== %s ===@.@." title
+
+(* ------------------------------------------------------------------ *)
+(* E1: Table I — XL worked example                                      *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  header "Table I: eXtended Linearization on {x1x2+x1+1, x2x3+x3}, D = 1";
+  let system = [ poly "x1*x2 + x1 + 1"; poly "x2*x3 + x3" ] in
+  let mults = Bosphorus.Xl.multipliers ~vars:[ 1; 2; 3 ] ~degree:1 in
+  let expanded = Bosphorus.Xl.expand ~multipliers:mults system in
+  Format.printf "(a) expanded system (%d distinct rows):@." (List.length expanded);
+  List.iter (fun p -> Format.printf "    %a@." P.pp p) expanded;
+  let lin, matrix = Bosphorus.Linearize.build expanded in
+  let rank = Gf2.Matrix.rref matrix in
+  Format.printf "@.(b) after Gauss-Jordan elimination (rank %d):@." rank;
+  let rows = List.map (Bosphorus.Linearize.poly_of_row lin) (Gf2.Matrix.nonzero_rows matrix) in
+  List.iter (fun p -> Format.printf "    %a@." P.pp p) rows;
+  let facts = Bosphorus.Xl.retain_facts rows in
+  Format.printf "@.retained facts: %s@."
+    (String.concat ", " (List.map P.to_string facts));
+  Format.printf "(paper: the linear facts are x1+1, x2, x3)@."
+
+(* ------------------------------------------------------------------ *)
+(* E2: Section II-E worked example                                      *)
+(* ------------------------------------------------------------------ *)
+
+let example_system () =
+  List.map poly
+    [
+      "x1*x2 + x3 + x4 + 1";
+      "x1*x2*x3 + x1 + x3 + 1";
+      "x1*x3 + x3*x4*x5 + x3";
+      "x2*x3 + x3*x5 + 1";
+      "x2*x3 + x5 + 1";
+    ]
+
+let example () =
+  header "Section II-E example: what each technique learns on system (1)";
+  let system = example_system () in
+  let config = Bosphorus.Config.default in
+  let xl = Bosphorus.Xl.run ~config ~rng:(Random.State.make [| 0 |]) system in
+  Format.printf "XL facts:      %s@."
+    (String.concat ", " (List.map P.to_string xl.Bosphorus.Xl.facts));
+  let el = Bosphorus.Elimlin.run_full (system @ xl.Bosphorus.Xl.facts) in
+  Format.printf "ElimLin facts: %s@."
+    (String.concat ", " (List.map P.to_string el.Bosphorus.Elimlin.facts));
+  let outcome = Bosphorus.Driver.run ~config system in
+  (match outcome.Bosphorus.Driver.status with
+  | Bosphorus.Driver.Solved_sat sol ->
+      Format.printf "driver: SAT in %d iteration(s);" outcome.Bosphorus.Driver.iterations;
+      List.iter
+        (fun (x, v) -> if x >= 1 then Format.printf " x%d=%d" x (if v then 1 else 0))
+        sol;
+      Format.printf "@."
+  | Bosphorus.Driver.Solved_unsat | Bosphorus.Driver.Processed ->
+      Format.printf "driver: unexpected status@.");
+  Format.printf "(paper: unique solution x1 = x2 = x3 = x4 = 1, x5 = 0)@."
+
+(* ------------------------------------------------------------------ *)
+(* E3: Fig. 2 / Fig. 3 — Karnaugh vs Tseitin conversion                 *)
+(* ------------------------------------------------------------------ *)
+
+let fig2 () =
+  header "Fig. 2: ANF-to-CNF conversions of x1x3 + x1 + x2 + x4 + 1";
+  let p = poly "x1*x3 + x1 + x2 + x4 + 1" in
+  let karnaugh_cfg = { Bosphorus.Config.default with Bosphorus.Config.karnaugh_vars = 8 } in
+  let tseitin_cfg = { Bosphorus.Config.default with Bosphorus.Config.karnaugh_vars = 0 } in
+  let show label cfg =
+    let clauses = Bosphorus.Anf_to_cnf.convert_poly_clauses ~config:cfg p in
+    let aux =
+      List.fold_left (fun acc c -> max acc (Cnf.Clause.max_var c)) 0 clauses - 4
+    in
+    Format.printf "%s: %d clauses, %d auxiliary variable(s)@." label (List.length clauses)
+      (max 0 aux);
+    List.iter (fun c -> Format.printf "    %a@." Cnf.Clause.pp c) clauses
+  in
+  show "Karnaugh map (left of Fig. 2) " karnaugh_cfg;
+  show "Tseitin-based (right of Fig. 2)" tseitin_cfg;
+  Format.printf "(paper: 6 clauses vs 11 clauses with one auxiliary variable)@."
+
+(* ------------------------------------------------------------------ *)
+(* E5-E8: Table II — PAR-2 with and without Bosphorus, three solvers    *)
+(* ------------------------------------------------------------------ *)
+
+let table2 ?(quick = false) ?family_filter () =
+  header
+    (Printf.sprintf
+       "Table II: PAR-2 (seconds; lower is better) and solved counts; timeout %.0fs, \
+        conflict budget %d"
+       Runners.nominal_timeout_s Runners.final_conflict_budget);
+  let families = Families.table2_families ~quick in
+  let families =
+    match family_filter with
+    | None -> families
+    | Some name ->
+        let canonical label =
+          match String.lowercase_ascii label with
+          | l when String.length l >= 2 && String.sub l 0 2 = "sr" -> "aes"
+          | l -> l
+        in
+        let want = String.lowercase_ascii name in
+        List.filter
+          (fun f ->
+            let label = canonical f.Families.label in
+            String.length label >= String.length want
+            && String.sub label 0 (String.length want) = want)
+          families
+  in
+  let rows = ref [] in
+  List.iter
+    (fun family ->
+      let n = List.length family.Families.instances in
+      (* without Bosphorus *)
+      let wo_runs =
+        List.map
+          (fun profile ->
+            List.map
+              (fun inst -> Runners.solve_without profile inst.Families.problem)
+              family.Families.instances)
+          Sat.Profiles.all
+      in
+      (* with Bosphorus: preprocess once per instance *)
+      let pres = List.map (fun inst -> Runners.preprocess inst.Families.problem) family.Families.instances in
+      let w_runs =
+        List.map (fun profile -> List.map (Runners.solve_with profile) pres) Sat.Profiles.all
+      in
+      let cells runs =
+        List.map (Harness.Par2.cell ~timeout_s:Runners.nominal_timeout_s) runs
+      in
+      rows :=
+        ([ ""; "w" ] @ cells w_runs)
+        :: (Printf.sprintf "%s (%d)" family.Families.label n :: "w/o" :: cells wo_runs)
+        :: !rows;
+      (* print incrementally so long runs show progress *)
+      Format.printf "%s@."
+        (Harness.Table.render
+           ~title:(Printf.sprintf "%s (%d instances)" family.Families.label n)
+           ~headers:[ "problem"; ""; "MiniSat-like"; "Lingeling-like"; "CMS5-like" ]
+           [ List.nth !rows 1; List.nth !rows 0 ]))
+    families;
+  Format.printf "%s@."
+    (Harness.Table.render ~title:"Table II (all families)"
+       ~headers:[ "problem"; ""; "MiniSat-like"; "Lingeling-like"; "CMS5-like" ]
+       (List.rev !rows))
+
+(* ------------------------------------------------------------------ *)
+(* A1: ablation — which technique contributes what                      *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  header "Ablation: driver stage toggles on a Simon-[4,6] instance";
+  let inst =
+    Ciphers.Simon.instance ~rounds:6 ~n_plaintexts:4 ~rng:(Random.State.make [| 55 |]) ()
+  in
+  let eqs = inst.Ciphers.Simon.equations in
+  let variants =
+    [
+      ("full loop", Bosphorus.Driver.all_stages);
+      ( "XL only",
+        { Bosphorus.Driver.use_xl = true; use_elimlin = false; use_sat = false; use_groebner = false } );
+      ( "ElimLin only",
+        { Bosphorus.Driver.use_xl = false; use_elimlin = true; use_sat = false; use_groebner = false } );
+      ( "SAT only",
+        { Bosphorus.Driver.use_xl = false; use_elimlin = false; use_sat = true; use_groebner = false } );
+      ( "XL + ElimLin",
+        { Bosphorus.Driver.use_xl = true; use_elimlin = true; use_sat = false; use_groebner = false } );
+      ( "Groebner only (Sec. V ext.)",
+        { Bosphorus.Driver.use_xl = false; use_elimlin = false; use_sat = false; use_groebner = true } );
+      ( "full + Groebner",
+        { Bosphorus.Driver.all_stages with Bosphorus.Driver.use_groebner = true } );
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, stages) ->
+        let outcome, secs =
+          Harness.Timing.time (fun () ->
+              Bosphorus.Driver.run_with_stages ~config:Runners.bosphorus_config ~stages eqs)
+        in
+        let facts = outcome.Bosphorus.Driver.facts in
+        let status =
+          match outcome.Bosphorus.Driver.status with
+          | Bosphorus.Driver.Solved_sat _ -> "solved (SAT)"
+          | Bosphorus.Driver.Solved_unsat -> "solved (UNSAT)"
+          | Bosphorus.Driver.Processed -> "processed"
+        in
+        [
+          name;
+          status;
+          string_of_int (Bosphorus.Facts.size facts);
+          string_of_int (Bosphorus.Facts.count_by facts Bosphorus.Facts.Xl);
+          string_of_int (Bosphorus.Facts.count_by facts Bosphorus.Facts.Elimlin);
+          string_of_int (Bosphorus.Facts.count_by facts Bosphorus.Facts.Sat_solver);
+          string_of_int (Bosphorus.Facts.count_by facts Bosphorus.Facts.Groebner);
+          Printf.sprintf "%.2f" secs;
+        ])
+      variants
+  in
+  Format.printf "%s@."
+    (Harness.Table.render ~title:"stage ablation"
+       ~headers:[ "stages"; "status"; "facts"; "XL"; "ElimLin"; "SAT"; "GB"; "time(s)" ]
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* A3: polynomial representations — expanded lists vs PolyBoRi-style ZDDs *)
+(* ------------------------------------------------------------------ *)
+
+let representations () =
+  header
+    "Representation ablation: expanded monomial lists (Poly) vs hash-consed \
+     ZDDs (Zdd, PolyBoRi's structure)";
+  let rows = ref [] in
+  List.iter
+    (fun k ->
+      (* the dense product (x0+1)(x1+1)...(x(k-1)+1): 2^k monomials *)
+      let zdd_m = Anf.Zdd.create_manager () in
+      let (zdd, zdd_nodes, zdd_terms), zdd_time =
+        Harness.Timing.time (fun () ->
+            let product = ref Anf.Zdd.one in
+            for i = 0 to k - 1 do
+              product :=
+                Anf.Zdd.mul zdd_m !product
+                  (Anf.Zdd.add zdd_m (Anf.Zdd.var zdd_m i) Anf.Zdd.one)
+            done;
+            (!product, Anf.Zdd.node_count zdd_m !product, Anf.Zdd.n_terms zdd_m !product))
+      in
+      ignore zdd;
+      let poly_cell, poly_time =
+        if k <= 16 then begin
+          let (terms : int), t =
+            Harness.Timing.time (fun () ->
+                let product = ref Anf.Poly.one in
+                for i = 0 to k - 1 do
+                  product :=
+                    Anf.Poly.mul !product (Anf.Poly.add (Anf.Poly.var i) Anf.Poly.one)
+                done;
+                Anf.Poly.n_terms !product)
+          in
+          (Printf.sprintf "%d terms" terms, Printf.sprintf "%.4f" t)
+        end
+        else ("(skipped: 2^k terms)", "-")
+      in
+      rows :=
+        [
+          string_of_int k;
+          string_of_int zdd_terms;
+          string_of_int zdd_nodes;
+          Printf.sprintf "%.4f" zdd_time;
+          poly_cell;
+          poly_time;
+        ]
+        :: !rows)
+    [ 8; 12; 16; 20; 24 ];
+  Format.printf "%s@."
+    (Harness.Table.render ~title:"dense product (x0+1)...(x(k-1)+1)"
+       ~headers:[ "k"; "zdd terms"; "zdd nodes"; "zdd time(s)"; "poly"; "poly time(s)" ]
+       (List.rev !rows));
+  Format.printf
+    "(the ZDD holds 2^k monomials in k nodes - the memory headroom PolyBoRi\n\
+    \ gives the original tool; our expanded Poly is the simple substitute)@."
+
+(* ------------------------------------------------------------------ *)
+(* A2: encoding sweep — Karnaugh bound K and cutting length L            *)
+(* ------------------------------------------------------------------ *)
+
+let encoding_sweep () =
+  header "Encoding sweep: Karnaugh bound K and XOR-cut length L (Section III-C)";
+  let inst =
+    Ciphers.Simon.instance ~rounds:6 ~n_plaintexts:2 ~rng:(Random.State.make [| 66 |]) ()
+  in
+  let eqs = inst.Ciphers.Simon.equations in
+  let rows = ref [] in
+  List.iter
+    (fun k ->
+      List.iter
+        (fun l ->
+          let config =
+            { Bosphorus.Config.default with Bosphorus.Config.karnaugh_vars = k; xor_cut_length = l }
+          in
+          let conv, secs =
+            Harness.Timing.time (fun () -> Bosphorus.Anf_to_cnf.convert ~config eqs)
+          in
+          let f = conv.Bosphorus.Anf_to_cnf.formula in
+          let (out : Sat.Profiles.output), solve_secs =
+            Harness.Timing.time (fun () ->
+                Sat.Profiles.solve ~conflict_budget:Runners.final_conflict_budget
+                  Sat.Profiles.Minisat f)
+          in
+          let conflicts =
+            match out.Sat.Profiles.stats with Some st -> st.Sat.Types.conflicts | None -> 0
+          in
+          rows :=
+            [
+              string_of_int k;
+              string_of_int l;
+              string_of_int (Cnf.Formula.nvars f);
+              string_of_int (Cnf.Formula.n_clauses f);
+              string_of_int conv.Bosphorus.Anf_to_cnf.n_karnaugh;
+              string_of_int conv.Bosphorus.Anf_to_cnf.n_tseitin;
+              Printf.sprintf "%.3f" secs;
+              Format.asprintf "%a" Sat.Types.pp_result out.Sat.Profiles.result;
+              string_of_int conflicts;
+              Printf.sprintf "%.3f" solve_secs;
+            ]
+            :: !rows)
+        [ 3; 5; 8 ])
+    [ 0; 4; 8 ];
+  Format.printf "%s@."
+    (Harness.Table.render ~title:"Simon-[2,6] instance under K x L"
+       ~headers:
+         [ "K"; "L"; "vars"; "clauses"; "kmap"; "tseitin"; "conv(s)"; "result"; "conflicts"; "solve(s)" ]
+       (List.rev !rows))

@@ -1,0 +1,106 @@
+(* Benchmark instance families reproducing Table II's rows at laptop scale
+   (see DESIGN.md for the scaling map). *)
+
+type problem =
+  | Anf_problem of Anf.Poly.t list
+  | Cnf_problem of Cnf.Formula.t
+
+type instance = { iname : string; problem : problem }
+type family = { label : string; instances : instance list }
+
+let rng_of seed = Random.State.make [| 0xb05; seed |]
+
+(* SR-like small-scale AES: SR(1,4,2,4), 32 unknown key bits *)
+let aes_family ~count =
+  let params = { Ciphers.Aes_small.n = 1; r = 4; c = 2; e = 4 } in
+  {
+    label = "SR-[1,4,2,4]";
+    instances =
+      List.init count (fun i ->
+          let inst = Ciphers.Aes_small.instance params ~rng:(rng_of (100 + i)) () in
+          {
+            iname = Printf.sprintf "aes-%d" i;
+            problem = Anf_problem inst.Ciphers.Aes_small.equations;
+          });
+  }
+
+(* Simon-[n,r]: n plaintexts (SP/RC), r rounds *)
+let simon_family ~n_plaintexts ~rounds ~count =
+  {
+    label = Printf.sprintf "Simon-[%d,%d]" n_plaintexts rounds;
+    instances =
+      List.init count (fun i ->
+          let inst =
+            Ciphers.Simon.instance ~rounds ~n_plaintexts ~rng:(rng_of (200 + (10 * rounds) + i)) ()
+          in
+          {
+            iname = Printf.sprintf "simon-%d-%d-%d" n_plaintexts rounds i;
+            problem = Anf_problem inst.Ciphers.Simon.equations;
+          });
+  }
+
+(* Speck-[n,r]: the ARX sibling, same SP/RC setting *)
+let speck_family ~n_plaintexts ~rounds ~count =
+  {
+    label = Printf.sprintf "Speck-[%d,%d]" n_plaintexts rounds;
+    instances =
+      List.init count (fun i ->
+          let inst =
+            Ciphers.Speck.instance ~rounds ~n_plaintexts
+              ~rng:(rng_of (250 + (10 * rounds) + i))
+              ()
+          in
+          {
+            iname = Printf.sprintf "speck-%d-%d-%d" n_plaintexts rounds i;
+            problem = Anf_problem inst.Ciphers.Speck.equations;
+          });
+  }
+
+(* Bitcoin-[k]: weakened nonce finding, k leading zero digest bits *)
+let bitcoin_family ~rounds ~k ~count =
+  {
+    label = Printf.sprintf "Bitcoin-[%d]" k;
+    instances =
+      List.init count (fun i ->
+          let inst = Ciphers.Sha256.nonce_instance ~rounds ~k ~rng:(rng_of (300 + k + i)) () in
+          {
+            iname = Printf.sprintf "bitcoin-%d-%d" k i;
+            problem = Anf_problem inst.Ciphers.Sha256.equations;
+          });
+  }
+
+(* SAT-suite: generated CNFs across the roles of the SAT-2017 selection *)
+let sat_suite () =
+  let mk name f = { iname = name; problem = Cnf_problem f } in
+  {
+    label = "SAT-suite";
+    instances =
+      [
+        mk "ksat-1" (Problems.Generators.random_ksat ~nvars:120 ~n_clauses:500 ~k:3 ~rng:(rng_of 400));
+        mk "ksat-2" (Problems.Generators.random_ksat ~nvars:140 ~n_clauses:588 ~k:3 ~rng:(rng_of 401));
+        mk "ksat-hard" (Problems.Generators.random_ksat ~nvars:100 ~n_clauses:426 ~k:3 ~rng:(rng_of 402));
+        mk "php-7" (Problems.Generators.pigeonhole ~holes:7);
+        mk "php-8" (Problems.Generators.pigeonhole ~holes:8);
+        mk "parity-sat" (Problems.Generators.parity_chain ~vertices:40 ~satisfiable:true ~rng:(rng_of 403));
+        mk "parity-unsat-1" (Problems.Generators.parity_chain ~vertices:40 ~satisfiable:false ~rng:(rng_of 404));
+        mk "parity-unsat-2" (Problems.Generators.parity_chain ~vertices:52 ~satisfiable:false ~rng:(rng_of 405));
+        mk "color-sat" (Problems.Generators.coloring ~vertices:24 ~edges:48 ~colors:4 ~rng:(rng_of 406));
+        mk "color-unsat" (Problems.Generators.coloring ~vertices:12 ~edges:40 ~colors:2 ~rng:(rng_of 407));
+        mk "miter-eq" (Problems.Generators.miter ~inputs:12 ~gates:60 ~buggy:false ~rng:(rng_of 408));
+        mk "miter-bug" (Problems.Generators.miter ~inputs:12 ~gates:60 ~buggy:true ~rng:(rng_of 409));
+      ];
+  }
+
+let table2_families ~quick =
+  let c n = if quick then max 1 (n / 2) else n in
+  [
+    aes_family ~count:(c 4);
+    simon_family ~n_plaintexts:4 ~rounds:5 ~count:(c 3);
+    simon_family ~n_plaintexts:4 ~rounds:6 ~count:(c 3);
+    simon_family ~n_plaintexts:4 ~rounds:7 ~count:(c 3);
+    speck_family ~n_plaintexts:4 ~rounds:4 ~count:(c 2);
+    bitcoin_family ~rounds:17 ~k:8 ~count:(c 2);
+    bitcoin_family ~rounds:17 ~k:16 ~count:(c 2);
+    bitcoin_family ~rounds:17 ~k:24 ~count:(c 2);
+    sat_suite ();
+  ]

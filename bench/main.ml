@@ -1,0 +1,50 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (DESIGN.md experiments E1-E8, A1, A2) plus kernel micro-benchmarks.
+
+   Usage:
+     dune exec bench/main.exe                 run everything
+     dune exec bench/main.exe -- table2       one experiment
+     dune exec bench/main.exe -- table2 --family simon --quick
+   Experiments: table1 example fig2 table2 ablation encoding-sweep
+   representations micro *)
+
+let usage () =
+  print_endline
+    "usage: main.exe \
+     [table1|example|fig2|table2|ablation|encoding-sweep|representations|micro]*\n\
+    \       [--quick] [--family aes|simon|speck|bitcoin|sat]";
+  exit 1
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  let family_filter =
+    let rec find = function
+      | "--family" :: f :: _ -> Some f
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  let selected =
+    List.filter
+      (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--"))
+      (List.filter (fun a -> family_filter <> Some a) args)
+  in
+  let all = [ "table1"; "example"; "fig2"; "table2"; "ablation"; "encoding-sweep"; "representations"; "micro" ] in
+  let selected = if selected = [] then all else selected in
+  List.iter
+    (fun name ->
+      match name with
+      | "table1" -> Experiments.table1 ()
+      | "example" -> Experiments.example ()
+      | "fig2" -> Experiments.fig2 ()
+      | "table2" -> Experiments.table2 ~quick ?family_filter ()
+      | "ablation" -> Experiments.ablation ()
+      | "encoding-sweep" -> Experiments.encoding_sweep ()
+      | "representations" -> Experiments.representations ()
+      | "micro" -> Micro.run ()
+      | other ->
+          Printf.eprintf "unknown experiment %S\n" other;
+          usage ())
+    selected

@@ -1,0 +1,97 @@
+(* Bechamel micro-benchmarks for the GF(2) and conversion kernels. *)
+
+open Bechamel
+open Toolkit
+
+let bitvec_xor =
+  let a = Gf2.Bitvec.of_list 4096 (List.init 512 (fun i -> i * 7 mod 4096)) in
+  let b = Gf2.Bitvec.of_list 4096 (List.init 512 (fun i -> i * 13 mod 4096)) in
+  Test.make ~name:"bitvec.xor_4096" (Staged.stage (fun () -> Gf2.Bitvec.xor_into ~src:a ~dst:b))
+
+let random_matrix n =
+  let rng = Random.State.make [| 3 |] in
+  let m = Gf2.Matrix.create ~rows:n ~cols:n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if Random.State.bool rng then Gf2.Matrix.set m i j true
+    done
+  done;
+  m
+
+let matrix_rref =
+  let m = random_matrix 128 in
+  Test.make ~name:"matrix.rref_128" (Staged.stage (fun () -> Gf2.Matrix.rref (Gf2.Matrix.copy m)))
+
+let matrix_rref_m4rm =
+  let m = random_matrix 128 in
+  Test.make ~name:"matrix.rref_m4rm_128"
+    (Staged.stage (fun () -> Gf2.Matrix.rref_m4rm (Gf2.Matrix.copy m)))
+
+let zdd_product =
+  Test.make ~name:"zdd.dense_product_24"
+    (Staged.stage (fun () ->
+         let m = Anf.Zdd.create_manager () in
+         let product = ref Anf.Zdd.one in
+         for i = 0 to 23 do
+           product := Anf.Zdd.mul m !product (Anf.Zdd.add m (Anf.Zdd.var m i) Anf.Zdd.one)
+         done;
+         !product))
+
+let poly_mul =
+  let p = Anf.Anf_io.poly_of_string (String.concat " + " (List.init 24 (fun i -> Printf.sprintf "x%d*x%d" i (i + 1)))) in
+  let q = Anf.Anf_io.poly_of_string (String.concat " + " (List.init 24 (fun i -> Printf.sprintf "x%d" (i + 2)))) in
+  Test.make ~name:"poly.mul_24x24" (Staged.stage (fun () -> Anf.Poly.mul p q))
+
+let espresso =
+  let on_set = List.init 97 (fun i -> i * 37 mod 256) in
+  Test.make ~name:"espresso.minimise_8var"
+    (Staged.stage (fun () -> Minimize.Espresso.minimise ~nvars:8 ~on_set))
+
+let cdcl_php =
+  let f =
+    let holes = 6 in
+    Problems.Generators.pigeonhole ~holes
+  in
+  Test.make ~name:"cdcl.php7x6"
+    (Staged.stage (fun () ->
+         let s = Sat.Solver.create ~nvars:(Cnf.Formula.nvars f) () in
+         ignore (Sat.Solver.add_formula s f);
+         Sat.Solver.solve s))
+
+let xl_pass =
+  let inst =
+    Ciphers.Simon.instance ~rounds:5 ~n_plaintexts:2 ~rng:(Random.State.make [| 9 |]) ()
+  in
+  let eqs = inst.Ciphers.Simon.equations in
+  Test.make ~name:"xl.simon_2_5"
+    (Staged.stage (fun () ->
+         Bosphorus.Xl.run ~config:Bosphorus.Config.default ~rng:(Random.State.make [| 1 |]) eqs))
+
+let run () =
+  Format.printf "@.=== Micro-benchmarks (Bechamel, monotonic clock) ===@.@.";
+  let tests = [ bitvec_xor; matrix_rref; matrix_rref_m4rm; zdd_product; poly_mul; espresso; cdcl_php; xl_pass ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"kernels" tests) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (t :: _) -> Printf.sprintf "%12.1f" t
+        | Some [] | None -> "n/a"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols_result with
+        | Some r -> Printf.sprintf "%.4f" r
+        | None -> "n/a"
+      in
+      rows := [ name; ns; r2 ] :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  Format.printf "%s@."
+    (Harness.Table.render ~title:"kernel timings" ~headers:[ "kernel"; "ns/run"; "r²" ] rows)

@@ -1,0 +1,183 @@
+(* The bosphorus command-line tool: read a problem in ANF or CNF, run the
+   XL-ElimLin-SAT fact-learning loop, write the processed ANF and CNF, and
+   optionally solve with one of the three solver profiles. *)
+
+let ( let* ) = Result.bind
+
+type format = Anf_format | Cnf_format
+
+let detect_format path =
+  if Filename.check_suffix path ".anf" then Ok Anf_format
+  else if Filename.check_suffix path ".cnf" || Filename.check_suffix path ".dimacs" then
+    Ok Cnf_format
+  else Error (`Msg "cannot infer format: use a .anf, .cnf or .dimacs file or pass --format")
+
+let read_problem format path =
+  match format with
+  | Anf_format -> (
+      match Anf.Anf_io.parse_file path with
+      | polys -> Ok (`Anf polys)
+      | exception Anf.Anf_io.Parse_error m -> Error (`Msg ("ANF parse error: " ^ m))
+      | exception Sys_error m -> Error (`Msg m))
+  | Cnf_format -> (
+      (* accepts XOR-extended DIMACS ('x' lines) transparently *)
+      match Cnf.Dimacs.parse_file_extended path with
+      | f, xors -> Ok (`Cnf (f, xors))
+      | exception Cnf.Dimacs.Parse_error m -> Error (`Msg ("DIMACS parse error: " ^ m))
+      | exception Sys_error m -> Error (`Msg m))
+
+let pp_status ppf = function
+  | Bosphorus.Driver.Solved_sat _ -> Format.pp_print_string ppf "SATISFIABLE"
+  | Bosphorus.Driver.Solved_unsat -> Format.pp_print_string ppf "UNSATISFIABLE"
+  | Bosphorus.Driver.Processed -> Format.pp_print_string ppf "PROCESSED"
+
+let report outcome =
+  let facts = outcome.Bosphorus.Driver.facts in
+  Format.printf "status: %a@." pp_status outcome.Bosphorus.Driver.status;
+  Format.printf "iterations: %d (SAT calls: %d)@." outcome.Bosphorus.Driver.iterations
+    outcome.Bosphorus.Driver.sat_calls;
+  Format.printf "facts learnt: %d (propagation %d, XL %d, ElimLin %d, SAT %d, GB %d)@."
+    (Bosphorus.Facts.size facts)
+    (Bosphorus.Facts.count_by facts Bosphorus.Facts.Propagation)
+    (Bosphorus.Facts.count_by facts Bosphorus.Facts.Xl)
+    (Bosphorus.Facts.count_by facts Bosphorus.Facts.Elimlin)
+    (Bosphorus.Facts.count_by facts Bosphorus.Facts.Sat_solver)
+    (Bosphorus.Facts.count_by facts Bosphorus.Facts.Groebner);
+  Format.printf "processed ANF: %d equations; processed CNF: %d vars, %d clauses@."
+    (List.length outcome.Bosphorus.Driver.anf)
+    (Cnf.Formula.nvars outcome.Bosphorus.Driver.cnf)
+    (Cnf.Formula.n_clauses outcome.Bosphorus.Driver.cnf);
+  match outcome.Bosphorus.Driver.status with
+  | Bosphorus.Driver.Solved_sat sol ->
+      Format.printf "solution:";
+      List.iter (fun (x, v) -> Format.printf " x%d=%d" x (if v then 1 else 0)) sol;
+      Format.printf "@."
+  | Bosphorus.Driver.Solved_unsat | Bosphorus.Driver.Processed -> ()
+
+let final_solve profile_name budget cnf =
+  match Sat.Profiles.of_name profile_name with
+  | None -> Error (`Msg ("unknown solver profile: " ^ profile_name))
+  | Some profile ->
+      let out, secs =
+        Harness.Timing.time (fun () -> Sat.Profiles.solve ?conflict_budget:budget profile cnf)
+      in
+      Format.printf "final solve (%s): %a in %.3fs@." profile_name Sat.Types.pp_result
+        out.Sat.Profiles.result secs;
+      (match out.Sat.Profiles.stats with
+      | Some st -> Format.printf "stats: %a@." Sat.Types.pp_stats st
+      | None -> ());
+      Ok ()
+
+let run_main input format_opt out_anf out_cnf solver budget no_learning config =
+  let* format =
+    match format_opt with
+    | Some "anf" -> Ok Anf_format
+    | Some "cnf" -> Ok Cnf_format
+    | Some other -> Error (`Msg ("unknown format: " ^ other))
+    | None -> detect_format input
+  in
+  let* problem = read_problem format input in
+  let outcome =
+    match problem with
+    | `Anf polys ->
+        if no_learning then
+          (* conversion only: behave like a plain ANF-to-CNF translator *)
+          let conv = Bosphorus.Anf_to_cnf.convert ~config polys in
+          {
+            Bosphorus.Driver.status = Bosphorus.Driver.Processed;
+            anf = polys;
+            cnf = conv.Bosphorus.Anf_to_cnf.formula;
+            facts = Bosphorus.Facts.create ();
+            iterations = 0;
+            sat_calls = 0;
+          }
+        else Bosphorus.Driver.run ~config polys
+    | `Cnf (f, xors) ->
+        if no_learning then
+          {
+            Bosphorus.Driver.status = Bosphorus.Driver.Processed;
+            anf = (Bosphorus.Cnf_to_anf.convert ~config f).Bosphorus.Cnf_to_anf.polys;
+            cnf = f;
+            facts = Bosphorus.Facts.create ();
+            iterations = 0;
+            sat_calls = 0;
+          }
+        else
+          let outcome = Bosphorus.Driver.run_cnf ~config ~xors f in
+          (* the paper recommends returning the original CNF augmented with
+             the learnt facts rather than the round-tripped encoding *)
+          { outcome with Bosphorus.Driver.cnf = Bosphorus.Driver.augmented_cnf f outcome }
+  in
+  report outcome;
+  Option.iter (fun path -> Anf.Anf_io.write_file path outcome.Bosphorus.Driver.anf) out_anf;
+  Option.iter (fun path -> Cnf.Dimacs.write_file path outcome.Bosphorus.Driver.cnf) out_cnf;
+  match solver with
+  | Some name when outcome.Bosphorus.Driver.status = Bosphorus.Driver.Processed ->
+      final_solve name budget outcome.Bosphorus.Driver.cnf
+  | Some name ->
+      Format.printf "(skipping final %s solve: already decided)@." name;
+      Ok ()
+  | None -> Ok ()
+
+open Cmdliner
+
+let input_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Input problem (.anf or .cnf).")
+
+let format_arg =
+  Arg.(value & opt (some string) None & info [ "format" ] ~docv:"FMT" ~doc:"Input format: anf or cnf.")
+
+let out_anf_arg =
+  Arg.(value & opt (some string) None & info [ "write-anf" ] ~docv:"FILE" ~doc:"Write the processed ANF.")
+
+let out_cnf_arg =
+  Arg.(value & opt (some string) None & info [ "write-cnf" ] ~docv:"FILE" ~doc:"Write the processed CNF.")
+
+let solver_arg =
+  Arg.(value & opt (some string) None
+       & info [ "solve" ] ~docv:"PROFILE" ~doc:"Solve the processed CNF with minisat, lingeling or cms5.")
+
+let budget_arg =
+  Arg.(value & opt (some int) None
+       & info [ "conflict-budget" ] ~docv:"N" ~doc:"Conflict budget for the final solve.")
+
+let no_learning_arg =
+  Arg.(value & flag & info [ "no-learning" ] ~doc:"Skip the learning loop; only convert formats.")
+
+let config_term =
+  let open Bosphorus.Config in
+  let m = Arg.(value & opt int default.xl_sample_bits & info [ "M" ] ~doc:"XL/ElimLin subsample bits (linearised size ~2^M).") in
+  let dm = Arg.(value & opt int default.xl_expand_bits & info [ "delta-M" ] ~doc:"XL expansion allowance bits.") in
+  let d = Arg.(value & opt int default.xl_degree & info [ "D" ] ~doc:"XL multiplier degree.") in
+  let k = Arg.(value & opt int default.karnaugh_vars & info [ "K" ] ~doc:"Karnaugh-map variable bound.") in
+  let l = Arg.(value & opt int default.xor_cut_length & info [ "L" ] ~doc:"XOR cutting length.") in
+  let l' = Arg.(value & opt int default.clause_cut_positive & info [ "Lp" ] ~doc:"Clause-cutting positive-literal bound L'.") in
+  let c0 = Arg.(value & opt int default.sat_budget_start & info [ "C" ] ~doc:"Initial SAT conflict budget.") in
+  let iters = Arg.(value & opt int default.max_iterations & info [ "max-iterations" ] ~doc:"Learning loop bound.") in
+  let seed = Arg.(value & opt int default.seed & info [ "seed" ] ~doc:"Subsampling RNG seed.") in
+  let build m dm d k l l' c0 iters seed =
+    {
+      default with
+      xl_sample_bits = m;
+      xl_expand_bits = dm;
+      xl_degree = d;
+      karnaugh_vars = k;
+      xor_cut_length = l;
+      clause_cut_positive = l';
+      sat_budget_start = c0;
+      max_iterations = iters;
+      seed;
+    }
+  in
+  Term.(const build $ m $ dm $ d $ k $ l $ l' $ c0 $ iters $ seed)
+
+let cmd =
+  let doc = "bridge ANF and CNF solvers by iterative fact learning" in
+  let term =
+    Term.(
+      const run_main $ input_arg $ format_arg $ out_anf_arg $ out_cnf_arg $ solver_arg
+      $ budget_arg $ no_learning_arg $ config_term)
+  in
+  Cmd.v (Cmd.info "bosphorus" ~doc) Term.(term_result term)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,120 @@
+(* Instance generator: emits the benchmark families of the paper's
+   appendix as .anf / .cnf files, for use with the bosphorus tool or any
+   DIMACS solver.
+
+     bosphorus-gen simon --rounds 6 --plaintexts 4 --seed 3 -o simon.anf
+     bosphorus-gen aes --sr 1,4,2,4 -o aes.anf
+     bosphorus-gen bitcoin --rounds 17 --zero-bits 8 -o btc.anf
+     bosphorus-gen speck --rounds 5 --plaintexts 2 -o speck.anf
+     bosphorus-gen parity --vertices 40 --unsat -o parity.cnf
+     bosphorus-gen ksat --vars 100 --clauses 426 -o hard.cnf *)
+
+open Cmdliner
+
+let rng_of seed = Random.State.make [| seed |]
+
+let write_anf output polys =
+  match output with
+  | Some path ->
+      Anf.Anf_io.write_file path polys;
+      Printf.printf "wrote %d equations to %s\n" (List.length polys) path
+  | None -> print_string (Anf.Anf_io.write_string polys)
+
+let write_cnf output f =
+  match output with
+  | Some path ->
+      Cnf.Dimacs.write_file path f;
+      Printf.printf "wrote %d clauses to %s\n" (Cnf.Formula.n_clauses f) path
+  | None -> print_string (Cnf.Dimacs.write_string f)
+
+let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"RNG seed.")
+
+let output_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (stdout if absent).")
+
+let rounds_arg ~default = Arg.(value & opt int default & info [ "rounds" ] ~doc:"Cipher rounds.")
+
+let simon_cmd =
+  let plaintexts = Arg.(value & opt int 4 & info [ "plaintexts" ] ~doc:"SP/RC plaintext count.") in
+  let run rounds plaintexts seed output =
+    let inst = Ciphers.Simon.instance ~rounds ~n_plaintexts:plaintexts ~rng:(rng_of seed) () in
+    Printf.printf "c simon32/64 rounds=%d plaintexts=%d key=%04x%04x%04x%04x\n" rounds
+      plaintexts inst.Ciphers.Simon.key.(3) inst.Ciphers.Simon.key.(2)
+      inst.Ciphers.Simon.key.(1) inst.Ciphers.Simon.key.(0);
+    write_anf output inst.Ciphers.Simon.equations
+  in
+  Cmd.v
+    (Cmd.info "simon" ~doc:"round-reduced Simon32/64 key recovery (appendix B)")
+    Term.(const run $ rounds_arg ~default:6 $ plaintexts $ seed_arg $ output_arg)
+
+let speck_cmd =
+  let plaintexts = Arg.(value & opt int 2 & info [ "plaintexts" ] ~doc:"SP/RC plaintext count.") in
+  let run rounds plaintexts seed output =
+    let inst = Ciphers.Speck.instance ~rounds ~n_plaintexts:plaintexts ~rng:(rng_of seed) () in
+    write_anf output inst.Ciphers.Speck.equations
+  in
+  Cmd.v
+    (Cmd.info "speck" ~doc:"round-reduced Speck32/64 key recovery")
+    Term.(const run $ rounds_arg ~default:5 $ plaintexts $ seed_arg $ output_arg)
+
+let aes_cmd =
+  let sr =
+    Arg.(value & opt string "1,2,2,4"
+         & info [ "sr" ] ~docv:"n,r,c,e" ~doc:"Small-scale AES parameters SR(n,r,c,e).")
+  in
+  let run sr seed output =
+    match String.split_on_char ',' sr |> List.map int_of_string_opt with
+    | [ Some n; Some r; Some c; Some e ] ->
+        let params = { Ciphers.Aes_small.n; r; c; e } in
+        let inst = Ciphers.Aes_small.instance params ~rng:(rng_of seed) () in
+        write_anf output inst.Ciphers.Aes_small.equations;
+        `Ok ()
+    | _ -> `Error (false, "expected --sr n,r,c,e (four integers)")
+  in
+  Cmd.v
+    (Cmd.info "aes" ~doc:"small-scale AES SR(n,r,c,e) key recovery (appendix A)")
+    Term.(ret (const run $ sr $ seed_arg $ output_arg))
+
+let bitcoin_cmd =
+  let k = Arg.(value & opt int 8 & info [ "zero-bits"; "k" ] ~doc:"Required leading zero digest bits.") in
+  let run rounds k seed output =
+    let inst = Ciphers.Sha256.nonce_instance ~rounds ~k ~rng:(rng_of seed) () in
+    write_anf output inst.Ciphers.Sha256.equations
+  in
+  Cmd.v
+    (Cmd.info "bitcoin" ~doc:"weakened Bitcoin nonce finding (appendix C)")
+    Term.(const run $ rounds_arg ~default:17 $ k $ seed_arg $ output_arg)
+
+let parity_cmd =
+  let vertices = Arg.(value & opt int 40 & info [ "vertices" ] ~doc:"Graph vertices (even).") in
+  let unsat = Arg.(value & flag & info [ "unsat" ] ~doc:"Make the instance unsatisfiable.") in
+  let run vertices unsat seed output =
+    write_cnf output
+      (Problems.Generators.parity_chain ~vertices ~satisfiable:(not unsat) ~rng:(rng_of seed))
+  in
+  Cmd.v
+    (Cmd.info "parity" ~doc:"Tseitin parity formula on a random 3-regular graph")
+    Term.(const run $ vertices $ unsat $ seed_arg $ output_arg)
+
+let ksat_cmd =
+  let vars = Arg.(value & opt int 100 & info [ "vars" ] ~doc:"Variable count.") in
+  let clauses = Arg.(value & opt int 426 & info [ "clauses" ] ~doc:"Clause count.") in
+  let width = Arg.(value & opt int 3 & info [ "k" ] ~doc:"Clause width.") in
+  let run vars clauses width seed output =
+    write_cnf output
+      (Problems.Generators.random_ksat ~nvars:vars ~n_clauses:clauses ~k:width ~rng:(rng_of seed))
+  in
+  Cmd.v
+    (Cmd.info "ksat" ~doc:"uniform random k-SAT")
+    Term.(const run $ vars $ clauses $ width $ seed_arg $ output_arg)
+
+let php_cmd =
+  let holes = Arg.(value & opt int 7 & info [ "holes" ] ~doc:"Holes (pigeons = holes+1).") in
+  let run holes output = write_cnf output (Problems.Generators.pigeonhole ~holes) in
+  Cmd.v (Cmd.info "php" ~doc:"pigeonhole principle (unsatisfiable)")
+    Term.(const run $ holes $ output_arg)
+
+let () =
+  let doc = "generate Bosphorus benchmark instances" in
+  let info = Cmd.info "bosphorus-gen" ~doc in
+  exit (Cmd.eval (Cmd.group info [ simon_cmd; speck_cmd; aes_cmd; bitcoin_cmd; parity_cmd; ksat_cmd; php_cmd ]))

@@ -1,0 +1,28 @@
+(** Text format for ANF polynomial systems.
+
+    One polynomial equation per line, implicitly equated to zero:
+    {[
+      x1*x2 + x3 + 1
+      x2*x3 + x3
+    ]}
+    Tokens: variables [x<int>] (the original tool's [x(<int>)] form is
+    also accepted), [1] and [0] constants, [*] for conjunction, [+] (or
+    XOR spelled "^") for GF(2) addition.  Blank lines and lines starting
+    with [c] or [#] are comments. *)
+
+exception Parse_error of string
+
+(** [poly_of_string s] parses one polynomial.  Raises {!Parse_error}. *)
+val poly_of_string : string -> Poly.t
+
+(** [parse_string s] parses a whole system (one polynomial per line). *)
+val parse_string : string -> Poly.t list
+
+(** [parse_file path] reads and parses a [.anf] file. *)
+val parse_file : string -> Poly.t list
+
+(** [write_string polys] renders a system in the same format. *)
+val write_string : Poly.t list -> string
+
+(** [write_file path polys] writes a [.anf] file with a short header. *)
+val write_file : string -> Poly.t list -> unit

@@ -1,0 +1,43 @@
+let satisfies assignment polys =
+  List.for_all (fun p -> not (Poly.eval assignment p)) polys
+
+let vars_of polys =
+  let module S = Set.Make (Int) in
+  let s =
+    List.fold_left
+      (fun s p -> List.fold_left (fun s x -> S.add x s) s (Poly.vars p))
+      S.empty polys
+  in
+  S.elements s
+
+let max_brute_force_vars = 24
+
+let fold_assignments polys init f =
+  let vars = Array.of_list (vars_of polys) in
+  let n = Array.length vars in
+  if n > max_brute_force_vars then
+    invalid_arg "Eval: brute force limited to 24 variables";
+  let acc = ref init in
+  for mask = 0 to (1 lsl n) - 1 do
+    let lookup x =
+      (* linear scan is fine at these sizes and keeps the oracle dead simple *)
+      let rec idx i = if vars.(i) = x then i else idx (i + 1) in
+      mask lsr idx 0 land 1 = 1
+    in
+    if satisfies lookup polys then
+      acc := f !acc (Array.to_list (Array.mapi (fun i x -> (x, mask lsr i land 1 = 1)) vars))
+  done;
+  !acc
+
+let all_solutions polys = List.rev (fold_assignments polys [] (fun acc sol -> sol :: acc))
+let count_solutions polys = fold_assignments polys 0 (fun acc _ -> acc + 1)
+
+exception Found
+
+let solution_exists polys =
+  try
+    ignore (fold_assignments polys () (fun () _ -> raise Found));
+    false
+  with Found -> true
+
+let equisatisfiable a b = solution_exists a = solution_exists b

@@ -1,0 +1,27 @@
+(** Evaluation and brute-force model enumeration for ANF systems.
+
+    Exhaustive enumeration is exponential in the number of variables; it is
+    the ground-truth oracle used by the test suite (and nothing else), so it
+    guards against being called on systems with more than 24 variables. *)
+
+(** [satisfies assignment polys] is [true] iff every polynomial evaluates
+    to 0 under [assignment]. *)
+val satisfies : (int -> bool) -> Poly.t list -> bool
+
+(** [vars_of polys] is the ascending list of variables in the system. *)
+val vars_of : Poly.t list -> int list
+
+(** [all_solutions polys] enumerates all satisfying assignments over
+    [vars_of polys], each as an association list [(var, value)].
+    Raises [Invalid_argument] if the system has more than 24 variables. *)
+val all_solutions : Poly.t list -> (int * bool) list list
+
+(** [count_solutions polys] is [List.length (all_solutions polys)] without
+    materialising the list. *)
+val count_solutions : Poly.t list -> int
+
+(** [solution_exists polys] is satisfiability by brute force. *)
+val solution_exists : Poly.t list -> bool
+
+(** [equisatisfiable a b] holds iff both or neither system has a solution. *)
+val equisatisfiable : Poly.t list -> Poly.t list -> bool

@@ -1,0 +1,61 @@
+(** Monomials over Boolean variables.
+
+    A monomial is a product of distinct variables (indices [>= 0]); since
+    x² = x in GF(2), exponents never exceed one.  The empty product is the
+    constant monomial 1.  Represented as a strictly increasing array of
+    variable indices, so structural operations are linear merges. *)
+
+type t
+
+(** The constant monomial 1 (degree 0). *)
+val one : t
+
+(** [var x] is the degree-1 monomial consisting of variable [x].
+    Raises [Invalid_argument] if [x < 0]. *)
+val var : int -> t
+
+(** [of_vars xs] is the product of the variables in [xs] (duplicates are
+    collapsed, per x² = x). *)
+val of_vars : int list -> t
+
+(** Ascending list of variables in the monomial. *)
+val vars : t -> int list
+
+(** Number of distinct variables. *)
+val degree : t -> int
+
+val is_one : t -> bool
+
+(** [contains m x] is [true] iff variable [x] occurs in [m]. *)
+val contains : t -> int -> bool
+
+(** [mul a b] is the product (set union of variables). *)
+val mul : t -> t -> t
+
+(** [remove_var m x] is [m] with variable [x] deleted (identity if absent). *)
+val remove_var : t -> int -> t
+
+(** [divides a b] is [true] iff every variable of [a] occurs in [b]. *)
+val divides : t -> t -> bool
+
+(** [max_var m] is the largest variable index, or [-1] for the constant 1. *)
+val max_var : t -> int
+
+(** Graded order, higher degree first and lexicographically ascending
+    within a degree; used both as the canonical display order and to put
+    higher-degree monomial columns leftmost in linearised matrices, so that
+    Gauss–Jordan elimination pushes learnt linear facts to the trailing
+    columns (Table I of the paper).  [compare a b < 0] means [a] sorts
+    before [b], i.e. [a] is the "larger" monomial. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+(** [eval assignment m] evaluates under [assignment] (total on [vars m]). *)
+val eval : (int -> bool) -> t -> bool
+
+(** Prints as [x1*x3] (or [1] for the constant). *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,121 @@
+type id = int
+
+module Iset = Set.Make (Int)
+
+module Ptbl = Hashtbl.Make (struct
+  type t = Poly.t
+
+  let equal = Poly.equal
+  let hash = Poly.hash
+end)
+
+type t = {
+  mutable slots : Poly.t option array; (* id -> live polynomial *)
+  mutable next_id : int;
+  occ : (int, Iset.t) Hashtbl.t; (* variable -> ids of polys containing it *)
+  present : id Ptbl.t; (* live polynomial -> its id *)
+  mutable next_var : int; (* lowest never-used variable index *)
+}
+
+let grow t needed =
+  let cap = Array.length t.slots in
+  if needed >= cap then begin
+    let slots = Array.make (max (2 * cap) (needed + 1)) None in
+    Array.blit t.slots 0 slots 0 cap;
+    t.slots <- slots
+  end
+
+let occ_add t x id =
+  let s = Option.value (Hashtbl.find_opt t.occ x) ~default:Iset.empty in
+  Hashtbl.replace t.occ x (Iset.add id s)
+
+let occ_remove t x id =
+  match Hashtbl.find_opt t.occ x with
+  | None -> ()
+  | Some s ->
+      let s = Iset.remove id s in
+      if Iset.is_empty s then Hashtbl.remove t.occ x else Hashtbl.replace t.occ x s
+
+let add t p =
+  if Poly.is_zero p then None
+  else if Ptbl.mem t.present p then None
+  else begin
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    grow t id;
+    t.slots.(id) <- Some p;
+    Ptbl.add t.present p id;
+    List.iter (fun x -> occ_add t x id) (Poly.vars p);
+    t.next_var <- max t.next_var (Poly.max_var p + 1);
+    Some id
+  end
+
+let create polys =
+  let t =
+    {
+      slots = Array.make 16 None;
+      next_id = 0;
+      occ = Hashtbl.create 64;
+      present = Ptbl.create 64;
+      next_var = 0;
+    }
+  in
+  List.iter (fun p -> ignore (add t p)) polys;
+  t
+
+let copy t =
+  {
+    slots = Array.copy t.slots;
+    next_id = t.next_id;
+    occ = Hashtbl.copy t.occ;
+    present = Ptbl.copy t.present;
+    next_var = t.next_var;
+  }
+
+let size t = Ptbl.length t.present
+
+let nvars t =
+  Hashtbl.fold (fun x _ acc -> max acc (x + 1)) t.occ 0
+
+let fresh_var t =
+  let x = t.next_var in
+  t.next_var <- x + 1;
+  x
+
+let mem t p = Ptbl.mem t.present p
+
+let remove t id =
+  if id >= 0 && id < t.next_id then
+    match t.slots.(id) with
+    | None -> ()
+    | Some p ->
+        t.slots.(id) <- None;
+        Ptbl.remove t.present p;
+        List.iter (fun x -> occ_remove t x id) (Poly.vars p)
+
+let replace t id p =
+  remove t id;
+  add t p
+
+let find t id = if id >= 0 && id < t.next_id then t.slots.(id) else None
+
+let occurrences t x =
+  match Hashtbl.find_opt t.occ x with None -> [] | Some s -> Iset.elements s
+
+let iter t f =
+  for id = 0 to t.next_id - 1 do
+    match t.slots.(id) with None -> () | Some p -> f id p
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun _ p -> acc := p :: !acc);
+  List.rev !acc
+
+let has_contradiction t = Ptbl.mem t.present Poly.one
+
+let pp ppf t =
+  let first = ref true in
+  iter t (fun _ p ->
+      if !first then first := false else Format.pp_print_newline ppf ();
+      Poly.pp ppf p)

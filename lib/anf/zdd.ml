@@ -1,0 +1,186 @@
+type t = int (* node id: 0 = terminal zero, 1 = terminal one *)
+
+(* Growable parallel arrays for the node store.  The variable of the two
+   terminals is max_int so that [min] of tops always picks a real node. *)
+type manager = {
+  mutable var_of : int array;
+  mutable lo_of : int array;
+  mutable hi_of : int array;
+  mutable next : int;
+  unique : (int * int * int, int) Hashtbl.t; (* (var, lo, hi) -> id *)
+  add_cache : (int * int, int) Hashtbl.t;
+  mul_cache : (int * int, int) Hashtbl.t;
+  subst_cache : (int, int) Hashtbl.t; (* per-subst-call; cleared on entry *)
+}
+
+let zero = 0
+let one = 1
+let is_zero f = f = 0
+let is_one f = f = 1
+let equal (a : t) (b : t) = a = b
+
+let create_manager () =
+  let cap = 1024 in
+  let m =
+    {
+      var_of = Array.make cap max_int;
+      lo_of = Array.make cap 0;
+      hi_of = Array.make cap 0;
+      next = 2;
+      unique = Hashtbl.create 256;
+      add_cache = Hashtbl.create 256;
+      mul_cache = Hashtbl.create 256;
+      subst_cache = Hashtbl.create 64;
+    }
+  in
+  (* ids 0 and 1 are the terminals *)
+  m
+
+let top m f = m.var_of.(f)
+
+let grow m =
+  let cap = Array.length m.var_of in
+  if m.next >= cap then begin
+    let extend a fill =
+      let b = Array.make (2 * cap) fill in
+      Array.blit a 0 b 0 cap;
+      b
+    in
+    m.var_of <- extend m.var_of max_int;
+    m.lo_of <- extend m.lo_of 0;
+    m.hi_of <- extend m.hi_of 0
+  end
+
+(* Hash-consing constructor with the ZDD zero-suppression rule. *)
+let mk m v lo hi =
+  if hi = 0 then lo
+  else
+    match Hashtbl.find_opt m.unique (v, lo, hi) with
+    | Some id -> id
+    | None ->
+        grow m;
+        let id = m.next in
+        m.next <- id + 1;
+        m.var_of.(id) <- v;
+        m.lo_of.(id) <- lo;
+        m.hi_of.(id) <- hi;
+        Hashtbl.replace m.unique (v, lo, hi) id;
+        id
+
+(* decompose f with respect to variable v (must satisfy v <= top f):
+   f = v*f1 + f0 *)
+let split m v f = if top m f = v then (m.lo_of.(f), m.hi_of.(f)) else (f, 0)
+
+let rec add m a b =
+  if a = b then 0 (* GF(2): f + f = 0 *)
+  else if a = 0 then b
+  else if b = 0 then a
+  else begin
+    let key = if a < b then (a, b) else (b, a) in
+    match Hashtbl.find_opt m.add_cache key with
+    | Some r -> r
+    | None ->
+        let v = min (top m a) (top m b) in
+        let a0, a1 = split m v a and b0, b1 = split m v b in
+        let r = mk m v (add m a0 b0) (add m a1 b1) in
+        Hashtbl.replace m.add_cache key r;
+        r
+  end
+
+let rec mul m a b =
+  if a = 0 || b = 0 then 0
+  else if a = 1 then b
+  else if b = 1 then a
+  else if a = b then a (* Boolean ring: f * f = f *)
+  else begin
+    let key = if a < b then (a, b) else (b, a) in
+    match Hashtbl.find_opt m.mul_cache key with
+    | Some r -> r
+    | None ->
+        let v = min (top m a) (top m b) in
+        let a0, a1 = split m v a and b0, b1 = split m v b in
+        (* (v*a1 + a0)(v*b1 + b0) = v*(a1b1 + a1b0 + a0b1) + a0b0,
+           using v^2 = v *)
+        let hi = add m (add m (mul m a1 b1) (mul m a1 b0)) (mul m a0 b1) in
+        let r = mk m v (mul m a0 b0) hi in
+        Hashtbl.replace m.mul_cache key r;
+        r
+  end
+
+let var m x =
+  if x < 0 then invalid_arg "Zdd.var";
+  mk m x 0 1
+
+let of_poly m p =
+  List.fold_left
+    (fun acc mono ->
+      let term =
+        List.fold_left (fun t x -> mul m t (var m x)) 1 (Monomial.vars mono)
+      in
+      add m acc term)
+    0 (Poly.monomials p)
+
+let rec monomials m f prefix acc =
+  if f = 0 then acc
+  else if f = 1 then Monomial.of_vars prefix :: acc
+  else
+    let acc = monomials m m.lo_of.(f) prefix acc in
+    monomials m m.hi_of.(f) (m.var_of.(f) :: prefix) acc
+
+let to_poly m f = Poly.of_monomials (monomials m f [] [])
+
+let subst m f ~target ~by =
+  Hashtbl.reset m.subst_cache;
+  let rec go f =
+    if f = 0 || f = 1 then f
+    else if top m f > target then f (* ascending order: target cannot occur *)
+    else
+      match Hashtbl.find_opt m.subst_cache f with
+      | Some r -> r
+      | None ->
+          let r =
+            if top m f = target then
+              (* f = target*f1 + f0, children are target-free *)
+              add m m.lo_of.(f) (mul m by m.hi_of.(f))
+            else
+              (* rebuild with mul/add rather than mk: the substituted
+                 children may now contain variables smaller than this
+                 node's, which mk's ordering invariant forbids *)
+              let v = mk m (top m f) 0 1 in
+              add m (go m.lo_of.(f)) (mul m v (go m.hi_of.(f)))
+          in
+          Hashtbl.replace m.subst_cache f r;
+          r
+  in
+  go f
+
+let n_terms m f =
+  let cache = Hashtbl.create 64 in
+  let rec count f =
+    if f = 0 then 0
+    else if f = 1 then 1
+    else
+      match Hashtbl.find_opt cache f with
+      | Some n -> n
+      | None ->
+          let n = count m.lo_of.(f) + count m.hi_of.(f) in
+          Hashtbl.replace cache f n;
+          n
+  in
+  count f
+
+let node_count m f =
+  let seen = Hashtbl.create 64 in
+  let rec visit f =
+    if f > 1 && not (Hashtbl.mem seen f) then begin
+      Hashtbl.replace seen f ();
+      visit m.lo_of.(f);
+      visit m.hi_of.(f)
+    end
+  in
+  visit f;
+  Hashtbl.length seen
+
+let manager_size m = m.next
+
+let pp m ppf f = Poly.pp ppf (to_poly m f)

@@ -1,0 +1,63 @@
+(** ZDD-backed Boolean polynomials — PolyBoRi's core data structure.
+
+    A polynomial over GF(2) is a set of monomials; a zero-suppressed binary
+    decision diagram represents that set with shared sub-structure, which
+    is why PolyBoRi can hold polynomials whose expanded form (the
+    representation in {!Poly}) would exhaust memory — the paper's
+    introduction singles out ANF-solver memory use as the limiting factor.
+    The classic example: (x0+1)(x1+1)...(xk+1) has 2^(k+1) monomials but
+    only k+2 ZDD nodes.
+
+    Nodes are hash-consed within a {!manager}, so structural equality is
+    pointer (id) equality, and operations are memoised.  The variable
+    order is fixed: smaller indices closer to the root.
+
+    Semantics of a node (v, lo, hi): the monomial set
+    [lo ∪ { v·m | m ∈ hi }]; the terminal 0 is the zero polynomial and
+    the terminal 1 the constant polynomial 1. *)
+
+type manager
+type t
+
+(** A fresh manager (node store, unique table, operation caches). *)
+val create_manager : unit -> manager
+
+val zero : t
+val one : t
+
+(** [var m x] is the single-monomial polynomial [x]. *)
+val var : manager -> int -> t
+
+(** Conversions to and from the expanded representation.  [to_poly] is
+    exponential in the term count — test- and display-sized inputs only. *)
+val of_poly : manager -> Poly.t -> t
+
+val to_poly : manager -> t -> Poly.t
+
+(** GF(2) sum (symmetric difference of monomial sets). *)
+val add : manager -> t -> t -> t
+
+(** Product in the Boolean ring (x² = x). *)
+val mul : manager -> t -> t -> t
+
+(** [subst m f ~target ~by] replaces variable [target] by the polynomial
+    [by]. *)
+val subst : manager -> t -> target:int -> by:t -> t
+
+val is_zero : t -> bool
+val is_one : t -> bool
+
+(** Number of monomials (may be exponential in the node count). *)
+val n_terms : manager -> t -> int
+
+(** Number of distinct ZDD nodes reachable from [f] — the memory footprint
+    measure the representations bench compares. *)
+val node_count : manager -> t -> int
+
+(** Total nodes allocated in the manager so far. *)
+val manager_size : manager -> int
+
+(** Hash-consing makes this constant-time structural equality. *)
+val equal : t -> t -> bool
+
+val pp : manager -> Format.formatter -> t -> unit

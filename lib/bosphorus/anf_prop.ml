@@ -1,0 +1,171 @@
+module P = Anf.Poly
+
+(* Union-find over literals: parent.(x) = (y, parity) meaning x = y + parity.
+   Values are stored at the roots only. *)
+type state = {
+  parent : (int, int * bool) Hashtbl.t;
+  values : (int, bool) Hashtbl.t; (* root -> value *)
+}
+
+let create () = { parent = Hashtbl.create 64; values = Hashtbl.create 64 }
+
+let rec find state x =
+  match Hashtbl.find_opt state.parent x with
+  | None -> (x, false)
+  | Some (y, p) ->
+      let root, q = find state y in
+      let combined = p <> q in
+      if y <> root || p <> combined then Hashtbl.replace state.parent x (root, combined);
+      (root, combined)
+
+let repr_of state x = find state x
+
+let value_of state x =
+  let root, parity = find state x in
+  Option.map (fun v -> v <> parity) (Hashtbl.find_opt state.values root)
+
+let assign state x v =
+  let root, parity = find state x in
+  let v_root = v <> parity in
+  match Hashtbl.find_opt state.values root with
+  | Some existing -> if existing = v_root then `Ok else `Conflict
+  | None ->
+      Hashtbl.replace state.values root v_root;
+      `Ok
+
+let equate state x y ~negated =
+  let rx, px = find state x and ry, py = find state y in
+  if rx = ry then if px <> py = negated then `Ok else `Conflict
+  else begin
+    (* x = y + negated  <=>  rx + px = ry + py + negated *)
+    let parity = px <> py <> negated in
+    (* keep the smaller index as root for canonical output *)
+    let root, child, parity = if rx < ry then (rx, ry, parity) else (ry, rx, parity) in
+    Hashtbl.replace state.parent child (root, parity);
+    (* migrate the child's value, if any *)
+    match Hashtbl.find_opt state.values child with
+    | None -> `Ok
+    | Some v ->
+        Hashtbl.remove state.values child;
+        let v_root = v <> parity in
+        (match Hashtbl.find_opt state.values root with
+        | Some existing -> if existing = v_root then `Ok else `Conflict
+        | None ->
+            Hashtbl.replace state.values root v_root;
+            `Ok)
+  end
+
+let literal_poly state x =
+  match value_of state x with
+  | Some v -> P.constant v
+  | None ->
+      let root, parity = find state x in
+      if parity then P.add (P.var root) P.one else P.var root
+
+let normalise state p =
+  let needs_rewrite =
+    List.exists
+      (fun x ->
+        value_of state x <> None
+        ||
+        let root, parity = find state x in
+        root <> x || parity)
+      (P.vars p)
+  in
+  if not needs_rewrite then p
+  else
+    List.fold_left
+      (fun q x -> P.subst q ~target:x ~by:(literal_poly state x))
+      p (P.vars p)
+
+let all_tracked state =
+  let s = Hashtbl.create 64 in
+  Hashtbl.iter (fun x _ -> Hashtbl.replace s x ()) state.parent;
+  Hashtbl.iter (fun x _ -> Hashtbl.replace s x ()) state.values;
+  Hashtbl.fold (fun x () acc -> x :: acc) s [] |> List.sort Int.compare
+
+let assignments state =
+  List.filter_map (fun x -> Option.map (fun v -> (x, v)) (value_of state x)) (all_tracked state)
+
+let equivalences state =
+  List.filter_map
+    (fun x ->
+      if value_of state x <> None then None
+      else
+        let root, parity = find state x in
+        if root = x then None else Some (x, root, parity))
+    (all_tracked state)
+
+let fact_polys state =
+  List.map (fun (x, v) -> P.add (P.var x) (P.constant v)) (assignments state)
+  @ List.map
+      (fun (x, y, parity) -> P.add (P.add (P.var x) (P.var y)) (P.constant parity))
+      (equivalences state)
+
+let propagate state system =
+  let module S = Anf.System in
+  let contradiction = ref false in
+  let queue = Queue.create () in
+  let queued = Hashtbl.create 64 in
+  let enqueue id =
+    if not (Hashtbl.mem queued id) then begin
+      Hashtbl.replace queued id ();
+      Queue.add id queue
+    end
+  in
+  S.iter system (fun id _ -> enqueue id);
+  let enqueue_var x = List.iter enqueue (S.occurrences system x) in
+  let fail () =
+    contradiction := true;
+    ignore (S.add system P.one);
+    Queue.clear queue
+  in
+  let absorb outcome touched =
+    match outcome with
+    | `Conflict -> fail ()
+    | `Ok ->
+        (* polynomials already normalised mention the class root, not the
+           touched variable itself, so wake both occurrence lists *)
+        List.iter
+          (fun x ->
+            enqueue_var x;
+            let root, _ = repr_of state x in
+            if root <> x then enqueue_var root)
+          touched
+  in
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    Hashtbl.remove queued id;
+    match S.find system id with
+    | None -> ()
+    | Some p ->
+        let q = normalise state p in
+        let new_id =
+          if P.equal p q then Some id
+          else begin
+            (* replace the polynomial by its normalised form *)
+            match S.replace system id q with
+            | Some nid -> Some nid
+            | None -> None (* zero or duplicate: drop *)
+          end
+        in
+        (match new_id with
+        | None -> ()
+        | Some nid -> (
+            match P.classify q with
+            | P.Tautology -> S.remove system nid
+            | P.Contradiction -> fail ()
+            | P.Assign (x, v) ->
+                S.remove system nid;
+                absorb (assign state x v) [ x ]
+            | P.Equiv (x, y, negated) ->
+                S.remove system nid;
+                absorb (equate state x y ~negated) [ x; y ]
+            | P.All_ones xs ->
+                S.remove system nid;
+                List.iter
+                  (fun x -> if not !contradiction then absorb (assign state x true) [ x ])
+                  xs
+            | P.Other -> ()))
+  done;
+  if !contradiction then `Contradiction else `Fixedpoint

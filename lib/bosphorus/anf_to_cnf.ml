@@ -1,0 +1,215 @@
+module P = Anf.Poly
+module M = Anf.Monomial
+module L = Cnf.Lit
+module C = Cnf.Clause
+
+module Mtbl = Hashtbl.Make (struct
+  type t = M.t
+
+  let equal = M.equal
+  let hash = M.hash
+end)
+
+type conversion = {
+  formula : Cnf.Formula.t;
+  anf_nvars : int;
+  mono_of_var : (int, M.t) Hashtbl.t;
+  n_monomial_aux : int;
+  n_cut_aux : int;
+  n_karnaugh : int;
+  n_tseitin : int;
+}
+
+(* A piece is an XOR of terms equated to [parity]; a term is either a
+   monomial over ANF variables or a single auxiliary CNF variable
+   introduced by XOR cutting. *)
+type term = Mono of M.t | Cut_aux of int
+
+type state = {
+  config : Config.t;
+  mutable clauses : C.t list; (* reversed *)
+  var_of_mono : int Mtbl.t;
+  mono_of_var : (int, M.t) Hashtbl.t;
+  mutable next_var : int;
+  mutable n_monomial_aux : int;
+  mutable n_cut_aux : int;
+  mutable n_karnaugh : int;
+  mutable n_tseitin : int;
+}
+
+let emit st c = st.clauses <- c :: st.clauses
+
+let fresh_cut_var st =
+  let v = st.next_var in
+  st.next_var <- v + 1;
+  st.n_cut_aux <- st.n_cut_aux + 1;
+  v
+
+(* Auxiliary variable a with a <-> (x1 & ... & xk), the standard AND
+   encoding: (~a | xi) for each i and (a | ~x1 | ... | ~xk). *)
+let monomial_aux_var st m =
+  match Mtbl.find_opt st.var_of_mono m with
+  | Some v -> v
+  | None ->
+      let v = st.next_var in
+      st.next_var <- v + 1;
+      st.n_monomial_aux <- st.n_monomial_aux + 1;
+      Mtbl.replace st.var_of_mono m v;
+      Hashtbl.replace st.mono_of_var v m;
+      let vars = M.vars m in
+      List.iter (fun x -> emit st (C.of_list [ L.neg_of v; L.pos x ])) vars;
+      emit st (C.of_list (L.pos v :: List.map L.neg_of vars));
+      v
+
+(* distinct CNF variables a piece touches when treated as a function of
+   plain variables (Karnaugh path): monomial variables plus cut variables *)
+let piece_vars terms =
+  let module S = Set.Make (Int) in
+  let s =
+    List.fold_left
+      (fun s t ->
+        match t with
+        | Mono m -> List.fold_left (fun s x -> S.add x s) s (M.vars m)
+        | Cut_aux v -> S.add v s)
+      S.empty terms
+  in
+  S.elements s
+
+let eval_term assignment = function
+  | Mono m -> M.eval assignment m
+  | Cut_aux v -> assignment v
+
+(* Karnaugh-map path: enumerate the on-set of the piece (the forbidden
+   assignments), minimise it, and negate each cube into a clause. *)
+let karnaugh_piece st terms parity =
+  st.n_karnaugh <- st.n_karnaugh + 1;
+  let vars = Array.of_list (piece_vars terms) in
+  let k = Array.length vars in
+  let index = Hashtbl.create 8 in
+  Array.iteri (fun i v -> Hashtbl.replace index v i) vars;
+  let on_set = ref [] in
+  for mask = 0 to (1 lsl k) - 1 do
+    let assignment v = mask lsr Hashtbl.find index v land 1 = 1 in
+    let value =
+      List.fold_left (fun acc t -> acc <> eval_term assignment t) false terms
+    in
+    (* piece = parity required; assignments violating it are forbidden *)
+    if value <> parity then on_set := mask :: !on_set
+  done;
+  let cubes = Minimize.Espresso.minimise ~nvars:k ~on_set:!on_set in
+  List.iter
+    (fun cube ->
+      let lits =
+        List.map
+          (fun (i, positive) -> L.make vars.(i) ~negated:positive)
+          (Minimize.Cube.literals ~nvars:k cube)
+      in
+      emit st (C.of_list lits))
+    cubes
+
+(* Tseitin path: replace every monomial of degree >= 2 by its auxiliary
+   variable, then expand the resulting XOR clause directly. *)
+let tseitin_piece st terms parity =
+  st.n_tseitin <- st.n_tseitin + 1;
+  let vars =
+    List.map
+      (fun t ->
+        match t with
+        | Cut_aux v -> v
+        | Mono m -> (
+            match M.vars m with
+            | [ x ] -> x
+            | _ :: _ :: _ -> monomial_aux_var st m
+            | [] -> assert false (* constants are folded into the parity *)))
+      terms
+  in
+  let x = Sat.Xor_module.make_xor ~vars ~parity in
+  List.iter (emit st) (Sat.Xor_module.clauses_of_xor x)
+
+(* Convert one piece (<= L terms). *)
+let convert_piece st terms parity =
+  match terms with
+  | [] -> if parity then emit st (C.of_list []) (* 1 = 0: empty clause *)
+  | _ ->
+      if List.length (piece_vars terms) <= st.config.Config.karnaugh_vars then
+        karnaugh_piece st terms parity
+      else tseitin_piece st terms parity
+
+(* Cut a term list into pieces of at most L terms by chaining fresh
+   auxiliary variables: a1 = t1 + ... + t_{L-1}, continue with a1 + tL... *)
+let rec cut_and_convert st terms parity =
+  let l = max 3 st.config.Config.xor_cut_length in
+  let n = List.length terms in
+  if n <= l then convert_piece st terms parity
+  else begin
+    let rec take k acc rest =
+      if k = 0 then (List.rev acc, rest)
+      else
+        match rest with
+        | [] -> (List.rev acc, [])
+        | t :: tl -> take (k - 1) (t :: acc) tl
+    in
+    let chunk, rest = take (l - 1) [] terms in
+    let a = fresh_cut_var st in
+    (* definition piece: a + chunk = 0 *)
+    convert_piece st (Cut_aux a :: chunk) false;
+    cut_and_convert st (Cut_aux a :: rest) parity
+  end
+
+let convert_polynomial st p =
+  match P.classify p with
+  | P.Tautology -> ()
+  | P.Contradiction -> emit st (C.of_list [])
+  | P.Assign (x, v) -> emit st (C.of_list [ L.make x ~negated:(not v) ])
+  | P.Equiv (x, y, negated) ->
+      (* x = y (+1): two binary clauses as in Section III-C *)
+      if negated then begin
+        emit st (C.of_list [ L.pos x; L.pos y ]);
+        emit st (C.of_list [ L.neg_of x; L.neg_of y ])
+      end
+      else begin
+        emit st (C.of_list [ L.pos x; L.neg_of y ]);
+        emit st (C.of_list [ L.neg_of x; L.pos y ])
+      end
+  | P.All_ones _ | P.Other ->
+      let parity = P.has_constant_term p in
+      let terms =
+        List.filter_map
+          (fun m -> if M.is_one m then None else Some (Mono m))
+          (P.monomials p)
+      in
+      cut_and_convert st terms parity
+
+let make_state ~config ~anf_nvars =
+  {
+    config;
+    clauses = [];
+    var_of_mono = Mtbl.create 64;
+    mono_of_var = Hashtbl.create 64;
+    next_var = anf_nvars;
+    n_monomial_aux = 0;
+    n_cut_aux = 0;
+    n_karnaugh = 0;
+    n_tseitin = 0;
+  }
+
+let convert ?(nvars = 0) ~config polys =
+  let anf_nvars =
+    List.fold_left (fun acc p -> max acc (P.max_var p + 1)) nvars polys
+  in
+  let st = make_state ~config ~anf_nvars in
+  List.iter (convert_polynomial st) polys;
+  {
+    formula = Cnf.Formula.create ~nvars:st.next_var (List.rev st.clauses);
+    anf_nvars;
+    mono_of_var = st.mono_of_var;
+    n_monomial_aux = st.n_monomial_aux;
+    n_cut_aux = st.n_cut_aux;
+    n_karnaugh = st.n_karnaugh;
+    n_tseitin = st.n_tseitin;
+  }
+
+let convert_poly_clauses ~config p =
+  let st = make_state ~config ~anf_nvars:(P.max_var p + 1) in
+  convert_polynomial st p;
+  List.rev st.clauses

@@ -1,0 +1,34 @@
+(** ANF-to-CNF conversion (Section III-C).
+
+    Every ANF variable [x] keeps its index as a CNF variable.  Determined
+    variables become unit clauses and equivalences become two binary
+    clauses.  Any other polynomial is first cut into pieces of at most [L]
+    terms by introducing auxiliary XOR-cut variables; each piece is then
+    converted either through a Karnaugh map (if it involves at most [K]
+    variables — minimal clauses, no extra variables) or through a
+    Tseitin-style encoding (one auxiliary CNF variable per monomial of
+    degree >= 2, maintained in a bi-directional map, followed by direct XOR
+    clause expansion). *)
+
+type conversion = {
+  formula : Cnf.Formula.t;
+  anf_nvars : int;  (** CNF variables [0..anf_nvars-1] are the ANF variables *)
+  mono_of_var : (int, Anf.Monomial.t) Hashtbl.t;
+      (** auxiliary CNF variable -> the monomial it stands for *)
+  n_monomial_aux : int;  (** monomial auxiliary variables introduced *)
+  n_cut_aux : int;  (** XOR-cut auxiliary variables introduced *)
+  n_karnaugh : int;  (** pieces converted via the Karnaugh-map path *)
+  n_tseitin : int;  (** pieces converted via the Tseitin path *)
+}
+
+(** [convert ?nvars ~config polys] converts the system
+    [{p = 0 | p in polys}].  [anf_nvars] is max variable + 1 over the
+    system, or [nvars] if given and larger (auxiliary variables are
+    allocated beyond it). *)
+val convert : ?nvars:int -> config:Config.t -> Anf.Poly.t list -> conversion
+
+(** [convert_poly_clauses ~config p] converts a single polynomial and
+    returns only its clauses (auxiliary variables allocated after the
+    polynomial's own); a convenience for tests and the Fig. 2
+    reproduction. *)
+val convert_poly_clauses : config:Config.t -> Anf.Poly.t -> Cnf.Clause.t list

@@ -1,0 +1,64 @@
+module P = Anf.Poly
+module L = Cnf.Lit
+module C = Cnf.Clause
+
+type conversion = { polys : P.t list; cnf_nvars : int; n_aux : int }
+
+(* Clause l1 | ... | lk is violated exactly when every literal is false, so
+   the constraint is the product of the "literal is false" polynomials:
+   positive x contributes (x+1), negative ~x contributes x. *)
+let clause_poly c =
+  List.fold_left
+    (fun acc l ->
+      let factor =
+        if L.negated l then P.var (L.var l) else P.add (P.var (L.var l)) P.one
+      in
+      P.mul acc factor)
+    P.one (C.to_list c)
+
+let count_positives lits = List.length (List.filter (fun l -> not (L.negated l)) lits)
+
+let convert ~config f =
+  let cnf_nvars = Cnf.Formula.nvars f in
+  let next_var = ref cnf_nvars in
+  let n_aux = ref 0 in
+  let fresh () =
+    let v = !next_var in
+    incr next_var;
+    incr n_aux;
+    v
+  in
+  (* L' = 1 cannot terminate with positive-literal chaining, so clamp *)
+  let limit = max 2 config.Config.clause_cut_positive in
+  (* Split A \/ B into (A \/ ~a) /\ (a \/ B) with [a] fresh; the first
+     chunk takes exactly [limit] positive literals (plus any interleaved
+     negatives), so the piece meets the bound and the remainder strictly
+     loses positives. *)
+  let rec split lits acc =
+    if count_positives lits <= limit then C.of_list lits :: acc
+    else begin
+      let rec take taken npos rest =
+        match rest with
+        | [] -> (List.rev taken, [])
+        | l :: tl ->
+            let npos' = if L.negated l then npos else npos + 1 in
+            if npos = limit then (List.rev taken, rest)
+            else take (l :: taken) npos' tl
+      in
+      let chunk, rest = take [] 0 lits in
+      let a = fresh () in
+      let piece = C.of_list (L.neg_of a :: chunk) in
+      split (L.pos a :: rest) (piece :: acc)
+    end
+  in
+  let short_clauses =
+    List.concat_map (fun c -> split (C.to_list c) []) (Cnf.Formula.clauses f)
+  in
+  let polys =
+    List.filter_map
+      (fun c ->
+        let p = clause_poly c in
+        if P.is_zero p then None else Some p)
+      short_clauses
+  in
+  { polys; cnf_nvars; n_aux = !n_aux }

@@ -1,0 +1,18 @@
+(** CNF-to-ANF conversion (Section III-D), after Hsiang's refutational
+    encoding: each clause becomes the product of its negated literals,
+    equated to zero.  A clause with [n] positive literals expands to [2^n]
+    monomials, so clauses are first re-expressed with at most [L'] positive
+    literals each by introducing chaining auxiliary variables (the k-SAT to
+    3-SAT trick). *)
+
+type conversion = {
+  polys : Anf.Poly.t list;
+  cnf_nvars : int;  (** ANF variables [0..cnf_nvars-1] are the CNF variables *)
+  n_aux : int;  (** clause-cutting auxiliary variables introduced *)
+}
+
+val convert : config:Config.t -> Cnf.Formula.t -> conversion
+
+(** [clause_poly c] is the product of negated literals of [c] — e.g.
+    [~x1 | x2] gives [x1*(x2+1)] = [x1*x2 + x1].  Exposed for tests. *)
+val clause_poly : Cnf.Clause.t -> Anf.Poly.t

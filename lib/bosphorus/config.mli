@@ -1,0 +1,42 @@
+(** Tunable parameters of the Bosphorus workflow (Section IV lists the
+    paper's settings; defaults here are scaled to laptop-size instances,
+    see DESIGN.md). *)
+
+type t = {
+  xl_sample_bits : int;
+      (** M: subsample so the linearised system has ~2^M cells (paper: 30) *)
+  xl_expand_bits : int;
+      (** delta-M: expand until ~2^(M+dM) cells (paper: 4) *)
+  xl_degree : int;  (** D: multiplier-monomial degree bound (paper: 1) *)
+  karnaugh_vars : int;
+      (** K: Karnaugh-map conversion for polynomials with <= K variables
+          (paper: 8) *)
+  xor_cut_length : int;  (** L: max terms per cut XOR piece (paper: 5) *)
+  clause_cut_positive : int;
+      (** L': max positive literals per clause in CNF-to-ANF (paper: 5) *)
+  sat_budget_start : int;  (** C: initial SAT conflict budget (paper: 10^4) *)
+  sat_budget_max : int;  (** budget ceiling (paper: 10^5) *)
+  sat_budget_step : int;  (** budget increment when SAT learns nothing new *)
+  max_iterations : int;  (** safety bound on the learning loop *)
+  stop_on_solution : bool;
+      (** exit the loop when the SAT solver finds a satisfying assignment *)
+  facts_from_monomial_aux : bool;
+      (** extension beyond the paper: also harvest unit facts on monomial
+          auxiliary variables (sound; off by default for fidelity) *)
+  stage_time_s : float;
+      (** wall-clock budget for one XL or ElimLin pass; a pass past its
+          budget stops gracefully and returns the facts found so far.  The
+          paper bounds Bosphorus's total runtime the same way (1,000 of the
+          5,000 s timeout). *)
+  sat_probe_vars : int;
+      (** extension beyond the paper: failed-literal probing in the SAT
+          stage — assume each of the first N ANF variables both ways and
+          harvest forced values and equivalences from unit propagation
+          (0 disables; off by default for fidelity) *)
+  seed : int;  (** RNG seed for XL/ElimLin subsampling *)
+}
+
+val default : t
+
+(** The parameters of the paper's Section IV experiments, verbatim. *)
+val paper : t

@@ -1,0 +1,283 @@
+module P = Anf.Poly
+module S = Anf.System
+
+type status =
+  | Solved_sat of (int * bool) list
+  | Solved_unsat
+  | Processed
+
+type outcome = {
+  status : status;
+  anf : P.t list;
+  cnf : Cnf.Formula.t;
+  facts : Facts.t;
+  iterations : int;
+  sat_calls : int;
+}
+
+type stages = {
+  use_xl : bool;
+  use_elimlin : bool;
+  use_sat : bool;
+  use_groebner : bool;
+}
+
+let all_stages = { use_xl = true; use_elimlin = true; use_sat = true; use_groebner = false }
+
+(* Extract ANF facts from the SAT solver's learnt units and binaries
+   (Section II-D).  Units on ANF variables give value assignments; pairs of
+   complementary binary clauses give equivalences.  Units on monomial
+   auxiliary variables are harvested only under the extension flag. *)
+let sat_facts ~config ~(conv : Anf_to_cnf.conversion) solver =
+  let anf_nvars = conv.Anf_to_cnf.anf_nvars in
+  let unit_facts =
+    List.filter_map
+      (fun l ->
+        let v = Cnf.Lit.var l in
+        let value = not (Cnf.Lit.negated l) in
+        if v < anf_nvars then Some (P.add (P.var v) (P.constant value))
+        else if config.Config.facts_from_monomial_aux then
+          match Hashtbl.find_opt conv.Anf_to_cnf.mono_of_var v with
+          | Some m ->
+              let mp = P.of_monomials [ m ] in
+              Some (if value then P.add mp P.one else mp)
+          | None -> None
+        else None)
+      (Sat.Solver.root_units solver)
+  in
+  (* complementary binary pairs over ANF variables yield equivalences *)
+  let binaries = Sat.Solver.learnt_binaries solver in
+  let module Pairs = Set.Make (struct
+    type t = int * int
+
+    let compare = Stdlib.compare
+  end) in
+  let key a b =
+    let ia = Cnf.Lit.to_index a and ib = Cnf.Lit.to_index b in
+    (min ia ib, max ia ib)
+  in
+  let present =
+    List.fold_left (fun s (a, b) -> Pairs.add (key a b) s) Pairs.empty binaries
+  in
+  let equiv_facts =
+    List.filter_map
+      (fun (a, b) ->
+        let va = Cnf.Lit.var a and vb = Cnf.Lit.var b in
+        if va < anf_nvars && vb < anf_nvars && va <> vb then
+          let comp = key (Cnf.Lit.neg a) (Cnf.Lit.neg b) in
+          if Pairs.mem comp present && key a b < comp then
+            (* (a|b) and (~a|~b): a = ~b.  In ANF: va + vb + c where
+               c = 1 iff the literals have equal signs *)
+            let c = Cnf.Lit.negated a = Cnf.Lit.negated b in
+            Some (P.add (P.add (P.var va) (P.var vb)) (P.constant c))
+          else None
+        else None)
+      binaries
+  in
+  unit_facts @ equiv_facts
+
+(* Failed-literal probing (extension, Config.sat_probe_vars): assume each
+   ANF variable both ways; a conflict forces the variable, and literals
+   implied under both assumptions with opposite signs are equivalences. *)
+let probe_facts ~config ~(conv : Anf_to_cnf.conversion) solver =
+  let limit = min conv.Anf_to_cnf.anf_nvars config.Config.sat_probe_vars in
+  let acc = ref [] in
+  for v = 0 to limit - 1 do
+    match Sat.Solver.probe solver (Cnf.Lit.pos v) with
+    | `Conflict -> acc := P.var v :: !acc
+    | `Unusable -> ()
+    | `Implied pos_implied -> (
+        match Sat.Solver.probe solver (Cnf.Lit.neg_of v) with
+        | `Conflict -> acc := P.add (P.var v) P.one :: !acc
+        | `Unusable -> ()
+        | `Implied neg_implied ->
+            let neg_set = Hashtbl.create 16 in
+            List.iter
+              (fun l -> Hashtbl.replace neg_set (Cnf.Lit.to_index l) ())
+              neg_implied;
+            List.iter
+              (fun l ->
+                let w = Cnf.Lit.var l in
+                if
+                  w < conv.Anf_to_cnf.anf_nvars
+                  && w <> v
+                  && Hashtbl.mem neg_set (Cnf.Lit.to_index (Cnf.Lit.neg l))
+                then begin
+                  (* v = 1 forces l and v = 0 forces ~l: v and l's variable
+                     are equal (same signs) or complementary *)
+                  let c = Cnf.Lit.negated l in
+                  acc := P.add (P.add (P.var v) (P.var w)) (P.constant c) :: !acc
+                end)
+              pos_implied)
+  done;
+  !acc
+
+let run_with_stages ?(config = Config.default) ~stages polys =
+  let rng = Random.State.make [| config.Config.seed |] in
+  let orig_nvars = List.fold_left (fun acc p -> max acc (P.max_var p + 1)) 0 polys in
+  let master = S.create polys in
+  let state = Anf_prop.create () in
+  let facts = Facts.create () in
+  let sat_calls = ref 0 in
+  let sat_budget = ref config.Config.sat_budget_start in
+  let unsat = ref false in
+  let solution = ref None in
+  let iterations = ref 0 in
+  let propagate_and_record () =
+    (match Anf_prop.propagate state master with
+    | `Contradiction -> unsat := true
+    | `Fixedpoint -> ());
+    ignore (Facts.add_all facts Facts.Propagation (Anf_prop.fact_polys state))
+  in
+  (* The linear polynomials of the master span a subspace of dimension at
+     most nvars+1; XL/ElimLin keep re-deriving dense members of it, so
+     periodically replace them with their reduced-row-echelon basis.  This
+     keeps the master (and hence the emitted CNF) small without losing any
+     linear information. *)
+  let compress_linear () =
+    let linear = ref [] in
+    S.iter master (fun id p -> if P.is_linear p then linear := (id, p) :: !linear);
+    let polys = List.map snd !linear in
+    let nvars_live =
+      List.fold_left (fun acc p -> max acc (P.max_var p + 1)) 0 polys
+    in
+    if List.length polys > nvars_live + 8 then begin
+      let lin, matrix = Linearize.build polys in
+      ignore (Gf2.Matrix.rref_m4rm matrix);
+      let basis = List.map (Linearize.poly_of_row lin) (Gf2.Matrix.nonzero_rows matrix) in
+      List.iter (fun (id, _) -> S.remove master id) !linear;
+      List.iter (fun p -> ignore (S.add master p)) basis;
+      propagate_and_record ()
+    end
+  in
+  (* add a batch of candidate facts to the master; returns how many were new *)
+  let add_facts origin candidate_facts =
+    let added = ref 0 in
+    List.iter
+      (fun p ->
+        let q = Anf_prop.normalise state p in
+        if (not (P.is_zero q)) && not (S.mem master q) then begin
+          ignore (S.add master q);
+          ignore (Facts.add facts origin q);
+          incr added
+        end)
+      candidate_facts;
+    if !added > 0 then propagate_and_record ();
+    !added
+  in
+  (* reconstruct a full assignment for the original variables from a model
+     of the current master's CNF *)
+  let reconstruct_solution model =
+    List.init orig_nvars (fun x ->
+        match Anf_prop.value_of state x with
+        | Some v -> (x, v)
+        | None ->
+            let root, parity = Anf_prop.repr_of state x in
+            let base = if root < Array.length model then model.(root) else false in
+            (x, base <> parity))
+  in
+  let sat_stage () =
+    let snapshot = S.to_list master in
+    let conv = Anf_to_cnf.convert ~config snapshot in
+    let solver = Sat.Solver.create ~nvars:(Cnf.Formula.nvars conv.Anf_to_cnf.formula) () in
+    incr sat_calls;
+    if not (Sat.Solver.add_formula solver conv.Anf_to_cnf.formula) then begin
+      ignore (add_facts Facts.Sat_solver [ P.one ]);
+      unsat := true;
+      0
+    end
+    else begin
+      let result = Sat.Solver.solve ~conflict_budget:!sat_budget solver in
+      let probed =
+        if config.Config.sat_probe_vars > 0 && Sat.Solver.okay solver then
+          probe_facts ~config ~conv solver
+        else []
+      in
+      let learnt = sat_facts ~config ~conv solver @ probed in
+      match result with
+      | Sat.Types.Unsat ->
+          (* the learnt fact is the contradictory equation 1 = 0 *)
+          unsat := true;
+          add_facts Facts.Sat_solver (P.one :: learnt)
+      | Sat.Types.Sat model ->
+          let candidate = reconstruct_solution model in
+          let lookup x = List.assoc x candidate in
+          if Anf.Eval.satisfies lookup polys then solution := Some candidate;
+          add_facts Facts.Sat_solver learnt
+      | Sat.Types.Undecided -> add_facts Facts.Sat_solver learnt
+    end
+  in
+  propagate_and_record ();
+  (try
+     while
+       (not !unsat)
+       && !iterations < config.Config.max_iterations
+       && not (config.Config.stop_on_solution && !solution <> None)
+     do
+       incr iterations;
+       let added = ref 0 in
+       if stages.use_xl && not !unsat then begin
+         let report = Xl.run ~config ~rng (S.to_list master) in
+         added := !added + add_facts Facts.Xl report.Xl.facts
+       end;
+       if stages.use_elimlin && not !unsat then begin
+         let report = Elimlin.run ~config ~rng (S.to_list master) in
+         added := !added + add_facts Facts.Elimlin report.Elimlin.facts
+       end;
+       if stages.use_groebner && not !unsat then begin
+         let report = Groebner.run (S.to_list master) in
+         added := !added + add_facts Facts.Groebner report.Groebner.facts
+       end;
+       let sat_added = if stages.use_sat && not !unsat then sat_stage () else 0 in
+       added := !added + sat_added;
+       if stages.use_sat && sat_added = 0 && !sat_budget < config.Config.sat_budget_max
+       then sat_budget := min config.Config.sat_budget_max (!sat_budget + config.Config.sat_budget_step);
+       compress_linear ();
+       if !added = 0 then raise Exit
+     done
+   with Exit -> ());
+  if not !unsat then compress_linear ();
+  let status =
+    if !unsat then Solved_unsat
+    else
+      match !solution with
+      | Some sol -> Solved_sat sol
+      | None -> Processed
+  in
+  let processed_anf =
+    if !unsat then [ P.one ]
+    else S.to_list master @ Anf_prop.fact_polys state
+  in
+  let cnf = (Anf_to_cnf.convert ~config ~nvars:orig_nvars processed_anf).Anf_to_cnf.formula in
+  { status; anf = processed_anf; cnf; facts; iterations = !iterations; sat_calls = !sat_calls }
+
+let run ?config polys = run_with_stages ?config ~stages:all_stages polys
+
+let run_cnf ?(config = Config.default) ?(xors = []) f =
+  let conv = Cnf_to_anf.convert ~config f in
+  let xor_polys =
+    List.map
+      (fun (vars, parity) ->
+        List.fold_left
+          (fun acc v -> P.add acc (P.var v))
+          (P.constant parity) vars)
+      xors
+  in
+  let outcome = run ~config (conv.Cnf_to_anf.polys @ xor_polys) in
+  match outcome.status with
+  | Solved_sat sol ->
+      (* report only the original CNF variables *)
+      let sol = List.filter (fun (x, _) -> x < conv.Cnf_to_anf.cnf_nvars) sol in
+      { outcome with status = Solved_sat sol }
+  | Solved_unsat | Processed -> outcome
+
+let augmented_cnf f outcome =
+  let nvars = Cnf.Formula.nvars f in
+  (* keep only facts expressed purely over the original CNF variables *)
+  let fact_polys =
+    List.filter_map
+      (fun (_, p) -> if P.max_var p < nvars then Some p else None)
+      (Facts.to_list outcome.facts)
+  in
+  let conv = Anf_to_cnf.convert ~nvars ~config:Config.default fact_polys in
+  List.fold_left Cnf.Formula.add_clause f (Cnf.Formula.clauses conv.Anf_to_cnf.formula)

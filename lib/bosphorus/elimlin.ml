@@ -1,0 +1,91 @@
+module P = Anf.Poly
+module S = Anf.System
+
+type report = { facts : P.t list; rounds : int; final_size : int }
+
+let gje polys =
+  let lin, matrix = Linearize.build polys in
+  ignore (Gf2.Matrix.rref_m4rm matrix);
+  List.map (Linearize.poly_of_row lin) (Gf2.Matrix.nonzero_rows matrix)
+
+exception Contradiction_found of P.t list
+exception Out_of_time
+
+(* One ElimLin fixed-point computation over a list of polynomials.  The
+   substitution phase is occurrence-indexed through {!Anf.System} so that
+   eliminating a variable only touches the equations it occurs in.
+   [deadline] (absolute seconds) bounds the pass; dense cipher systems can
+   otherwise grind through enormous substitution rounds. *)
+let eliminate ?deadline polys =
+  let facts = ref [] in
+  let rounds = ref 0 in
+  let past_deadline () =
+    match deadline with Some d -> Unix.gettimeofday () > d | None -> false
+  in
+  let rec loop polys =
+    incr rounds;
+    if !rounds > 200 || past_deadline () then polys
+    else begin
+      let reduced = gje polys in
+      let linear, nonlinear = List.partition P.is_linear reduced in
+      let linear = List.filter (fun p -> not (P.is_zero p)) linear in
+      if linear = [] then reduced
+      else begin
+        let system = S.create nonlinear in
+        let applied = ref [] (* (var, replacement), newest first *) in
+        let normalise_by_applied p =
+          List.fold_left (fun q (x, by) -> P.subst q ~target:x ~by) p (List.rev !applied)
+        in
+        List.iter
+          (fun l ->
+            if past_deadline () then raise Out_of_time;
+            let l = normalise_by_applied l in
+            if P.is_one l then raise (Contradiction_found (P.one :: !facts));
+            if not (P.is_zero l) then begin
+              facts := l :: !facts;
+              if P.degree l = 1 then begin
+                (* pick the variable of l occurring least in the system *)
+                let count x = List.length (S.occurrences system x) in
+                let vars = P.vars l in
+                let x =
+                  List.fold_left
+                    (fun best v -> if count v < count best then v else best)
+                    (List.hd vars) (List.tl vars)
+                in
+                (* l = x + rest, so x := rest *)
+                let by = P.add l (P.var x) in
+                applied := (x, by) :: !applied;
+                List.iter
+                  (fun id ->
+                    match S.find system id with
+                    | None -> ()
+                    | Some p ->
+                        let q = P.subst p ~target:x ~by in
+                        if P.is_one q then
+                          raise (Contradiction_found (P.one :: !facts));
+                        ignore (S.replace system id q))
+                  (S.occurrences system x)
+              end
+            end)
+          linear;
+        loop (S.to_list system)
+      end
+    end
+  in
+  match loop polys with
+  | final -> (List.rev !facts, !rounds, final)
+  | exception Contradiction_found fs -> (List.rev fs, !rounds, [ P.one ])
+  | exception Out_of_time -> (List.rev !facts, !rounds, [])
+
+let run_full polys =
+  let facts, rounds, final = eliminate polys in
+  { facts; rounds; final_size = List.length final }
+
+let run ~config ~rng polys =
+  let open Config in
+  let cell_budget = 1 lsl config.xl_sample_bits in
+  (* like XL, ElimLin runs on a ~2^M-cell subsample (Section II-C) *)
+  let sample = Xl.subsample ~rng ~cell_budget polys in
+  let deadline = Unix.gettimeofday () +. config.stage_time_s in
+  let facts, rounds, final = eliminate ~deadline sample in
+  { facts; rounds; final_size = List.length final }

@@ -1,0 +1,23 @@
+(** ElimLin (Section II-C): iterate (1) Gauss–Jordan elimination on the
+    linearised system, (2) gather the linear equations, and (3) eliminate
+    one variable per linear equation — chosen as the variable of the
+    equation occurring in the fewest remaining equations — by substitution,
+    until GJE produces no further linear equations.
+
+    Every linear equation gathered along the way is implied by the original
+    system and is returned as a learnt fact. *)
+
+type report = {
+  facts : Anf.Poly.t list;  (** linear facts, in discovery order *)
+  rounds : int;  (** GJE rounds executed *)
+  final_size : int;  (** equations left in the reduced system *)
+}
+
+(** [run ~config ~rng polys] applies ElimLin to a random subsample of
+    linearised size about [2^M] (like XL, Bosphorus runs ElimLin to learn,
+    not to solve). *)
+val run : config:Config.t -> rng:Random.State.t -> Anf.Poly.t list -> report
+
+(** [run_full polys] applies ElimLin to the entire system (used by tests
+    and the worked-example reproduction). *)
+val run_full : Anf.Poly.t list -> report

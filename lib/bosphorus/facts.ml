@@ -1,0 +1,45 @@
+type origin = Propagation | Xl | Elimlin | Sat_solver | Groebner
+
+let origin_name = function
+  | Propagation -> "propagation"
+  | Xl -> "XL"
+  | Elimlin -> "ElimLin"
+  | Sat_solver -> "SAT"
+  | Groebner -> "Groebner"
+
+module Ptbl = Hashtbl.Make (struct
+  type t = Anf.Poly.t
+
+  let equal = Anf.Poly.equal
+  let hash = Anf.Poly.hash
+end)
+
+type t = {
+  seen : origin Ptbl.t;
+  mutable order : (origin * Anf.Poly.t) list; (* reversed *)
+}
+
+let create () = { seen = Ptbl.create 64; order = [] }
+
+let add t origin p =
+  if Anf.Poly.is_zero p || Ptbl.mem t.seen p then false
+  else begin
+    Ptbl.add t.seen p origin;
+    t.order <- (origin, p) :: t.order;
+    true
+  end
+
+let add_all t origin ps =
+  List.fold_left (fun n p -> if add t origin p then n + 1 else n) 0 ps
+
+let mem t p = Ptbl.mem t.seen p
+let size t = Ptbl.length t.seen
+let to_list t = List.rev t.order
+
+let count_by t origin =
+  Ptbl.fold (fun _ o acc -> if o = origin then acc + 1 else acc) t.seen 0
+
+let pp ppf t =
+  List.iter
+    (fun (o, p) -> Format.fprintf ppf "[%s] %a@." (origin_name o) Anf.Poly.pp p)
+    (to_list t)

@@ -1,0 +1,33 @@
+(** Store of learnt facts with provenance.
+
+    Bosphorus retains two kinds of facts (Section II): linear equations and
+    all-ones monomial equations [x_{i1}...x_{ip} + 1].  The store deduplicates
+    facts and records which technique produced each one first, for the
+    summary reporting in the evaluation. *)
+
+type origin = Propagation | Xl | Elimlin | Sat_solver | Groebner
+
+val origin_name : origin -> string
+
+type t
+
+val create : unit -> t
+
+(** [add t origin p] records fact [p]; returns [true] iff it was new
+    (not previously recorded and not the zero polynomial). *)
+val add : t -> origin -> Anf.Poly.t -> bool
+
+(** [add_all t origin ps] records a batch, returning the number of new
+    facts. *)
+val add_all : t -> origin -> Anf.Poly.t list -> int
+
+val mem : t -> Anf.Poly.t -> bool
+val size : t -> int
+
+(** All facts in insertion order, with origin. *)
+val to_list : t -> (origin * Anf.Poly.t) list
+
+(** [count_by t origin] is the number of facts first produced by [origin]. *)
+val count_by : t -> origin -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,138 @@
+module P = Anf.Poly
+module M = Anf.Monomial
+
+type report = {
+  facts : P.t list;
+  basis_size : int;
+  pairs_processed : int;
+  pairs_skipped : int;
+  contradiction : bool;
+}
+
+let lcm_monomial a b = M.mul a b (* idempotent product = variable-set union *)
+
+(* One reduction step of the leading monomial [m] of [p] by [g]: p + u*g
+   with u = m / lt(g).  In the Boolean ring the cofactor product can cancel
+   the very term it should eliminate (x1x2 + x2 times x1 is 0), so the step
+   reports failure unless the leading monomial strictly decreased. *)
+let reduce_leading_by p g =
+  let m = P.leading p in
+  let ltg = P.leading g in
+  if not (M.divides ltg m) then None
+  else
+    let u = M.of_vars (List.filter (fun x -> not (M.contains ltg x)) (M.vars m)) in
+    let q = P.add p (P.mul_monomial g u) in
+    if P.is_zero q then Some q
+    else if M.compare (P.leading q) m > 0 then Some q
+    else None
+
+(* Full normal form: repeatedly eliminate the leading monomial; when it is
+   irreducible, move it to the result and continue with the tail. *)
+let reduce p basis =
+  let rec go work acc_monomials =
+    if P.is_zero work then P.of_monomials acc_monomials
+    else
+      let m = P.leading work in
+      let rec try_basis = function
+        | [] -> None
+        | g :: rest -> (
+            match reduce_leading_by work g with
+            | Some q -> Some q
+            | None -> try_basis rest)
+      in
+      match try_basis basis with
+      | Some q -> go q acc_monomials
+      | None ->
+          (* m is irreducible: strip it and keep going *)
+          go (P.add work (P.of_monomials [ m ])) (m :: acc_monomials)
+  in
+  go p []
+
+type pair =
+  | Spair of P.t * P.t
+  | Var_mult of int * P.t
+      (* the Boolean-ring analogue of the S-pair with a field polynomial
+         xi^2 + xi: consider xi * f for xi in the leading monomial *)
+
+let pair_degree = function
+  | Spair (f, g) -> M.degree (lcm_monomial (P.leading f) (P.leading g))
+  | Var_mult (_, f) -> P.degree f
+
+let spoly f g =
+  let lf = P.leading f and lg = P.leading g in
+  let lcm = lcm_monomial lf lg in
+  let cof l = M.of_vars (List.filter (fun x -> not (M.contains l x)) (M.vars lcm)) in
+  P.add (P.mul_monomial f (cof lf)) (P.mul_monomial g (cof lg))
+
+let run ?(max_degree = 3) ?(max_basis = 512) ?(max_pairs = 4096) polys =
+  let processed = ref 0 and skipped = ref 0 in
+  let contradiction = ref false in
+  let basis = ref [] in
+  let pairs = ref [] in
+  let coprime a b = not (List.exists (fun x -> M.contains b x) (M.vars a)) in
+  let push_pairs f =
+    List.iter
+      (fun g ->
+        (* product criterion (a heuristic here: skipping pairs only costs
+           completeness, never soundness) *)
+        if not (coprime (P.leading f) (P.leading g)) then
+          pairs := Spair (f, g) :: !pairs
+        else incr skipped)
+      !basis;
+    List.iter (fun x -> pairs := Var_mult (x, f) :: !pairs) (M.vars (P.leading f))
+  in
+  let add_to_basis r =
+    if P.is_one r then contradiction := true
+    else begin
+      push_pairs r;
+      basis := r :: !basis
+    end
+  in
+  (* seed: inter-reduce the inputs *)
+  List.iter
+    (fun p ->
+      let r = reduce p !basis in
+      if not (P.is_zero r) then add_to_basis r)
+    (List.sort_uniq P.compare polys);
+  let pop_min () =
+    match !pairs with
+    | [] -> None
+    | first :: _ ->
+        let best =
+          List.fold_left
+            (fun best p -> if pair_degree p < pair_degree best then p else best)
+            first !pairs
+        in
+        pairs := List.filter (fun p -> p != best) !pairs;
+        Some best
+  in
+  let continue_ () =
+    (not !contradiction)
+    && !pairs <> []
+    && !processed < max_pairs
+    && List.length !basis < max_basis
+  in
+  while continue_ () do
+    match pop_min () with
+    | None -> ()
+    | Some pair ->
+        if pair_degree pair > max_degree then incr skipped
+        else begin
+          incr processed;
+          let candidate =
+            match pair with
+            | Spair (f, g) -> spoly f g
+            | Var_mult (x, f) -> P.mul_monomial f (M.var x)
+          in
+          let r = reduce candidate !basis in
+          if not (P.is_zero r) then add_to_basis r
+        end
+  done;
+  {
+    facts =
+      (if !contradiction then [ P.one ] else []) @ Xl.retain_facts !basis;
+    basis_size = List.length !basis;
+    pairs_processed = !processed;
+    pairs_skipped = !skipped;
+    contradiction = !contradiction;
+  }

@@ -1,0 +1,33 @@
+(** Degree-bounded Buchberger's algorithm over the Boolean ring
+    GF(2)[x1..xn]/(xi² + xi).
+
+    Section V of the paper singles out Buchberger's algorithm as the
+    natural next component to plug into the workflow (citing Condrat and
+    Kalla's Gröbner-basis CNF preprocessing), "applied in an iterative
+    manner together with other solving techniques" — this module is that
+    plug-in.  Because full Gröbner bases are the memory hog the paper's
+    introduction warns about, the computation is truncated: S-polynomials
+    whose lcm exceeds [max_degree] are discarded and the basis size is
+    bounded, so the pass learns facts rather than solves.
+
+    The field equations xi² + xi are built into {!Anf.Poly}'s normal form,
+    so they never need to join the basis explicitly. *)
+
+type report = {
+  facts : Anf.Poly.t list;  (** retained learnt facts (paper shapes) *)
+  basis_size : int;  (** polynomials in the truncated basis *)
+  pairs_processed : int;
+  pairs_skipped : int;  (** by the degree bound or Buchberger's criteria *)
+  contradiction : bool;  (** 1 entered the basis *)
+}
+
+(** [run ?max_degree ?max_basis ?max_pairs polys] computes a truncated
+    Gröbner basis and extracts fact-shaped members.  Defaults:
+    [max_degree = 3], [max_basis = 512], [max_pairs = 4096]. *)
+val run :
+  ?max_degree:int -> ?max_basis:int -> ?max_pairs:int -> Anf.Poly.t list -> report
+
+(** [reduce p basis] fully reduces [p] modulo [basis] (every monomial
+    divisible by some leading monomial is eliminated).  Exposed for
+    tests. *)
+val reduce : Anf.Poly.t -> Anf.Poly.t list -> Anf.Poly.t

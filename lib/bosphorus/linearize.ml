@@ -1,0 +1,44 @@
+module M = Anf.Monomial
+
+module Mtbl = Hashtbl.Make (struct
+  type t = M.t
+
+  let equal = M.equal
+  let hash = M.hash
+end)
+
+type t = { columns : M.t array; index : int Mtbl.t }
+
+let column_basis polys =
+  let seen = Mtbl.create 64 in
+  List.iter
+    (fun p -> List.iter (fun m -> Mtbl.replace seen m ()) (Anf.Poly.monomials p))
+    polys;
+  let cols = Mtbl.fold (fun m () acc -> m :: acc) seen [] in
+  Array.of_list (List.sort M.compare cols)
+
+let build polys =
+  let columns = column_basis polys in
+  let index = Mtbl.create (Array.length columns) in
+  Array.iteri (fun i m -> Mtbl.replace index m i) columns;
+  let t = { columns; index } in
+  let ncols = Array.length columns in
+  let rows =
+    List.map
+      (fun p ->
+        let row = Gf2.Bitvec.create ncols in
+        List.iter
+          (fun m -> Gf2.Bitvec.set row (Mtbl.find index m) true)
+          (Anf.Poly.monomials p);
+        row)
+      polys
+  in
+  (t, Gf2.Matrix.of_rows ~cols:ncols rows)
+
+let n_columns t = Array.length t.columns
+let columns t = t.columns
+
+let poly_of_row t row =
+  Anf.Poly.of_monomials (Gf2.Bitvec.fold_set row [] (fun acc i -> t.columns.(i) :: acc))
+
+let cells polys = List.length polys * Array.length (column_basis polys)

@@ -1,0 +1,152 @@
+module P = Anf.Poly
+module M = Anf.Monomial
+
+type report = {
+  facts : P.t list;
+  sampled : int;
+  expanded_rows : int;
+  columns : int;
+  rank : int;
+}
+
+let multipliers ~vars ~degree =
+  (* all monomials of degree 1..degree over [vars], by combinations *)
+  let vars = Array.of_list (List.sort_uniq Int.compare vars) in
+  let n = Array.length vars in
+  let rec combos k start =
+    if k = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun i -> List.map (fun rest -> vars.(i) :: rest) (combos (k - 1) (i + 1)))
+        (List.init (max 0 (n - start)) (fun i -> start + i))
+  in
+  List.concat_map
+    (fun d -> List.map M.of_vars (combos d 0))
+    (List.init degree (fun i -> i + 1))
+
+module Ptbl = Hashtbl.Make (struct
+  type t = P.t
+
+  let equal = P.equal
+  let hash = P.hash
+end)
+
+let expand ~multipliers polys =
+  let seen = Ptbl.create 64 in
+  let out = ref [] in
+  let push p =
+    if (not (P.is_zero p)) && not (Ptbl.mem seen p) then begin
+      Ptbl.replace seen p ();
+      out := p :: !out
+    end
+  in
+  List.iter
+    (fun p ->
+      push p;
+      List.iter (fun m -> push (P.mul_monomial p m)) multipliers)
+    polys;
+  List.rev !out
+
+let retain_facts polys =
+  List.filter
+    (fun p ->
+      (not (P.is_zero p))
+      && (P.is_linear p || match P.classify p with P.All_ones _ -> true | _ -> false))
+    polys
+
+let shuffle rng arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- t
+  done
+
+module Mtbl = Hashtbl.Make (struct
+  type t = M.t
+
+  let equal = M.equal
+  let hash = M.hash
+end)
+
+(* Greedily take shuffled polynomials while the linearised size (rows x
+   distinct monomials) stays below the budget; always take at least one. *)
+let subsample ~rng ~cell_budget polys =
+  let arr = Array.of_list polys in
+  shuffle rng arr;
+  let mono_seen = Mtbl.create 64 in
+  let cols = ref 0 in
+  let taken = ref [] in
+  let rows = ref 0 in
+  Array.iter
+    (fun p ->
+      let new_monos =
+        List.filter (fun m -> not (Mtbl.mem mono_seen m)) (P.monomials p)
+      in
+      let cells' = (!rows + 1) * (!cols + List.length new_monos) in
+      if !rows = 0 || cells' <= cell_budget then begin
+        taken := p :: !taken;
+        incr rows;
+        List.iter
+          (fun m ->
+            Mtbl.replace mono_seen m ();
+            incr cols)
+          new_monos
+      end)
+    arr;
+  List.rev !taken
+
+let run ~config ~rng polys =
+  let open Config in
+  let cell_budget = 1 lsl config.xl_sample_bits in
+  let expand_budget = 1 lsl (config.xl_sample_bits + config.xl_expand_bits) in
+  let sample = subsample ~rng ~cell_budget polys in
+  let vars =
+    List.sort_uniq Int.compare (List.concat_map P.vars sample)
+  in
+  let mults = multipliers ~vars ~degree:config.xl_degree in
+  (* incremental expansion in ascending degree order, bounded by the
+     expansion budget *)
+  let by_degree = List.sort (fun a b -> Int.compare (P.degree a) (P.degree b)) sample in
+  let seen = Ptbl.create 64 in
+  let mono_seen = Mtbl.create 64 in
+  let cols = ref 0 in
+  let rows = ref [] in
+  let nrows = ref 0 in
+  let push p =
+    if (not (P.is_zero p)) && not (Ptbl.mem seen p) then begin
+      Ptbl.replace seen p ();
+      rows := p :: !rows;
+      incr nrows;
+      List.iter
+        (fun m ->
+          if not (Mtbl.mem mono_seen m) then begin
+            Mtbl.replace mono_seen m ();
+            incr cols
+          end)
+        (P.monomials p)
+    end
+  in
+  List.iter push by_degree;
+  (try
+     List.iter
+       (fun p ->
+         List.iter
+           (fun m ->
+             if !nrows * !cols >= expand_budget then raise Exit;
+             push (P.mul_monomial p m))
+           mults)
+       by_degree
+   with Exit -> ());
+  let expanded = List.rev !rows in
+  let lin, matrix = Linearize.build expanded in
+  let rank = Gf2.Matrix.rref_m4rm matrix in
+  let reduced = Gf2.Matrix.nonzero_rows matrix in
+  let row_polys = List.map (Linearize.poly_of_row lin) reduced in
+  {
+    facts = retain_facts row_polys;
+    sampled = List.length sample;
+    expanded_rows = List.length expanded;
+    columns = Linearize.n_columns lin;
+    rank;
+  }

@@ -1,0 +1,40 @@
+(** eXtended Linearization (Section II-B).
+
+    XL multiplies each equation by all monomials up to degree [D], then
+    applies Gauss–Jordan elimination to the linearised expanded system.
+    Bosphorus uses XL not to solve but to learn facts: the subsampling
+    parameter M bounds the linearised size of the subsystem picked, the
+    expansion stops near 2^(M + delta-M) cells, and only the learnt-fact
+    shapes are retained — linear equations and all-ones monomial equations
+    (and the contradiction 1, if derived). *)
+
+type report = {
+  facts : Anf.Poly.t list;  (** retained learnt facts *)
+  sampled : int;  (** equations in the subsample *)
+  expanded_rows : int;  (** rows after expansion *)
+  columns : int;  (** monomial columns after expansion *)
+  rank : int;  (** GF(2) rank of the expanded system *)
+}
+
+(** [run ~config ~rng polys] performs one subsampled XL pass. *)
+val run : config:Config.t -> rng:Random.State.t -> Anf.Poly.t list -> report
+
+(** [multipliers ~vars ~degree] lists all monomials of degree 1..[degree]
+    over the given variables — the expansion multipliers (the original
+    equation itself covers the degree-0 multiplier). *)
+val multipliers : vars:int list -> degree:int -> Anf.Monomial.t list
+
+(** [expand ~multipliers polys] is the full (unsampled) XL expansion:
+    every polynomial times every multiplier, originals included, without
+    duplicates.  Exposed for the Table I reproduction and tests. *)
+val expand : multipliers:Anf.Monomial.t list -> Anf.Poly.t list -> Anf.Poly.t list
+
+(** [retain_facts polys] filters to the fact shapes Bosphorus keeps. *)
+val retain_facts : Anf.Poly.t list -> Anf.Poly.t list
+
+(** [subsample ~rng ~cell_budget polys] greedily takes shuffled
+    polynomials while the linearised size (rows x distinct monomials)
+    stays within [cell_budget] (always at least one) — the uniform
+    subsampling both XL and ElimLin run on. *)
+val subsample :
+  rng:Random.State.t -> cell_budget:int -> Anf.Poly.t list -> Anf.Poly.t list

@@ -1,0 +1,196 @@
+module P = Anf.Poly
+module E = Encode
+module G = Gf2n
+
+type params = { n : int; r : int; c : int; e : int }
+
+let paper_params = { n = 1; r = 4; c = 4; e = 8 }
+let small_params = { n = 1; r = 2; c = 2; e = 4 }
+
+let check params =
+  if params.n < 1 || params.n > 10 then invalid_arg "Aes_small: rounds";
+  if not (List.mem params.r [ 1; 2; 4 ]) then invalid_arg "Aes_small: rows in {1,2,4}";
+  if params.c < 1 || params.c > 4 then invalid_arg "Aes_small: cols in 1..4";
+  if not (List.mem params.e [ 4; 8 ]) then invalid_arg "Aes_small: e in {4,8}"
+
+let field params = if params.e = 8 then G.gf256 else G.gf16
+
+(* AES-style affine layer: a circulant over the output of the inversion
+   plus a constant (AES's own for e = 8). *)
+let affine_rows params =
+  if params.e = 8 then
+    Array.init 8 (fun i ->
+        List.fold_left
+          (fun acc off -> acc lor (1 lsl ((i + off) mod 8)))
+          0 [ 0; 4; 5; 6; 7 ])
+  else
+    Array.init 4 (fun i ->
+        List.fold_left (fun acc off -> acc lor (1 lsl ((i + off) mod 4))) 0 [ 0; 1; 2 ])
+
+let affine_const params = if params.e = 8 then 0x63 else 0x6
+
+let apply_packed_rows rows v =
+  let out = ref 0 in
+  Array.iteri
+    (fun i row ->
+      let bit =
+        let rec parity x acc = if x = 0 then acc else parity (x land (x - 1)) (not acc) in
+        parity (row land v) false
+      in
+      if bit then out := !out lor (1 lsl i))
+    rows;
+  !out
+
+let sbox params v =
+  check params;
+  let f = field params in
+  apply_packed_rows (affine_rows params) (G.inv f v) lxor affine_const params
+
+let sbox_table params = Array.init (1 lsl params.e) (sbox params)
+let sbox_anf params = G.anf_of_table ~e:params.e (sbox_table params)
+
+(* MixColumns MDS circulant: AES's circ(2,3,1,1) for r = 4, the standard
+   2x2 MDS for r = 2, identity for r = 1. *)
+let mix_coeffs params =
+  match params.r with
+  | 4 -> [| [| 2; 3; 1; 1 |]; [| 1; 2; 3; 1 |]; [| 1; 1; 2; 3 |]; [| 3; 1; 1; 2 |] |]
+  | 2 -> [| [| 3; 2 |]; [| 2; 3 |] |]
+  | 1 -> [| [| 1 |] |]
+  | _ -> assert false
+
+(* state layout: element (row, col) at index col*r + row; each element is
+   an e-bit symbolic word *)
+let idx params ~row ~col = (col * params.r) + row
+
+let sub_element ctx anf el =
+  let xin = Array.map (E.name ctx) el in
+  Array.map (E.define ctx) (G.apply_anf anf xin)
+
+let sub_bytes ctx anf st = Array.map (sub_element ctx anf) st
+
+let shift_rows params st =
+  Array.init (params.r * params.c) (fun i ->
+      let row = i mod params.r and col = i / params.r in
+      st.(idx params ~row ~col:((col + row) mod params.c)))
+
+let mix_columns params st =
+  let f = field params in
+  let coeffs = mix_coeffs params in
+  let mul_mats = Array.map (Array.map (fun co -> G.mul_matrix f co)) coeffs in
+  Array.init (params.r * params.c) (fun i ->
+      let row = i mod params.r and col = i / params.r in
+      let acc = ref (Array.make params.e P.zero) in
+      for j = 0 to params.r - 1 do
+        let contrib = G.apply_linear mul_mats.(row).(j) st.(idx params ~row:j ~col) in
+        acc := E.xor_word !acc contrib
+      done;
+      !acc)
+
+let add_round_key st rk = Array.map2 E.xor_word st rk
+
+(* AES-like key schedule over columns (words of r elements). *)
+let expand_key_sym ctx params anf key_cols =
+  let f = field params in
+  let total = params.c * (params.n + 1) in
+  let w = Array.make total [||] in
+  for i = 0 to min params.c total - 1 do
+    w.(i) <- key_cols.(i)
+  done;
+  for i = params.c to total - 1 do
+    let temp =
+      if i mod params.c = 0 || params.c = 1 then begin
+        (* RotWord: rotate the column upward; SubWord; add rcon *)
+        let prev = w.(i - 1) in
+        let rotated = Array.init params.r (fun j -> prev.((j + 1) mod params.r)) in
+        let subbed = Array.map (sub_element ctx anf) rotated in
+        let rcon = G.pow f 2 ((i / params.c) - 1) in
+        subbed.(0) <- E.xor_word subbed.(0) (E.const_word ~width:params.e rcon);
+        subbed
+      end
+      else w.(i - 1)
+    in
+    w.(i) <- Array.map2 E.xor_word w.(i - params.c) temp
+  done;
+  (* each round key is laid out column-major like the state *)
+  Array.init (params.n + 1) (fun t ->
+      Array.concat (List.init params.c (fun j -> w.((t * params.c) + j))))
+
+let encrypt_sym ctx params anf ~round_keys state =
+  let st = ref (add_round_key state round_keys.(0)) in
+  for round = 1 to params.n do
+    st := sub_bytes ctx anf !st;
+    st := shift_rows params !st;
+    st := mix_columns params !st;
+    st := add_round_key !st round_keys.(round)
+  done;
+  !st
+
+let const_state params elems =
+  Array.map (fun v -> E.const_word ~width:params.e v) elems
+
+let state_values st = Array.map (fun w -> Option.get (E.word_value w)) st
+
+let encrypt params ~key plaintext =
+  check params;
+  if Array.length key <> params.r * params.c then invalid_arg "Aes_small.encrypt: key size";
+  if Array.length plaintext <> params.r * params.c then
+    invalid_arg "Aes_small.encrypt: plaintext size";
+  let anf = sbox_anf params in
+  let ctx = E.create () in
+  let key_cols =
+    Array.init params.c (fun col ->
+        Array.init params.r (fun row ->
+            E.const_word ~width:params.e key.(idx params ~row ~col)))
+  in
+  let rks = expand_key_sym ctx params anf key_cols in
+  let out = encrypt_sym ctx params anf ~round_keys:rks (const_state params plaintext) in
+  state_values out
+
+type instance = {
+  equations : P.t list;
+  key_vars : int array;
+  nvars : int;
+  plaintext : int array;
+  ciphertext : int array;
+  key : int array;
+}
+
+let instance params ~rng () =
+  check params;
+  let cells = params.r * params.c in
+  let key = Array.init cells (fun _ -> Random.State.int rng (1 lsl params.e)) in
+  let plaintext = Array.init cells (fun _ -> Random.State.int rng (1 lsl params.e)) in
+  let ciphertext = encrypt params ~key plaintext in
+  let anf = sbox_anf params in
+  let ctx = E.create () in
+  let key_bits = E.inputs ctx (cells * params.e) in
+  let key_cols =
+    Array.init params.c (fun col ->
+        Array.init params.r (fun row ->
+            let base = idx params ~row ~col * params.e in
+            Array.init params.e (fun j -> key_bits.(base + j))))
+  in
+  let rks = expand_key_sym ctx params anf key_cols in
+  let out = encrypt_sym ctx params anf ~round_keys:rks (const_state params plaintext) in
+  Array.iteri
+    (fun i word ->
+      Array.iteri
+        (fun j bit -> E.constrain_bit ctx bit (ciphertext.(i) lsr j land 1 = 1))
+        word)
+    out;
+  {
+    equations = E.equations ctx;
+    key_vars = Array.init (cells * params.e) Fun.id;
+    nvars = E.nvars ctx;
+    plaintext;
+    ciphertext;
+    key;
+  }
+
+let key_assignment params inst =
+  Array.to_list
+    (Array.mapi
+       (fun v _ ->
+         let cell = v / params.e and bit = v mod params.e in
+         (v, inst.key.(cell) lsr bit land 1 = 1))
+       inst.key_vars)

@@ -1,0 +1,45 @@
+(** Small-scale AES variants SR(n, r, c, e) (Cid, Murphy and Robshaw, FSE
+    2005) — the source of the paper's SR-[1,4,4,8] benchmark family.
+
+    The cipher state is an r-by-c matrix of GF(2^e) elements; a round is
+    SubBytes (field inversion followed by an AES-style affine map),
+    ShiftRows, MixColumns (an MDS circulant; identity when r = 1) and
+    AddRoundKey, with an initial whitening AddRoundKey; like Sage's SR, the
+    final round keeps MixColumns.  The affine constants are AES's for e = 8
+    and an AES-style invertible circulant for e = 4 (exact SR constants are
+    equivalent for benchmark purposes; see DESIGN.md).
+
+    ANF instances follow appendix A: a random plaintext/key pair is
+    simulated to get the ciphertext, and the system constrains the unknown
+    key bits (variables [0 .. r*c*e - 1]) plus the per-round S-box
+    intermediates. *)
+
+type params = { n : int; r : int; c : int; e : int }
+
+(** SR(1,4,4,8) — the paper's configuration. *)
+val paper_params : params
+
+(** A laptop-scale configuration SR(1,2,2,4). *)
+val small_params : params
+
+(** [sbox params v] is the S-box value (inversion + affine). *)
+val sbox : params -> int -> int
+
+(** [encrypt params ~key plaintext] encrypts; plaintext and key are arrays
+    of [r*c] field elements in column-major order. *)
+val encrypt : params -> key:int array -> int array -> int array
+
+type instance = {
+  equations : Anf.Poly.t list;
+  key_vars : int array;  (** unknown key bits, variables [0 .. r*c*e-1] *)
+  nvars : int;
+  plaintext : int array;
+  ciphertext : int array;
+  key : int array;  (** generating key, for verification *)
+}
+
+val instance : params -> rng:Random.State.t -> unit -> instance
+
+(** [key_assignment inst ~params] maps key variables to generating-key
+    bits. *)
+val key_assignment : params -> instance -> (int * bool) list

@@ -1,0 +1,85 @@
+module P = Anf.Poly
+
+type ctx = { mutable next_var : int; mutable eqs : P.t list (* reversed *) }
+
+let create () = { next_var = 0; eqs = [] }
+
+let inputs ctx n =
+  let base = ctx.next_var in
+  ctx.next_var <- base + n;
+  Array.init n (fun i -> P.var (base + i))
+
+(* Keep a value inline when re-using it verbatim cannot blow up the
+   system: constants, single variables, and short linear forms. *)
+let simple_enough p = P.degree p <= 1 && P.n_terms p <= 4
+
+let define ctx p =
+  if simple_enough p then p
+  else begin
+    let t = ctx.next_var in
+    ctx.next_var <- t + 1;
+    ctx.eqs <- P.add (P.var t) p :: ctx.eqs;
+    P.var t
+  end
+
+let is_bare_var p = P.degree p = 1 && P.n_terms p = 1
+
+let name ctx p =
+  if P.is_zero p || P.is_one p || is_bare_var p then p
+  else begin
+    let t = ctx.next_var in
+    ctx.next_var <- t + 1;
+    ctx.eqs <- P.add (P.var t) p :: ctx.eqs;
+    P.var t
+  end
+
+let constrain ctx p = if not (P.is_zero p) then ctx.eqs <- p :: ctx.eqs
+let constrain_bit ctx p value = constrain ctx (P.add p (P.constant value))
+let equations ctx = List.rev ctx.eqs
+let nvars ctx = ctx.next_var
+
+let and_bit ctx a b = define ctx (P.mul a b)
+let xor_bit = P.add
+let not_bit p = P.add p P.one
+
+let const_word ~width v = Array.init width (fun i -> P.constant (v lsr i land 1 = 1))
+
+let word_value w =
+  let ok = Array.for_all (fun b -> P.is_zero b || P.is_one b) w in
+  if not ok then None
+  else
+    Some
+      (Array.to_list w
+      |> List.mapi (fun i b -> if P.is_one b then 1 lsl i else 0)
+      |> List.fold_left ( lor ) 0)
+
+let xor_word a b = Array.map2 P.add a b
+let and_word ctx a b = Array.map2 (and_bit ctx) a b
+let not_word a = Array.map not_bit a
+
+let rotl w k =
+  let n = Array.length w in
+  let k = ((k mod n) + n) mod n in
+  (* bit i of the result is bit (i - k) of the input *)
+  Array.init n (fun i -> w.(((i - k) mod n + n) mod n))
+
+let rotr w k = rotl w (-k)
+
+let shiftr w k =
+  let n = Array.length w in
+  Array.init n (fun i -> if i + k < n then w.(i + k) else P.zero)
+
+let add_word ctx a b =
+  let n = Array.length a in
+  let sum = Array.make n P.zero in
+  let carry = ref P.zero in
+  for i = 0 to n - 1 do
+    let c = !carry in
+    sum.(i) <- P.add (P.add a.(i) b.(i)) c;
+    if i < n - 1 then begin
+      (* majority(a, b, c) = ab + c(a+b) *)
+      let maj = P.add (P.mul a.(i) b.(i)) (P.mul c (P.add a.(i) b.(i))) in
+      carry := define ctx maj
+    end
+  done;
+  sum

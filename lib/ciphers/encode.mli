@@ -1,0 +1,74 @@
+(** Symbolic ANF circuit encoding.
+
+    Ciphers are implemented once over symbolic bits ({!Anf.Poly.t} values);
+    running them on constant inputs constant-folds into a reference
+    evaluator, while running them on variable inputs emits an ANF
+    constraint system.  Nonlinear or long intermediate results are given
+    fresh variables with defining equations ({!define}), the standard
+    technique for keeping cipher ANF encodings low-degree. *)
+
+type ctx
+
+(** [create ()] is an empty encoding context (variables allocated from 0). *)
+val create : unit -> ctx
+
+(** [inputs ctx n] allocates [n] fresh input variables, returned as
+    degree-1 polynomials. *)
+val inputs : ctx -> int -> Anf.Poly.t array
+
+(** [define ctx p] names the value of [p]: returns [p] itself when it is
+    already simple (a constant, or linear with few terms), otherwise
+    allocates a fresh variable [t], records the equation [t + p = 0], and
+    returns [t]. *)
+val define : ctx -> Anf.Poly.t -> Anf.Poly.t
+
+(** [name ctx p] like {!define} but forces a fresh variable unless [p]
+    already is a constant or a bare variable — used for S-box inputs,
+    where re-expanding even short linear forms would blow up the degree-e
+    substitution. *)
+val name : ctx -> Anf.Poly.t -> Anf.Poly.t
+
+(** [constrain ctx p] records the constraint [p = 0]. *)
+val constrain : ctx -> Anf.Poly.t -> unit
+
+(** [constrain_bit ctx p value] records [p = value]. *)
+val constrain_bit : ctx -> Anf.Poly.t -> bool -> unit
+
+(** All recorded equations (definitions first, then constraints, in
+    insertion order). *)
+val equations : ctx -> Anf.Poly.t list
+
+(** Number of variables allocated so far. *)
+val nvars : ctx -> int
+
+(** {2 Bit and word helpers} *)
+
+(** [and_bit ctx a b] is the (defined) product. *)
+val and_bit : ctx -> Anf.Poly.t -> Anf.Poly.t -> Anf.Poly.t
+
+val xor_bit : Anf.Poly.t -> Anf.Poly.t -> Anf.Poly.t
+val not_bit : Anf.Poly.t -> Anf.Poly.t
+
+(** Words are little-endian arrays: index 0 is the least significant bit. *)
+
+(** [const_word ~width v] encodes integer [v] as constant bits. *)
+val const_word : width:int -> int -> Anf.Poly.t array
+
+(** [word_value w] recovers the integer if every bit is constant. *)
+val word_value : Anf.Poly.t array -> int option
+
+val xor_word : Anf.Poly.t array -> Anf.Poly.t array -> Anf.Poly.t array
+val and_word : ctx -> Anf.Poly.t array -> Anf.Poly.t array -> Anf.Poly.t array
+val not_word : Anf.Poly.t array -> Anf.Poly.t array
+
+(** [rotl w k] / [rotr w k] rotate left/right by [k]. *)
+val rotl : Anf.Poly.t array -> int -> Anf.Poly.t array
+
+val rotr : Anf.Poly.t array -> int -> Anf.Poly.t array
+
+(** [shiftr w k] logical shift right (zero fill). *)
+val shiftr : Anf.Poly.t array -> int -> Anf.Poly.t array
+
+(** [add_word ctx a b] is addition modulo 2^width with ripple carry;
+    carries are defined as fresh variables when symbolic. *)
+val add_word : ctx -> Anf.Poly.t array -> Anf.Poly.t array -> Anf.Poly.t array

@@ -1,0 +1,82 @@
+module P = Anf.Poly
+
+type field = { e : int; modulus : int }
+
+let make ~e ~modulus =
+  if e < 2 || e > 8 then invalid_arg "Gf2n.make: 2 <= e <= 8";
+  if modulus lsr e <> 1 then invalid_arg "Gf2n.make: modulus degree must equal e";
+  { e; modulus }
+
+let gf256 = make ~e:8 ~modulus:0x11b
+let gf16 = make ~e:4 ~modulus:0x13
+let e f = f.e
+let order f = 1 lsl f.e
+let add _ a b = a lxor b
+
+let mul f a b =
+  let r = ref 0 and a = ref a and b = ref b in
+  while !b <> 0 do
+    if !b land 1 = 1 then r := !r lxor !a;
+    b := !b lsr 1;
+    a := !a lsl 1;
+    if !a lsr f.e = 1 then a := !a lxor f.modulus
+  done;
+  !r
+
+let pow f a k =
+  let rec go acc a k =
+    if k = 0 then acc
+    else go (if k land 1 = 1 then mul f acc a else acc) (mul f a a) (k lsr 1)
+  in
+  go 1 a k
+
+let inv f a =
+  if a = 0 then 0
+  else
+    (* a^(2^e - 2) = a^-1 in GF(2^e) *)
+    pow f a (order f - 2)
+
+let mul_matrix f c =
+  (* column j of the matrix is c * x^j *)
+  let cols = Array.init f.e (fun j -> mul f c (1 lsl j)) in
+  Array.init f.e (fun i ->
+      Array.to_list cols
+      |> List.mapi (fun j col -> if col lsr i land 1 = 1 then 1 lsl j else 0)
+      |> List.fold_left ( lor ) 0)
+
+let apply_linear rows bits =
+  Array.map
+    (fun row ->
+      let acc = ref P.zero in
+      Array.iteri (fun j b -> if row lsr j land 1 = 1 then acc := P.add !acc b) bits;
+      !acc)
+    rows
+
+(* Möbius transform: ANF coefficient of monomial mask m is the XOR of the
+   function over all inputs that are subsets of m. *)
+let anf_of_table ~e table =
+  if Array.length table <> 1 lsl e then invalid_arg "Gf2n.anf_of_table: table size";
+  let n = 1 lsl e in
+  Array.init e (fun bit ->
+      let coeff = Array.init n (fun v -> table.(v) lsr bit land 1) in
+      (* in-place butterfly over each input bit *)
+      for i = 0 to e - 1 do
+        for m = 0 to n - 1 do
+          if m lsr i land 1 = 1 then
+            coeff.(m) <- coeff.(m) lxor coeff.(m lxor (1 lsl i))
+        done
+      done;
+      List.filter (fun m -> coeff.(m) = 1) (List.init n Fun.id))
+
+let apply_anf anf bits =
+  let e = Array.length bits in
+  let product mask =
+    let acc = ref P.one in
+    for i = 0 to e - 1 do
+      if mask lsr i land 1 = 1 then acc := P.mul !acc bits.(i)
+    done;
+    !acc
+  in
+  Array.map
+    (fun masks -> List.fold_left (fun acc m -> P.add acc (product m)) P.zero masks)
+    anf

@@ -1,0 +1,49 @@
+(** Arithmetic in GF(2^e) for e <= 8, with field elements packed as
+    integers (bit i = coefficient of x^i), plus the symbolic bit-level maps
+    the small-scale AES encoder needs. *)
+
+type field
+
+(** [make ~e ~modulus] builds the field GF(2^e) with the given irreducible
+    [modulus] (an integer with bit [e] set, e.g. 0x11b for AES).
+    Raises [Invalid_argument] for unsupported sizes or a reducible-degree
+    mismatch. *)
+val make : e:int -> modulus:int -> field
+
+(** The AES field GF(2^8) mod x^8+x^4+x^3+x+1. *)
+val gf256 : field
+
+(** The small-scale field GF(2^4) mod x^4+x+1 (Cid et al.'s SR fields). *)
+val gf16 : field
+
+val e : field -> int
+val order : field -> int
+
+val add : field -> int -> int -> int
+val mul : field -> int -> int -> int
+
+(** [inv f a] is the multiplicative inverse, with the AES convention
+    [inv 0 = 0]. *)
+val inv : field -> int -> int
+
+(** [pow f a k] is exponentiation. *)
+val pow : field -> int -> int -> int
+
+(** [mul_matrix f c] is the e-by-e GF(2) matrix of "multiply by constant
+    [c]", as rows of packed ints: bit j of row i is the coefficient of
+    input bit j in output bit i. *)
+val mul_matrix : field -> int -> int array
+
+(** [apply_linear rows bits] applies a packed GF(2) matrix to symbolic
+    bits. *)
+val apply_linear : int array -> Anf.Poly.t array -> Anf.Poly.t array
+
+(** [anf_of_table ~e table] computes, for each output bit, the ANF of the
+    lookup table [table] (length [2^e]) via the Möbius transform: element
+    [bit] of the result lists the monomial masks (subsets of input bits)
+    with coefficient 1. *)
+val anf_of_table : e:int -> int array -> int list array
+
+(** [apply_anf anf bits] evaluates a per-bit ANF (from {!anf_of_table}) on
+    symbolic input bits, returning the symbolic output bits. *)
+val apply_anf : int list array -> Anf.Poly.t array -> Anf.Poly.t array

@@ -1,0 +1,187 @@
+module P = Anf.Poly
+module E = Encode
+
+let width = 32
+
+let k_constants =
+  [|
+    0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b; 0x59f111f1;
+    0x923f82a4; 0xab1c5ed5; 0xd807aa98; 0x12835b01; 0x243185be; 0x550c7dc3;
+    0x72be5d74; 0x80deb1fe; 0x9bdc06a7; 0xc19bf174; 0xe49b69c1; 0xefbe4786;
+    0x0fc19dc6; 0x240ca1cc; 0x2de92c6f; 0x4a7484aa; 0x5cb0a9dc; 0x76f988da;
+    0x983e5152; 0xa831c66d; 0xb00327c8; 0xbf597fc7; 0xc6e00bf3; 0xd5a79147;
+    0x06ca6351; 0x14292967; 0x27b70a85; 0x2e1b2138; 0x4d2c6dfc; 0x53380d13;
+    0x650a7354; 0x766a0abb; 0x81c2c92e; 0x92722c85; 0xa2bfe8a1; 0xa81a664b;
+    0xc24b8b70; 0xc76c51a3; 0xd192e819; 0xd6990624; 0xf40e3585; 0x106aa070;
+    0x19a4c116; 0x1e376c08; 0x2748774c; 0x34b0bcb5; 0x391c0cb3; 0x4ed8aa4a;
+    0x5b9cca4f; 0x682e6ff3; 0x748f82ee; 0x78a5636f; 0x84c87814; 0x8cc70208;
+    0x90befffa; 0xa4506ceb; 0xbef9a3f7; 0xc67178f2;
+  |]
+
+let iv =
+  [|
+    0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f; 0x9b05688c;
+    0x1f83d9ab; 0x5be0cd19;
+  |]
+
+let xor3 a b c = E.xor_word (E.xor_word a b) c
+
+let big_sigma0 a = xor3 (E.rotr a 2) (E.rotr a 13) (E.rotr a 22)
+let big_sigma1 e = xor3 (E.rotr e 6) (E.rotr e 11) (E.rotr e 25)
+let small_sigma0 w = xor3 (E.rotr w 7) (E.rotr w 18) (E.shiftr w 3)
+let small_sigma1 w = xor3 (E.rotr w 17) (E.rotr w 19) (E.shiftr w 10)
+
+(* ch(e,f,g) = ef + (e+1)g; maj(a,b,c) = ab + ac + bc; each output bit
+   defined as one fresh variable when symbolic *)
+let ch ctx e f g =
+  Array.init width (fun i ->
+      E.define ctx (P.add (P.mul e.(i) f.(i)) (P.mul (P.add e.(i) P.one) g.(i))))
+
+let maj ctx a b c =
+  Array.init width (fun i ->
+      E.define ctx
+        (P.add (P.add (P.mul a.(i) b.(i)) (P.mul a.(i) c.(i))) (P.mul b.(i) c.(i))))
+
+let compress_sym ctx ~rounds block =
+  if rounds < 1 || rounds > 64 then invalid_arg "Sha256: rounds in 1..64";
+  let w = Array.make (max rounds 16) [||] in
+  for t = 0 to 15 do
+    w.(t) <- block.(t)
+  done;
+  for t = 16 to rounds - 1 do
+    let sum =
+      E.add_word ctx
+        (E.add_word ctx (small_sigma1 w.(t - 2)) w.(t - 7))
+        (E.add_word ctx (small_sigma0 w.(t - 15)) w.(t - 16))
+    in
+    w.(t) <- Array.map (E.define ctx) sum
+  done;
+  let h0 = Array.map (fun v -> E.const_word ~width v) iv in
+  let a = ref h0.(0) and b = ref h0.(1) and c = ref h0.(2) and d = ref h0.(3) in
+  let e = ref h0.(4) and f = ref h0.(5) and g = ref h0.(6) and h = ref h0.(7) in
+  for t = 0 to rounds - 1 do
+    let temp1 =
+      E.add_word ctx
+        (E.add_word ctx !h (big_sigma1 !e))
+        (E.add_word ctx (ch ctx !e !f !g)
+           (E.add_word ctx (E.const_word ~width k_constants.(t)) w.(t)))
+    in
+    let temp2 = E.add_word ctx (big_sigma0 !a) (maj ctx !a !b !c) in
+    h := !g;
+    g := !f;
+    f := !e;
+    e := Array.map (E.define ctx) (E.add_word ctx !d temp1);
+    d := !c;
+    c := !b;
+    b := !a;
+    a := Array.map (E.define ctx) (E.add_word ctx temp1 temp2)
+  done;
+  let out = [| !a; !b; !c; !d; !e; !f; !g; !h |] in
+  Array.mapi (fun i s -> E.add_word ctx h0.(i) s) out
+  |> Array.map (Array.map (E.define ctx))
+
+(* ---------------- reference path ---------------- *)
+
+let block_of_string msg =
+  let n = String.length msg in
+  if n > 55 then invalid_arg "Sha256.digest_hex: one-block messages only (<= 55 bytes)";
+  let bytes = Array.make 64 0 in
+  String.iteri (fun i ch -> bytes.(i) <- Char.code ch) msg;
+  bytes.(n) <- 0x80;
+  let bitlen = 8 * n in
+  for i = 0 to 7 do
+    bytes.(56 + i) <- bitlen lsr (8 * (7 - i)) land 0xff
+  done;
+  Array.init 16 (fun w ->
+      (bytes.(4 * w) lsl 24)
+      lor (bytes.((4 * w) + 1) lsl 16)
+      lor (bytes.((4 * w) + 2) lsl 8)
+      lor bytes.((4 * w) + 3))
+
+let digest_hex ?(rounds = 64) msg =
+  let ctx = E.create () in
+  let block = Array.map (fun v -> E.const_word ~width v) (block_of_string msg) in
+  let out = compress_sym ctx ~rounds block in
+  String.concat ""
+    (Array.to_list
+       (Array.map (fun w -> Printf.sprintf "%08x" (Option.get (E.word_value w))) out))
+
+(* ---------------- weakened Bitcoin nonce setup ---------------- *)
+
+let prefix_len = 415
+let nonce_len = 32
+
+(* message bit [idx] (0 = first bit = MSB of word 0) of the single block:
+   415 fixed bits, 32 nonce bits, the '1' padding bit, zeros, and the
+   64-bit length field 448 *)
+let message_bit ~prefix_bits ~nonce_bit idx =
+  if idx < prefix_len then P.constant prefix_bits.(idx)
+  else if idx < prefix_len + nonce_len then nonce_bit (idx - prefix_len)
+  else if idx = prefix_len + nonce_len then P.one (* the appended '1' *)
+  else if idx < 448 then P.zero
+  else
+    (* length field: 448 as a 64-bit big-endian integer in bits 448..511 *)
+    let bitpos = 63 - (idx - 448) in
+    P.constant (448 lsr bitpos land 1 = 1)
+
+let block_sym ~prefix_bits ~nonce_bit =
+  Array.init 16 (fun w ->
+      Array.init width (fun j ->
+          (* little-endian bit j of word w is message bit w*32 + (31-j) *)
+          message_bit ~prefix_bits ~nonce_bit ((w * width) + (31 - j))))
+
+type instance = {
+  equations : P.t list;
+  nonce_vars : int array;
+  nvars : int;
+  k : int;
+  prefix_bits : bool array;
+  rounds : int;
+}
+
+let digest_of_block ctx ~rounds block =
+  let out = compress_sym ctx ~rounds block in
+  (* digest bit i is bit (31 - i mod 32) of word (i / 32) *)
+  Array.init 256 (fun i -> out.(i / 32).(31 - (i mod 32)))
+
+let nonce_instance ~rounds ~k ~rng () =
+  if k < 1 || k > 32 then invalid_arg "Sha256.nonce_instance: 1 <= k <= 32";
+  (* the nonce occupies message words 12-13; with fewer than 16 rounds the
+     compression never reads them and the instance would be vacuous *)
+  if rounds < 16 then invalid_arg "Sha256.nonce_instance: rounds >= 16";
+  let prefix_bits = Array.init prefix_len (fun _ -> Random.State.bool rng) in
+  let ctx = E.create () in
+  let nonce_bits = E.inputs ctx nonce_len in
+  let block = block_sym ~prefix_bits ~nonce_bit:(fun i -> nonce_bits.(i)) in
+  let digest = digest_of_block ctx ~rounds block in
+  for i = 0 to k - 1 do
+    E.constrain_bit ctx digest.(i) false
+  done;
+  {
+    equations = E.equations ctx;
+    nonce_vars = Array.init nonce_len Fun.id;
+    nvars = E.nvars ctx;
+    k;
+    prefix_bits;
+    rounds;
+  }
+
+let digest_bits ~rounds ~prefix_bits ~nonce =
+  let ctx = E.create () in
+  let nonce_bit i = P.constant (nonce lsr (nonce_len - 1 - i) land 1 = 1) in
+  let block = block_sym ~prefix_bits ~nonce_bit in
+  let digest = digest_of_block ctx ~rounds block in
+  Array.map P.is_one digest
+
+let find_nonce ~rounds ~prefix_bits ~k ~limit =
+  let rec go nonce =
+    if nonce >= limit then None
+    else
+      let bits = digest_bits ~rounds ~prefix_bits ~nonce in
+      let ok = ref true in
+      for i = 0 to k - 1 do
+        if bits.(i) then ok := false
+      done;
+      if !ok then Some nonce else go (nonce + 1)
+  in
+  go 0

@@ -1,0 +1,38 @@
+(** SHA-256 (FIPS 180-4) compression with a round-count parameter, plus the
+    paper's weakened Bitcoin nonce-finding setup (appendix C, Fig. 5): a
+    single 512-bit block whose first 415 bits are random, followed by a
+    free 32-bit nonce, the padding bit '1', and the 64-bit length field
+    448; the challenge is a nonce making the first [k] digest bits zero.
+
+    The reference path is validated against the FIPS "abc" test vector;
+    reduced-round instances use the same code with fewer compression
+    rounds (a documented scale-down; see DESIGN.md). *)
+
+(** [digest_hex ~rounds message] hashes a message of at most 55 bytes (one
+    padded block), returning lowercase hex.  [rounds <= 64]; 64 is real
+    SHA-256. *)
+val digest_hex : ?rounds:int -> string -> string
+
+type instance = {
+  equations : Anf.Poly.t list;
+  nonce_vars : int array;  (** the 32 unknown nonce bits: variables 0..31 *)
+  nvars : int;
+  k : int;  (** required number of leading zero digest bits *)
+  prefix_bits : bool array;  (** the 415 fixed message bits *)
+  rounds : int;
+}
+
+(** [nonce_instance ~rounds ~k ~rng ()] builds the weakened-Bitcoin ANF
+    instance.  [1 <= k <= 32]; [rounds >= 16] so the compression actually
+    reads the nonce words (message words 12-13). *)
+val nonce_instance : rounds:int -> k:int -> rng:Random.State.t -> unit -> instance
+
+(** [digest_bits ~rounds ~prefix_bits ~nonce] evaluates the block built
+    from [prefix_bits] and the concrete 32-bit [nonce], returning the
+    digest as a bit array (bit 0 = the first/most significant digest
+    bit). *)
+val digest_bits : rounds:int -> prefix_bits:bool array -> nonce:int -> bool array
+
+(** [find_nonce ~rounds ~prefix_bits ~k ~limit] brute-force searches
+    nonces [0..limit-1] for one with [k] leading zero bits; for tests. *)
+val find_nonce : rounds:int -> prefix_bits:bool array -> k:int -> limit:int -> int option

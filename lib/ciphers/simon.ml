@@ -1,0 +1,123 @@
+module P = Anf.Poly
+module E = Encode
+
+let width = 16
+let full_rounds = 32
+let m_words = 4
+
+(* z0 sequence of Simon32/64, MSB-first as printed in the specification *)
+let z0 = "11111010001001010110000111001101111101000100101011000011100110"
+
+(* round constant c = 2^16 - 4 *)
+let c_const = 0xfffc
+
+(* f(x) = (S1 x & S8 x) + S2 x, with the AND outputs defined as fresh
+   variables when symbolic *)
+let f ctx x = E.xor_word (E.and_word ctx (E.rotl x 1) (E.rotl x 8)) (E.rotl x 2)
+
+(* Symbolic key schedule; every produced round-key bit is passed through
+   [define] so downstream rounds stay quadratic. *)
+let expand_key_sym ctx ~rounds key_words =
+  let ks = Array.make rounds [||] in
+  for i = 0 to min rounds m_words - 1 do
+    ks.(i) <- key_words.(i)
+  done;
+  for i = m_words to rounds - 1 do
+    let tmp = E.xor_word (E.rotr ks.(i - 1) 3) ks.(i - 3) in
+    let tmp = E.xor_word tmp (E.rotr tmp 1) in
+    let zbit = z0.[(i - m_words) mod 62] = '1' in
+    let konst = c_const lxor if zbit then 1 else 0 in
+    let word = E.xor_word (E.xor_word ks.(i - m_words) tmp) (E.const_word ~width konst) in
+    ks.(i) <- Array.map (E.define ctx) word
+  done;
+  ks
+
+let encrypt_sym ctx ~rounds ~round_keys (x0, y0) =
+  let x = ref x0 and y = ref y0 in
+  for i = 0 to rounds - 1 do
+    let new_x = E.xor_word (E.xor_word !y (f ctx !x)) round_keys.(i) in
+    let new_x = Array.map (E.define ctx) new_x in
+    y := !x;
+    x := new_x
+  done;
+  (!x, !y)
+
+let split32 v = (v lsr width land 0xffff, v land 0xffff)
+let join32 (x, y) = (x lsl width) lor y
+
+let check_key key =
+  if Array.length key <> m_words then invalid_arg "Simon: key must be four 16-bit words";
+  Array.iter (fun w -> if w < 0 || w > 0xffff then invalid_arg "Simon: key word out of range") key
+
+let expand_key ~rounds key =
+  check_key key;
+  if rounds < 1 || rounds > full_rounds then invalid_arg "Simon: rounds out of range";
+  let ctx = E.create () in
+  let words = Array.map (fun w -> E.const_word ~width w) key in
+  let ks = expand_key_sym ctx ~rounds words in
+  Array.map (fun w -> Option.get (E.word_value w)) ks
+
+let encrypt ~rounds ~key plaintext =
+  check_key key;
+  if rounds < 1 || rounds > full_rounds then invalid_arg "Simon: rounds out of range";
+  let ctx = E.create () in
+  let words = Array.map (fun w -> E.const_word ~width w) key in
+  let round_keys = expand_key_sym ctx ~rounds words in
+  let xl, yr = split32 plaintext in
+  let x, y =
+    encrypt_sym ctx ~rounds ~round_keys (E.const_word ~width xl, E.const_word ~width yr)
+  in
+  join32 (Option.get (E.word_value x), Option.get (E.word_value y))
+
+type instance = {
+  equations : P.t list;
+  key_vars : int array;
+  nvars : int;
+  pairs : (int * int) list;
+  key : int array;
+}
+
+let instance ~rounds ~n_plaintexts ~rng () =
+  if n_plaintexts < 1 || n_plaintexts > 17 then
+    invalid_arg "Simon.instance: 1 <= n_plaintexts <= 17 (SP/RC setting)";
+  let key = Array.init m_words (fun _ -> Random.State.int rng 0x10000) in
+  (* SP/RC: first plaintext uniform; plaintext i+1 toggles bit i of the
+     right half of P1 *)
+  let p1 =
+    (Random.State.int rng 0x10000 lsl width) lor Random.State.int rng 0x10000
+  in
+  let plaintexts =
+    List.init n_plaintexts (fun i -> if i = 0 then p1 else p1 lxor (1 lsl (i - 1)))
+  in
+  let pairs = List.map (fun p -> (p, encrypt ~rounds ~key p)) plaintexts in
+  let ctx = E.create () in
+  let key_bits = E.inputs ctx (m_words * width) in
+  let key_words =
+    Array.init m_words (fun j -> Array.init width (fun i -> key_bits.((j * width) + i)))
+  in
+  let round_keys = expand_key_sym ctx ~rounds key_words in
+  List.iter
+    (fun (p, c) ->
+      let xl, yr = split32 p in
+      let cx, cy = split32 c in
+      let x, y =
+        encrypt_sym ctx ~rounds ~round_keys (E.const_word ~width xl, E.const_word ~width yr)
+      in
+      Array.iteri (fun i bit -> E.constrain_bit ctx bit (cx lsr i land 1 = 1)) x;
+      Array.iteri (fun i bit -> E.constrain_bit ctx bit (cy lsr i land 1 = 1)) y)
+    pairs;
+  {
+    equations = E.equations ctx;
+    key_vars = Array.init (m_words * width) Fun.id;
+    nvars = E.nvars ctx;
+    pairs;
+    key;
+  }
+
+let key_assignment inst =
+  Array.to_list
+    (Array.mapi
+       (fun v _ ->
+         let word = v / width and bit = v mod width in
+         (v, inst.key.(word) lsr bit land 1 = 1))
+       inst.key_vars)

@@ -1,0 +1,33 @@
+(** Simon32/64 (Beaulieu et al., DAC 2015): a lightweight Feistel block
+    cipher with 16-bit words, a 64-bit key and (in full) 32 rounds; the
+    round function is f(x) = (S¹x & S⁸x) ⊕ S²x (Fig. 4 of the paper).
+
+    Provides both a concrete evaluator and the ANF instance generator of
+    the paper's appendix B: round-reduced Simon32/64 under the Similar
+    Plaintexts / Random Ciphertexts (SP/RC) setting — [n] plaintexts of low
+    Hamming distance encrypted under one random key, the key bits unknown. *)
+
+(** [encrypt ~rounds ~key plaintext] encrypts a 32-bit plaintext (packed as
+    [left << 16 | right]) under a 64-bit key given as four 16-bit words
+    [k0..k3] ([k3] used first, FIPS-style ordering).  [rounds <= 32]. *)
+val encrypt : rounds:int -> key:int array -> int -> int
+
+(** [expand_key ~rounds key] is the round-key schedule (length [rounds]). *)
+val expand_key : rounds:int -> int array -> int array
+
+type instance = {
+  equations : Anf.Poly.t list;
+  key_vars : int array;  (** the 64 unknown key bits: variables 0..63 *)
+  nvars : int;
+  pairs : (int * int) list;  (** the (plaintext, ciphertext) pairs encoded *)
+  key : int array;  (** the generating key, for test verification *)
+}
+
+(** [instance ~rounds ~n_plaintexts ~rng ()] builds an SP/RC instance: the
+    first plaintext is uniform, plaintext [i+1] toggles bit [i] of the
+    right half (i = 1..n-1), all encrypted under one random key. *)
+val instance : rounds:int -> n_plaintexts:int -> rng:Random.State.t -> unit -> instance
+
+(** [key_assignment inst] maps each key variable to its generating-key bit
+    — the intended solution, used by tests. *)
+val key_assignment : instance -> (int * bool) list

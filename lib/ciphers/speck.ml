@@ -1,0 +1,128 @@
+module P = Anf.Poly
+module E = Encode
+
+let width = 16
+let full_rounds = 22
+let m_words = 4
+let alpha = 7 (* right rotation of x *)
+let beta = 2 (* left rotation of y *)
+
+(* One Speck round: x = (x >>> alpha) + y) ^ k ; y = (y <<< beta) ^ x.
+   The modular addition's carries are defined as fresh variables when
+   symbolic; the round outputs are named to keep later rounds quadratic. *)
+let round ctx (x, y) k =
+  let sum = E.add_word ctx (E.rotr x alpha) y in
+  let x' = Array.map (E.define ctx) (E.xor_word sum k) in
+  let y' = Array.map (E.define ctx) (E.xor_word (E.rotl y beta) x') in
+  (x', y')
+
+(* Key schedule: k0 = key.(0), l0..l2 = key.(1..3);
+   l_{i+3} = (k_i + (l_i >>> alpha)) ^ i ; k_{i+1} = (k_i <<< beta) ^ l_{i+3} *)
+let expand_key_sym ctx ~rounds key_words =
+  let ks = Array.make (max rounds 1) [||] in
+  ks.(0) <- key_words.(0);
+  let ells = Array.make (rounds + m_words) [||] in
+  for i = 0 to m_words - 2 do
+    ells.(i) <- key_words.(i + 1)
+  done;
+  for i = 0 to rounds - 2 do
+    let sum = E.add_word ctx (E.rotr ells.(i) alpha) ks.(i) in
+    let l_new =
+      Array.map (E.define ctx) (E.xor_word sum (E.const_word ~width i))
+    in
+    ells.(i + m_words - 1) <- l_new;
+    ks.(i + 1) <- Array.map (E.define ctx) (E.xor_word (E.rotl ks.(i) beta) l_new)
+  done;
+  ks
+
+let encrypt_sym ctx ~rounds ~round_keys (x0, y0) =
+  let state = ref (x0, y0) in
+  for i = 0 to rounds - 1 do
+    state := round ctx !state round_keys.(i)
+  done;
+  !state
+
+let split32 v = (v lsr width land 0xffff, v land 0xffff)
+let join32 (x, y) = (x lsl width) lor y
+
+let check_key key =
+  if Array.length key <> m_words then invalid_arg "Speck: key must be four 16-bit words";
+  Array.iter
+    (fun w -> if w < 0 || w > 0xffff then invalid_arg "Speck: key word out of range")
+    key
+
+let check_rounds rounds =
+  if rounds < 1 || rounds > full_rounds then invalid_arg "Speck: rounds out of range"
+
+let expand_key ~rounds key =
+  check_key key;
+  check_rounds rounds;
+  let ctx = E.create () in
+  let words = Array.map (fun w -> E.const_word ~width w) key in
+  Array.map
+    (fun w -> Option.get (E.word_value w))
+    (expand_key_sym ctx ~rounds words)
+
+let encrypt ~rounds ~key plaintext =
+  check_key key;
+  check_rounds rounds;
+  let ctx = E.create () in
+  let words = Array.map (fun w -> E.const_word ~width w) key in
+  let round_keys = expand_key_sym ctx ~rounds words in
+  let xw, yw = split32 plaintext in
+  let x, y =
+    encrypt_sym ctx ~rounds ~round_keys (E.const_word ~width xw, E.const_word ~width yw)
+  in
+  join32 (Option.get (E.word_value x), Option.get (E.word_value y))
+
+type instance = {
+  equations : P.t list;
+  key_vars : int array;
+  nvars : int;
+  pairs : (int * int) list;
+  key : int array;
+}
+
+let instance ~rounds ~n_plaintexts ~rng () =
+  check_rounds rounds;
+  if n_plaintexts < 1 || n_plaintexts > 17 then
+    invalid_arg "Speck.instance: 1 <= n_plaintexts <= 17";
+  let key = Array.init m_words (fun _ -> Random.State.int rng 0x10000) in
+  let p1 =
+    (Random.State.int rng 0x10000 lsl width) lor Random.State.int rng 0x10000
+  in
+  let plaintexts =
+    List.init n_plaintexts (fun i -> if i = 0 then p1 else p1 lxor (1 lsl (i - 1)))
+  in
+  let pairs = List.map (fun p -> (p, encrypt ~rounds ~key p)) plaintexts in
+  let ctx = E.create () in
+  let key_bits = E.inputs ctx (m_words * width) in
+  let key_words =
+    Array.init m_words (fun j -> Array.init width (fun i -> key_bits.((j * width) + i)))
+  in
+  let round_keys = expand_key_sym ctx ~rounds key_words in
+  List.iter
+    (fun (p, c) ->
+      let xw, yw = split32 p in
+      let cx, cy = split32 c in
+      let x, y =
+        encrypt_sym ctx ~rounds ~round_keys (E.const_word ~width xw, E.const_word ~width yw)
+      in
+      Array.iteri (fun i bit -> E.constrain_bit ctx bit (cx lsr i land 1 = 1)) x;
+      Array.iteri (fun i bit -> E.constrain_bit ctx bit (cy lsr i land 1 = 1)) y)
+    pairs;
+  {
+    equations = E.equations ctx;
+    key_vars = Array.init (m_words * width) Fun.id;
+    nvars = E.nvars ctx;
+    pairs;
+    key;
+  }
+
+let key_assignment inst =
+  Array.to_list
+    (Array.mapi
+       (fun v _ ->
+         let word = v / width and bit = v mod width in
+         (v, inst.key.(word) lsr bit land 1 = 1))
+       inst.key_vars)

@@ -1,0 +1,32 @@
+(** Speck32/64 (Beaulieu et al., DAC 2015) — Simon's ARX sibling: 16-bit
+    words, a 64-bit key and (in full) 22 rounds of modular addition,
+    rotation and XOR.
+
+    Where Simon's algebra is AND-dominated (quadratic monomials per round),
+    Speck's is carry-chain dominated — its ANF instances stress the
+    encoder's ripple-carry definitions and give the benchmark suite a
+    different algebraic texture.  Instance generation mirrors Simon's
+    SP/RC setting. *)
+
+(** [encrypt ~rounds ~key plaintext] encrypts a 32-bit plaintext (packed as
+    [x << 16 | y]) under a 64-bit key given as four 16-bit words
+    [k0; l0; l1; l2] ([k0] is the first round key).  [rounds <= 22]. *)
+val encrypt : rounds:int -> key:int array -> int -> int
+
+(** [expand_key ~rounds key] is the round-key schedule (length [rounds]). *)
+val expand_key : rounds:int -> int array -> int array
+
+type instance = {
+  equations : Anf.Poly.t list;
+  key_vars : int array;  (** the 64 unknown key bits: variables 0..63 *)
+  nvars : int;
+  pairs : (int * int) list;
+  key : int array;
+}
+
+(** [instance ~rounds ~n_plaintexts ~rng ()] builds an SP/RC instance as
+    for Simon (first plaintext uniform, later ones toggling low bits). *)
+val instance : rounds:int -> n_plaintexts:int -> rng:Random.State.t -> unit -> instance
+
+(** The intended solution, for verification. *)
+val key_assignment : instance -> (int * bool) list

@@ -1,0 +1,36 @@
+module P = Anf.Poly
+
+type result =
+  | Satisfied of (int, bool) Hashtbl.t
+  | Violated of P.t
+  | Stuck of P.t
+
+let extend equations assignment =
+  let values = Hashtbl.create 64 in
+  List.iter (fun (v, b) -> Hashtbl.replace values v b) assignment;
+  let substitute p =
+    List.fold_left
+      (fun q x ->
+        match Hashtbl.find_opt values x with
+        | Some b -> P.assign q ~target:x ~value:b
+        | None -> q)
+      p (P.vars p)
+  in
+  let rec go = function
+    | [] -> Satisfied values
+    | eq :: rest -> (
+        let q = substitute eq in
+        match P.classify q with
+        | P.Tautology -> go rest
+        | P.Contradiction -> Violated eq
+        | P.Assign (x, v) ->
+            Hashtbl.replace values x v;
+            go rest
+        | P.All_ones _ | P.Equiv _ | P.Other -> Stuck eq)
+  in
+  go equations
+
+let check equations assignment =
+  match extend equations assignment with
+  | Satisfied _ -> true
+  | Violated _ | Stuck _ -> false

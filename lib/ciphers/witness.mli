@@ -1,0 +1,22 @@
+(** Extending a partial assignment through a cipher trace.
+
+    Instances produced by the encoders consist of defining equations
+    [t + p = 0] (each [t] fresh, [p] over earlier variables) followed by
+    constraints.  Given values for the input variables, walking the
+    equations in order determines every intermediate variable and checks
+    the constraints — this is how tests verify that the generating
+    key/nonce really satisfies the emitted system, without a solver. *)
+
+type result =
+  | Satisfied of (int, bool) Hashtbl.t  (** the completed assignment *)
+  | Violated of Anf.Poly.t  (** a fully determined equation evaluated to 1 *)
+  | Stuck of Anf.Poly.t  (** an equation with several unknowns (not a trace) *)
+
+(** [extend equations assignment] processes equations in order, solving
+    each defining equation for its single unknown.  [assignment] is not
+    mutated. *)
+val extend : Anf.Poly.t list -> (int * bool) list -> result
+
+(** [check equations assignment] is [true] iff {!extend} satisfies all
+    equations. *)
+val check : Anf.Poly.t list -> (int * bool) list -> bool

@@ -1,0 +1,41 @@
+(* Sorted array of distinct literals. *)
+type t = Lit.t array
+
+let of_list lits = Array.of_list (List.sort_uniq Lit.compare lits)
+let to_list c = Array.to_list c
+let length c = Array.length c
+let is_empty c = Array.length c = 0
+
+let is_tautology c =
+  (* sorted by packed index, so l and ¬l are adjacent *)
+  let n = Array.length c in
+  let rec go i =
+    i + 1 < n && (Lit.equal c.(i) (Lit.neg c.(i + 1)) || go (i + 1))
+  in
+  go 0
+
+let mem c l = Array.exists (Lit.equal l) c
+
+let vars c =
+  List.sort_uniq Int.compare (Array.to_list (Array.map Lit.var c))
+
+let max_var c = Array.fold_left (fun acc l -> max acc (Lit.var l)) (-1) c
+
+let n_positive c =
+  Array.fold_left (fun acc l -> if Lit.negated l then acc else acc + 1) 0 c
+
+let eval assignment c = Array.exists (Lit.eval assignment) c
+let subsumes a b = Array.for_all (fun l -> mem b l) a
+
+let equal (a : t) (b : t) = a = b
+
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let pp ppf c =
+  Format.pp_print_char ppf '(';
+  Array.iteri
+    (fun i l ->
+      if i > 0 then Format.pp_print_string ppf " | ";
+      Lit.pp ppf l)
+    c;
+  Format.pp_print_char ppf ')'

@@ -1,0 +1,125 @@
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+(* Shared scanner: ordinary clause lines plus, when [allow_xor], lines
+   starting with 'x' asserting the XOR of their literals. *)
+let parse_general ~allow_xor s =
+  let nvars = ref 0 in
+  let clauses = ref [] in
+  let xors = ref [] in
+  let current = ref [] in
+  let in_xor = ref false in
+  let handle_int i =
+    if i = 0 then begin
+      (if !in_xor then begin
+         (* XOR of literals = true; each negation flips the parity *)
+         let vars = List.map Lit.var !current in
+         let flips = List.length (List.filter Lit.negated !current) in
+         (* duplicated variables cancel *)
+         let sorted = List.sort Int.compare vars in
+         let rec dedup = function
+           | a :: b :: rest when a = b -> dedup rest
+           | a :: rest -> a :: dedup rest
+           | [] -> []
+         in
+         xors := (dedup sorted, flips mod 2 = 0) :: !xors
+       end
+       else clauses := Clause.of_list !current :: !clauses);
+      current := [];
+      in_xor := false
+    end
+    else current := Lit.of_dimacs i :: !current
+  in
+  let handle_token tok =
+    match int_of_string_opt tok with
+    | Some i -> handle_int i
+    | None -> fail "bad token %S" tok
+  in
+  let handle_line line =
+    let line = String.trim line in
+    if line = "" || line.[0] = 'c' || line.[0] = '%' then ()
+    else if line.[0] = 'p' then begin
+      match String.split_on_char ' ' line |> List.filter (fun t -> t <> "") with
+      | [ "p"; "cnf"; v; _c ] -> (
+          match int_of_string_opt v with
+          | Some v when v >= 0 -> nvars := v
+          | Some _ | None -> fail "bad header %S" line)
+      | _ -> fail "bad header %S" line
+    end
+    else begin
+      let line =
+        if line.[0] = 'x' then
+          if allow_xor then begin
+            if !current <> [] then fail "xor line inside an open clause";
+            in_xor := true;
+            String.sub line 1 (String.length line - 1)
+          end
+          else fail "xor line %S (use the extended parser)" line
+        else line
+      in
+      String.split_on_char ' ' line
+      |> List.concat_map (String.split_on_char '\t')
+      |> List.filter (fun t -> t <> "")
+      |> List.iter handle_token
+    end
+  in
+  List.iter handle_line (String.split_on_char '\n' s);
+  if !current <> [] then fail "clause not terminated by 0";
+  let nvars =
+    List.fold_left
+      (fun acc (vars, _) -> List.fold_left (fun a v -> max a (v + 1)) acc vars)
+      !nvars !xors
+  in
+  (Formula.create ~nvars (List.rev !clauses), List.rev !xors)
+
+let parse_string s = fst (parse_general ~allow_xor:false s)
+let parse_string_extended s = parse_general ~allow_xor:true s
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse_string (really_input_string ic (in_channel_length ic)))
+
+let write_string f =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" (Formula.nvars f) (Formula.n_clauses f));
+  List.iter
+    (fun c ->
+      List.iter
+        (fun l -> Buffer.add_string buf (string_of_int (Lit.to_dimacs l) ^ " "))
+        (Clause.to_list c);
+      Buffer.add_string buf "0\n")
+    (Formula.clauses f);
+  Buffer.contents buf
+
+let write_file path f =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (write_string f))
+
+let parse_file_extended path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse_string_extended (really_input_string ic (in_channel_length ic)))
+
+let write_string_extended f xors =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (write_string f);
+  List.iter
+    (fun (vars, parity) ->
+      match vars with
+      | [] -> ()
+      | first :: rest ->
+          (* encode the parity in the sign of the first literal *)
+          Buffer.add_char buf 'x';
+          Buffer.add_string buf
+            (string_of_int (if parity then first + 1 else -(first + 1)));
+          List.iter (fun v -> Buffer.add_string buf (" " ^ string_of_int (v + 1))) rest;
+          Buffer.add_string buf " 0\n")
+    xors;
+  Buffer.contents buf

@@ -1,0 +1,28 @@
+(** DIMACS CNF reader/writer. *)
+
+exception Parse_error of string
+
+(** [parse_string s] parses DIMACS text.  The [p cnf V C] header is
+    optional-lenient: if present, [V] seeds the variable count; the clause
+    count is not enforced (real competition files frequently disagree). *)
+val parse_string : string -> Formula.t
+
+val parse_file : string -> Formula.t
+
+(** [write_string f] renders standard DIMACS with a [p cnf] header. *)
+val write_string : Formula.t -> string
+
+val write_file : string -> Formula.t -> unit
+
+(** {2 XOR-extended DIMACS (CryptoMiniSat's [x] lines)}
+
+    A line [x1 -2 3 0] asserts the XOR of its literals is true, i.e.
+    x1 (+) x2 (+) x3 = 0 here (each negative literal flips the parity).
+    Parsed into [(variables, parity)] pairs meaning
+    [vars(0) (+) ... (+) vars(n-1) = parity]. *)
+
+val parse_string_extended : string -> Formula.t * (int list * bool) list
+
+val parse_file_extended : string -> Formula.t * (int list * bool) list
+
+val write_string_extended : Formula.t -> (int list * bool) list -> string

@@ -1,0 +1,34 @@
+(** CNF formulas: a variable count plus a conjunction of clauses. *)
+
+type t
+
+(** [create ~nvars clauses] builds a formula.  [nvars] is raised as needed
+    to cover every clause.  Tautological clauses are dropped; duplicate
+    clauses are kept (they are harmless and DIMACS files contain them). *)
+val create : nvars:int -> Clause.t list -> t
+
+(** An empty (trivially true) formula over [nvars] variables. *)
+val empty : nvars:int -> t
+
+val nvars : t -> int
+val clauses : t -> Clause.t list
+val n_clauses : t -> int
+
+(** [add_clause t c] appends a clause (dropping tautologies), growing
+    [nvars] if needed. *)
+val add_clause : t -> Clause.t -> t
+
+(** [has_empty_clause t] is [true] iff some clause is empty (formula is
+    trivially unsatisfiable). *)
+val has_empty_clause : t -> bool
+
+(** [eval assignment t] is [true] iff every clause is satisfied. *)
+val eval : (int -> bool) -> t -> bool
+
+(** Brute-force satisfiability for testing only (<= 24 variables). *)
+val brute_force_sat : t -> bool option
+
+(** Brute-force model count for testing only (<= 24 variables). *)
+val brute_force_count : t -> int
+
+val pp : Format.formatter -> t -> unit

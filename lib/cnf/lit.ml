@@ -1,0 +1,29 @@
+type t = int
+
+let make v ~negated =
+  if v < 0 then invalid_arg "Lit.make";
+  (2 * v) + if negated then 1 else 0
+
+let pos v = make v ~negated:false
+let neg_of v = make v ~negated:true
+let var l = l lsr 1
+let negated l = l land 1 = 1
+let neg l = l lxor 1
+let to_index l = l
+
+let of_index i =
+  if i < 0 then invalid_arg "Lit.of_index";
+  i
+
+let to_dimacs l = if negated l then -(var l + 1) else var l + 1
+
+let of_dimacs i =
+  if i = 0 then invalid_arg "Lit.of_dimacs: zero";
+  if i > 0 then pos (i - 1) else neg_of (-i - 1)
+
+let eval assignment l = assignment (var l) <> negated l
+let equal = Int.equal
+let compare = Int.compare
+
+let pp ppf l =
+  if negated l then Format.fprintf ppf "~x%d" (var l) else Format.fprintf ppf "x%d" (var l)

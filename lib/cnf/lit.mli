@@ -1,0 +1,46 @@
+(** Propositional literals.
+
+    A literal is a Boolean variable (index [>= 0]) or its negation, packed
+    as [2*var + (1 if negated)] so that literals index arrays directly and
+    [neg] is a single xor — the MiniSat convention. *)
+
+type t = private int
+
+(** [make v ~negated] is the literal on variable [v].
+    Raises [Invalid_argument] if [v < 0]. *)
+val make : int -> negated:bool -> t
+
+(** [pos v] / [neg_of v] build the positive / negative literal on [v]. *)
+val pos : int -> t
+
+val neg_of : int -> t
+
+(** Variable index of the literal. *)
+val var : t -> int
+
+(** [negated l] is [true] for ¬x literals. *)
+val negated : t -> bool
+
+(** Complement literal. *)
+val neg : t -> t
+
+(** Packed integer (for array indexing); [of_index] is its inverse. *)
+val to_index : t -> int
+
+val of_index : int -> t
+
+(** DIMACS integer: [var+1] for positive, [-(var+1)] for negative
+    (DIMACS variables are 1-based). *)
+val to_dimacs : t -> int
+
+(** Inverse of [to_dimacs]. Raises [Invalid_argument] on 0. *)
+val of_dimacs : int -> t
+
+(** [eval assignment l] evaluates under [assignment] of variables. *)
+val eval : (int -> bool) -> t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Prints as [x3] or [~x3]. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,30 @@
+(** CNF preprocessing: unit propagation, pure-literal elimination,
+    (self-)subsumption, and bounded variable elimination (BVE), the
+    MiniSat/SatELite-style inprocessing that distinguishes the stronger
+    solver profiles in the evaluation.
+
+    Variable elimination changes the variable set, so a successful
+    simplification carries a [reconstruct] function mapping any model of the
+    simplified formula back to a model of the original formula. *)
+
+type simplified = {
+  formula : Formula.t;  (** equisatisfiable simplified formula *)
+  fixed : (int * bool) list;  (** variables fixed during simplification *)
+  eliminated : int list;  (** variables removed by BVE *)
+  reconstruct : bool array -> bool array;
+      (** extend a model of [formula] (indexed by the original variable
+          numbering; eliminated variables' entries are ignored) to a model
+          of the original formula *)
+}
+
+type outcome = Unsat | Simplified of simplified
+
+(** [simplify ?bve ?max_resolvent_growth ?quadratic_limit f] preprocesses
+    [f].  [bve] (default [true]) enables variable elimination; a variable
+    is eliminated only if doing so adds at most [max_resolvent_growth]
+    (default [0]) clauses net.  The quadratic techniques (subsumption and
+    BVE) are skipped on formulas larger than [quadratic_limit] clauses
+    (default [20_000]) — the effort cap every production preprocessor
+    applies; unit propagation and pure literals always run. *)
+val simplify :
+  ?bve:bool -> ?max_resolvent_growth:int -> ?quadratic_limit:int -> Formula.t -> outcome

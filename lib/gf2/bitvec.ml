@@ -1,0 +1,89 @@
+type t = { len : int; words : int array }
+
+let bits_per_word = Sys.int_size
+
+let words_for len = (len + bits_per_word - 1) / bits_per_word
+
+let create len =
+  if len < 0 then invalid_arg "Bitvec.create";
+  { len; words = Array.make (max 1 (words_for len)) 0 }
+
+let length v = v.len
+
+let check v i =
+  if i < 0 || i >= v.len then invalid_arg "Bitvec: index out of range"
+
+let get v i =
+  check v i;
+  v.words.(i / bits_per_word) lsr (i mod bits_per_word) land 1 = 1
+
+let set v i b =
+  check v i;
+  let w = i / bits_per_word and o = i mod bits_per_word in
+  if b then v.words.(w) <- v.words.(w) lor (1 lsl o)
+  else v.words.(w) <- v.words.(w) land lnot (1 lsl o)
+
+let flip v i =
+  check v i;
+  let w = i / bits_per_word and o = i mod bits_per_word in
+  v.words.(w) <- v.words.(w) lxor (1 lsl o)
+
+let copy v = { len = v.len; words = Array.copy v.words }
+
+let xor_into ~src ~dst =
+  if src.len <> dst.len then invalid_arg "Bitvec.xor_into: length mismatch";
+  let s = src.words and d = dst.words in
+  for w = 0 to Array.length d - 1 do
+    d.(w) <- d.(w) lxor s.(w)
+  done
+
+let is_zero v = Array.for_all (fun w -> w = 0) v.words
+
+(* Index of the lowest set bit of a nonzero word. *)
+let lowest_bit_index w =
+  let rec go w i = if w land 1 = 1 then i else go (w lsr 1) (i + 1) in
+  go w 0
+
+let first_set v =
+  let n = Array.length v.words in
+  let rec go w =
+    if w >= n then None
+    else if v.words.(w) = 0 then go (w + 1)
+    else Some ((w * bits_per_word) + lowest_bit_index v.words.(w))
+  in
+  go 0
+
+let popcount_word w =
+  let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
+  go w 0
+
+let popcount v = Array.fold_left (fun acc w -> acc + popcount_word w) 0 v.words
+
+let equal a b = a.len = b.len && a.words = b.words
+
+let iter_set v f =
+  for w = 0 to Array.length v.words - 1 do
+    let bits = ref v.words.(w) in
+    while !bits <> 0 do
+      let i = lowest_bit_index !bits in
+      f ((w * bits_per_word) + i);
+      bits := !bits land lnot (1 lsl i)
+    done
+  done
+
+let fold_set v init f =
+  let acc = ref init in
+  iter_set v (fun i -> acc := f !acc i);
+  !acc
+
+let of_list n idxs =
+  let v = create n in
+  List.iter (fun i -> flip v i) idxs;
+  v
+
+let to_list v = List.rev (fold_set v [] (fun acc i -> i :: acc))
+
+let pp ppf v =
+  for i = 0 to v.len - 1 do
+    Format.pp_print_char ppf (if get v i then '1' else '0')
+  done

@@ -1,0 +1,176 @@
+type t = { nrows : int; ncols : int; data : Bitvec.t array }
+
+let create ~rows ~cols =
+  if rows < 0 || cols < 0 then invalid_arg "Matrix.create";
+  { nrows = rows; ncols = cols; data = Array.init (max 1 rows) (fun _ -> Bitvec.create cols) }
+
+let of_rows ~cols rows_list =
+  List.iter
+    (fun r ->
+      if Bitvec.length r <> cols then invalid_arg "Matrix.of_rows: row length mismatch")
+    rows_list;
+  let nrows = List.length rows_list in
+  let m = create ~rows:nrows ~cols in
+  List.iteri (fun i r -> m.data.(i) <- Bitvec.copy r) rows_list;
+  m
+
+let rows m = m.nrows
+let cols m = m.ncols
+
+(* index of column [pc] within the block's pivot-column list *)
+let index_of_col pc pivot_cols =
+  let rec go i = function
+    | [] -> invalid_arg "Matrix: pivot column not found"
+    | c :: rest -> if c = pc then i else go (i + 1) rest
+  in
+  go 0 pivot_cols
+
+let lowest_bit_index_int w =
+  let rec go w i = if w land 1 = 1 then i else go (w lsr 1) (i + 1) in
+  go w 0
+
+let check_row m i = if i < 0 || i >= m.nrows then invalid_arg "Matrix: row out of range"
+
+let get m i j =
+  check_row m i;
+  Bitvec.get m.data.(i) j
+
+let set m i j b =
+  check_row m i;
+  Bitvec.set m.data.(i) j b
+
+let row m i =
+  check_row m i;
+  m.data.(i)
+
+let copy m = { m with data = Array.map Bitvec.copy m.data }
+
+let swap_rows m i j =
+  check_row m i;
+  check_row m j;
+  let t = m.data.(i) in
+  m.data.(i) <- m.data.(j);
+  m.data.(j) <- t
+
+let xor_rows m ~src ~dst =
+  check_row m src;
+  check_row m dst;
+  Bitvec.xor_into ~src:m.data.(src) ~dst:m.data.(dst)
+
+(* Gauss-Jordan: for each column left to right, find a pivot row at or below
+   the current pivot rank, swap it up, then clear that column in every other
+   row.  O(rows * cols * words-per-row). *)
+let rref m =
+  let pivot_row = ref 0 in
+  let col = ref 0 in
+  while !pivot_row < m.nrows && !col < m.ncols do
+    let c = !col in
+    (* find a row >= pivot_row with a 1 in column c *)
+    let rec find i =
+      if i >= m.nrows then None else if Bitvec.get m.data.(i) c then Some i else find (i + 1)
+    in
+    (match find !pivot_row with
+    | None -> ()
+    | Some i ->
+        if i <> !pivot_row then swap_rows m i !pivot_row;
+        let p = m.data.(!pivot_row) in
+        for r = 0 to m.nrows - 1 do
+          if r <> !pivot_row && Bitvec.get m.data.(r) c then
+            Bitvec.xor_into ~src:p ~dst:m.data.(r)
+        done;
+        incr pivot_row);
+    incr col
+  done;
+  !pivot_row
+
+(* Method of the Four Russians.  Per block of <= k columns: find pivot
+   rows (reducing each candidate row by the block's previous pivots only),
+   normalise the pivot rows to identity on the pivot columns, tabulate all
+   2^b combinations of them in gray-code order, then clear the block's
+   pivot columns from every other row with one lookup + one XOR. *)
+let rref_m4rm ?(k = 6) m =
+  if k < 1 || k > 20 then invalid_arg "Matrix.rref_m4rm: k in 1..20";
+  let pivot_row = ref 0 in
+  let col = ref 0 in
+  while !pivot_row < m.nrows && !col < m.ncols do
+    let block_end = min m.ncols (!col + k) in
+    (* phase A: collect pivots for columns [!col, block_end) *)
+    let pivot_cols = ref [] in
+    let found = ref 0 in
+    let c = ref !col in
+    while !c < block_end do
+      (* find a row at or below pivot_row + found with a 1 in column !c
+         after reduction by the pivots already found in this block *)
+      let rec search i =
+        if i >= m.nrows then None
+        else begin
+          (* reduce the candidate by this block's pivot rows, in pivot
+             order: each pivot row is clean on the pivots before it but may
+             touch the ones after, so ascending order is required *)
+          List.iter
+            (fun pc ->
+              if Bitvec.get m.data.(i) pc then
+                Bitvec.xor_into
+                  ~src:m.data.(!pivot_row + index_of_col pc !pivot_cols)
+                  ~dst:m.data.(i))
+            !pivot_cols;
+          if Bitvec.get m.data.(i) !c then Some i else search (i + 1)
+        end
+      in
+      (match search (!pivot_row + !found) with
+      | Some i ->
+          if i <> !pivot_row + !found then swap_rows m i (!pivot_row + !found);
+          pivot_cols := !pivot_cols @ [ !c ];
+          incr found
+      | None -> ());
+      incr c
+    done;
+    let b = !found in
+    if b = 0 then col := block_end
+    else begin
+      let pivots = Array.of_list !pivot_cols in
+      (* normalise the pivot rows to identity on the pivot columns *)
+      for i = 0 to b - 1 do
+        for j = 0 to b - 1 do
+          if i <> j && Bitvec.get m.data.(!pivot_row + i) pivots.(j) then
+            Bitvec.xor_into ~src:m.data.(!pivot_row + j) ~dst:m.data.(!pivot_row + i)
+        done
+      done;
+      (* gray-code table of the 2^b combinations *)
+      let table = Array.make (1 lsl b) (Bitvec.create m.ncols) in
+      for g = 1 to (1 lsl b) - 1 do
+        let low = lowest_bit_index_int g in
+        let v = Bitvec.copy table.(g land (g - 1)) in
+        Bitvec.xor_into ~src:m.data.(!pivot_row + low) ~dst:v;
+        table.(g) <- v
+      done;
+      (* clear the pivot columns everywhere else with one XOR per row *)
+      for r = 0 to m.nrows - 1 do
+        if r < !pivot_row || r >= !pivot_row + b then begin
+          let idx = ref 0 in
+          for j = 0 to b - 1 do
+            if Bitvec.get m.data.(r) pivots.(j) then idx := !idx lor (1 lsl j)
+          done;
+          if !idx <> 0 then Bitvec.xor_into ~src:table.(!idx) ~dst:m.data.(r)
+        end
+      done;
+      pivot_row := !pivot_row + b;
+      col := block_end
+    end
+  done;
+  !pivot_row
+
+let rank m = rref (copy m)
+
+let nonzero_rows m =
+  let acc = ref [] in
+  for i = m.nrows - 1 downto 0 do
+    if not (Bitvec.is_zero m.data.(i)) then acc := Bitvec.copy m.data.(i) :: !acc
+  done;
+  !acc
+
+let pp ppf m =
+  for i = 0 to m.nrows - 1 do
+    if i > 0 then Format.pp_print_newline ppf ();
+    Bitvec.pp ppf m.data.(i)
+  done

@@ -1,0 +1,22 @@
+type run = { solved : bool; sat : bool option; time_s : float }
+
+let score ~timeout_s runs =
+  List.fold_left
+    (fun acc r -> if r.solved then acc +. r.time_s else acc +. (2.0 *. timeout_s))
+    0.0 runs
+
+let solved_counts runs =
+  List.fold_left
+    (fun (s, u) r ->
+      if not r.solved then (s, u)
+      else
+        match r.sat with
+        | Some true -> (s + 1, u)
+        | Some false -> (s, u + 1)
+        | None -> (s, u))
+    (0, 0) runs
+
+let cell ~timeout_s runs =
+  let s, u = solved_counts runs in
+  let solved = if u = 0 then string_of_int s else Printf.sprintf "%d+%d" s u in
+  Printf.sprintf "%7.1f (%s)" (score ~timeout_s runs) solved

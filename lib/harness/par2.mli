@@ -1,0 +1,21 @@
+(** PAR-2 scoring (SAT Competition 2017): the sum of runtimes of solved
+    instances plus twice the timeout for each unsolved instance — lower is
+    better (Section IV of the paper). *)
+
+type run = {
+  solved : bool;
+  sat : bool option;  (** [Some true]/[Some false] when decided *)
+  time_s : float;
+}
+
+(** [score ~timeout_s runs] is the PAR-2 score in seconds. *)
+val score : timeout_s:float -> run list -> float
+
+(** [(solved_sat, solved_unsat)] counts, matching the "(s+u)" cells of
+    Table II. *)
+val solved_counts : run list -> int * int
+
+(** [cell ~timeout_s runs] renders a Table II cell: score (in the unit of
+    seconds here, not thousands) with solved counts in parentheses,
+    e.g. ["12.3 (47+2)"] or ["12.3 (50)"] when no UNSAT instances. *)
+val cell : timeout_s:float -> run list -> string

@@ -1,0 +1,19 @@
+let render ~title ~headers rows =
+  let all = headers :: rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width col =
+    List.fold_left
+      (fun acc row -> max acc (try String.length (List.nth row col) with Failure _ -> 0))
+      0 all
+  in
+  let widths = List.init ncols width in
+  let line row =
+    String.concat "  "
+      (List.mapi
+         (fun i w ->
+           let cell = try List.nth row i with Failure _ -> "" in
+           cell ^ String.make (max 0 (w - String.length cell)) ' ')
+         widths)
+  in
+  let sep = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" (title :: line headers :: sep :: List.map line rows) ^ "\n"

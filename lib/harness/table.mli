@@ -1,0 +1,4 @@
+(** Aligned plain-text tables for the benchmark reports. *)
+
+(** [render ~title ~headers rows] lays out the rows with padded columns. *)
+val render : title:string -> headers:string list -> string list list -> string

@@ -1,0 +1,4 @@
+(** Wall-clock measurement helpers. *)
+
+(** [time f] runs [f ()] returning its result and elapsed seconds. *)
+val time : (unit -> 'a) -> 'a * float

@@ -1,0 +1,13 @@
+let minimise ~nvars ~on_set =
+  let on_set = List.sort_uniq Int.compare on_set in
+  let primes = Quine_mccluskey.prime_implicants ~nvars on_set in
+  Cover.select ~nvars ~primes ~on_set
+
+let verify ~nvars ~on_set cubes =
+  let on = List.sort_uniq Int.compare on_set in
+  let covered m = List.exists (fun c -> Cube.covers c m) cubes in
+  let rec go m ok =
+    if m >= 1 lsl nvars then ok
+    else go (m + 1) (ok && covered m = List.mem m on)
+  in
+  go 0 true

@@ -1,0 +1,14 @@
+(** Two-level logic minimisation: the role ESPRESSO plays in the original
+    Bosphorus (Karnaugh-map simplification, Section III-E).
+
+    [minimise ~nvars ~on_set] returns a small sum-of-products cover of the
+    function with the given on-set: Quine–McCluskey prime implicants
+    followed by essential/branch-and-bound cover selection, which is exact
+    at the sizes Bosphorus uses (K <= 8 variables). *)
+
+val minimise : nvars:int -> on_set:int list -> Cube.t list
+
+(** [verify ~nvars ~on_set cubes] checks that [cubes] cover exactly the
+    minterms of [on_set] — every on-set minterm is covered and no off-set
+    minterm is.  Used by tests and as an internal sanity assertion. *)
+val verify : nvars:int -> on_set:int list -> Cube.t list -> bool

@@ -1,0 +1,39 @@
+module Cset = Set.Make (Cube)
+
+(* Classic tabulation: repeatedly merge pairs of cubes that differ in one
+   fixed bit; cubes that never merge are prime. *)
+let prime_implicants ~nvars on_set =
+  if nvars < 0 || nvars > 16 then invalid_arg "Quine_mccluskey: nvars out of range";
+  List.iter
+    (fun m -> if m < 0 || m >= 1 lsl nvars then invalid_arg "Quine_mccluskey: minterm out of range")
+    on_set;
+  let rec round current primes =
+    if Cset.is_empty current then Cset.elements primes
+    else begin
+      let cubes = Cset.elements current in
+      let merged_away = Hashtbl.create 16 in
+      let next = ref Cset.empty in
+      let arr = Array.of_list cubes in
+      let n = Array.length arr in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          match Cube.merge arr.(i) arr.(j) with
+          | Some c ->
+              next := Cset.add c !next;
+              Hashtbl.replace merged_away arr.(i) ();
+              Hashtbl.replace merged_away arr.(j) ()
+          | None -> ()
+        done
+      done;
+      let new_primes =
+        List.fold_left
+          (fun acc c -> if Hashtbl.mem merged_away c then acc else Cset.add c acc)
+          primes cubes
+      in
+      round !next new_primes
+    end
+  in
+  let initial =
+    List.fold_left (fun s m -> Cset.add (Cube.of_minterm ~nvars m) s) Cset.empty on_set
+  in
+  round initial Cset.empty

@@ -1,0 +1,11 @@
+(** Prime-implicant generation by the Quine–McCluskey procedure.
+
+    Exponential in the variable count, so intended for the small [K]-variate
+    functions (K <= 8 by default in Bosphorus) fed to the Karnaugh-map
+    conversion path. *)
+
+(** [prime_implicants ~nvars on_set] computes all prime implicants of the
+    Boolean function whose on-set is [on_set] (a list of minterms, each in
+    [0, 2^nvars)).  Raises [Invalid_argument] if [nvars] is negative,
+    exceeds 16, or a minterm is out of range. *)
+val prime_implicants : nvars:int -> int list -> Cube.t list

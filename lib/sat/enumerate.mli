@@ -1,0 +1,20 @@
+(** All-solutions enumeration by blocking clauses.
+
+    Section V of the paper contrasts a SAT solver's "collapse onto one
+    solution" with Bosphorus's ability to constrain the space without
+    committing; this module provides the complementary primitive — walk
+    the models one by one, blocking each as it is found.  Used by tests to
+    check that preprocessing preserves solution sets at sizes where brute
+    force would be hopeless. *)
+
+(** [models ?limit ?relevant f] lists models of [f], at most [limit]
+    (default 1024).  With [relevant] (a list of variable indices), models
+    are projected: two models agreeing on [relevant] count once, and each
+    returned array is still indexed by all variables of [f].  Without it,
+    every variable matters.  The second component is [true] when the
+    enumeration is complete (the limit was not hit). *)
+val models : ?limit:int -> ?relevant:int list -> Cnf.Formula.t -> bool array list * bool
+
+(** [count ?limit ?relevant f] is the number of (projected) models, or
+    [None] if the limit was hit before exhaustion. *)
+val count : ?limit:int -> ?relevant:int list -> Cnf.Formula.t -> int option

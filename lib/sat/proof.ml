@@ -1,0 +1,70 @@
+type step = Cnf.Lit.t list
+
+(* Truth value of a literal under a partial assignment keyed by variable. *)
+let lit_value assignment l =
+  match Hashtbl.find_opt assignment (Cnf.Lit.var l) with
+  | None -> None
+  | Some b -> Some (b <> Cnf.Lit.negated l)
+
+(* Naive unit propagation to fixpoint: scan all clauses until no clause is
+   unit.  Quadratic, but the checker's job is to be obviously correct, not
+   fast.  Returns [true] iff a conflict was reached. *)
+let propagate_to_conflict clauses assignment =
+  let conflict = ref false in
+  let changed = ref true in
+  while !changed && not !conflict do
+    changed := false;
+    List.iter
+      (fun clause ->
+        if not !conflict then begin
+          let unassigned = ref [] in
+          let satisfied = ref false in
+          List.iter
+            (fun l ->
+              match lit_value assignment l with
+              | Some true -> satisfied := true
+              | Some false -> ()
+              | None -> unassigned := l :: !unassigned)
+            clause;
+          if not !satisfied then
+            match !unassigned with
+            | [] -> conflict := true
+            | [ l ] ->
+                Hashtbl.replace assignment (Cnf.Lit.var l) (not (Cnf.Lit.negated l));
+                changed := true
+            | _ :: _ :: _ -> ()
+        end)
+      clauses
+  done;
+  !conflict
+
+let is_rup ~clauses step =
+  let assignment = Hashtbl.create 64 in
+  (* assert the negation of the candidate clause *)
+  let consistent =
+    List.for_all
+      (fun l ->
+        match lit_value assignment l with
+        | Some true -> false (* the negation is itself contradictory: ok *)
+        | Some false -> true
+        | None ->
+            Hashtbl.replace assignment (Cnf.Lit.var l) (Cnf.Lit.negated l);
+            true)
+      step
+  in
+  if not consistent then true else propagate_to_conflict clauses assignment
+
+let check formula proof =
+  let has_empty = List.exists (fun s -> s = []) proof in
+  has_empty
+  &&
+  let base = List.map Cnf.Clause.to_list (Cnf.Formula.clauses formula) in
+  let rec go clauses = function
+    | [] -> true
+    | step :: rest ->
+        if is_rup ~clauses step then
+          (* stop at the empty clause: everything after is irrelevant *)
+          if step = [] then true else go (step :: clauses) rest
+        else false
+  in
+  go base proof

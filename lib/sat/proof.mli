@@ -1,0 +1,29 @@
+(** DRUP-style unsatisfiability certificates.
+
+    When proof logging is enabled ({!Solver.enable_proof}), the solver
+    records every learnt clause in derivation order, ending with the empty
+    clause on UNSAT.  Each learnt clause of a CDCL solver has the RUP
+    property (Reverse Unit Propagation): asserting the negation of all its
+    literals and unit-propagating the formula plus the previously derived
+    clauses yields a conflict.  {!check} verifies this independently of the
+    solver's internals — a deliberately simple checker that serves as the
+    trust anchor for UNSAT answers.
+
+    Scope: certificates cover plain CNF solving.  Runs using native XOR
+    constraints ({!Solver.add_xor}) derive clauses that are sound but not
+    RUP with respect to the CNF alone, so proofs are not emitted for
+    them. *)
+
+type step = Cnf.Lit.t list
+(** A derived clause; [[]] is the empty clause. *)
+
+(** [check formula proof] replays the certificate: every step must be RUP
+    with respect to the formula plus all earlier steps, and the certificate
+    must contain the empty clause.  Returns [false] on the first failing
+    step. *)
+val check : Cnf.Formula.t -> step list -> bool
+
+(** [is_rup ~clauses step] is the single-step check: propagating the
+    negations of [step]'s literals in [clauses] reaches a conflict.
+    Exposed for tests. *)
+val is_rup : clauses:Cnf.Lit.t list list -> step -> bool

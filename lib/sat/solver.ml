@@ -1,0 +1,824 @@
+open Types
+
+type config = {
+  var_decay : float;
+  clause_decay : float;
+  restart_first : int;
+  use_luby : bool;
+  restart_inc : float;
+  learntsize_factor : float;
+  learntsize_inc : float;
+  minimise_learnts : bool;
+}
+
+let default_config =
+  {
+    var_decay = 0.95;
+    clause_decay = 0.999;
+    restart_first = 100;
+    use_luby = true;
+    restart_inc = 2.0;
+    learntsize_factor = 1.0 /. 3.0;
+    learntsize_inc = 1.1;
+    minimise_learnts = true;
+  }
+
+type clause = {
+  mutable lits : int array; (* packed literals, 2*var + sign *)
+  learnt : bool;
+  mutable activity : float;
+  mutable lbd : int;
+}
+
+let dummy_clause = { lits = [||]; learnt = false; activity = 0.0; lbd = 0 }
+
+(* A watcher pairs the clause with a "blocker" literal (some other literal
+   of the clause): if the blocker is already true the clause is satisfied
+   and propagation skips it without touching the clause at all — MiniSat's
+   main propagation constant-factor optimisation. *)
+type watcher = { wclause : clause; blocker : int }
+
+let dummy_watcher = { wclause = dummy_clause; blocker = 0 }
+
+(* Native XOR constraint: vars.(0) (+) ... (+) vars.(n-1) = parity, watched
+   on two positions (w0, w1) like clause literals — the in-search XOR
+   propagation of CryptoMiniSat-style solvers. *)
+type xor_row = {
+  vars : int array;
+  parity : bool;
+  mutable w0 : int; (* index into vars *)
+  mutable w1 : int;
+}
+
+type t = {
+  config : config;
+  mutable nvars : int;
+  clauses : clause Vec.t;
+  learnts : clause Vec.t;
+  mutable watches : watcher Vec.t array; (* indexed by literal *)
+  mutable assigns : lbool array; (* indexed by variable *)
+  mutable phase : bool array; (* saved phase per variable *)
+  mutable activity : float array;
+  mutable reason : clause option array;
+  mutable level : int array;
+  mutable trail : int array;
+  mutable trail_size : int;
+  trail_lim : int Vec.t; (* trail index at each decision level *)
+  mutable qhead : int;
+  mutable heap : Var_heap.t;
+  mutable ok : bool;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  mutable seen : bool array;
+  mutable max_learnts : float;
+  mutable xor_watches : xor_row list array; (* indexed by variable *)
+  mutable n_xors : int;
+  mutable proof_enabled : bool;
+  mutable proof_log : int array list; (* reversed; packed literals *)
+  stats : stats;
+}
+
+let lit_var p = p lsr 1
+let lit_neg p = p lxor 1
+let lit_negated p = p land 1 = 1
+
+let create ?(config = default_config) ~nvars () =
+  if nvars < 0 then invalid_arg "Solver.create";
+  let n = max nvars 1 in
+  let activity = Array.make n 0.0 in
+  let t =
+    {
+      config;
+      nvars;
+      clauses = Vec.create ~dummy:dummy_clause;
+      learnts = Vec.create ~dummy:dummy_clause;
+      watches = Array.init (2 * n) (fun _ -> Vec.create ~dummy:dummy_watcher);
+      assigns = Array.make n Unknown;
+      phase = Array.make n false;
+      activity;
+      reason = Array.make n None;
+      level = Array.make n 0;
+      trail = Array.make n 0;
+      trail_size = 0;
+      trail_lim = Vec.create ~dummy:0;
+      qhead = 0;
+      heap = Var_heap.create n activity;
+      ok = true;
+      var_inc = 1.0;
+      cla_inc = 1.0;
+      seen = Array.make n false;
+      max_learnts = 1000.0;
+      xor_watches = Array.make n [];
+      n_xors = 0;
+      proof_enabled = false;
+      proof_log = [];
+      stats = fresh_stats ();
+    }
+  in
+  for v = 0 to nvars - 1 do
+    Var_heap.insert t.heap v
+  done;
+  t
+
+let nvars t = t.nvars
+
+let grow_arrays t cap =
+  let old = Array.length t.assigns in
+  if cap > old then begin
+    let n = max cap (2 * old) in
+    let copy_arr make blit_src =
+      let a = make n in
+      blit_src a;
+      a
+    in
+    t.assigns <- copy_arr (fun n -> Array.make n Unknown) (fun a -> Array.blit t.assigns 0 a 0 old);
+    t.phase <- copy_arr (fun n -> Array.make n false) (fun a -> Array.blit t.phase 0 a 0 old);
+    t.activity <- copy_arr (fun n -> Array.make n 0.0) (fun a -> Array.blit t.activity 0 a 0 old);
+    t.reason <- copy_arr (fun n -> Array.make n None) (fun a -> Array.blit t.reason 0 a 0 old);
+    t.level <- copy_arr (fun n -> Array.make n 0) (fun a -> Array.blit t.level 0 a 0 old);
+    t.trail <- copy_arr (fun n -> Array.make n 0) (fun a -> Array.blit t.trail 0 a 0 old);
+    t.seen <- copy_arr (fun n -> Array.make n false) (fun a -> Array.blit t.seen 0 a 0 old);
+    let watches = Array.init (2 * n) (fun i ->
+        if i < 2 * old then t.watches.(i) else Vec.create ~dummy:dummy_watcher)
+    in
+    t.watches <- watches;
+    let xor_watches = Array.make n [] in
+    Array.blit t.xor_watches 0 xor_watches 0 old;
+    t.xor_watches <- xor_watches;
+    t.heap <- Var_heap.grow t.heap n t.activity
+  end
+
+let new_var t =
+  let v = t.nvars in
+  grow_arrays t (v + 1);
+  t.nvars <- v + 1;
+  Var_heap.insert t.heap v;
+  v
+
+let var_value t v = t.assigns.(v)
+
+let lit_value t p =
+  match t.assigns.(lit_var p) with
+  | Unknown -> Unknown
+  | True -> if lit_negated p then False else True
+  | False -> if lit_negated p then True else False
+
+let decision_level t = Vec.size t.trail_lim
+
+(* ---------------- proof logging ---------------- *)
+
+let enable_proof t = t.proof_enabled <- true
+
+let log_derived t lits = if t.proof_enabled then t.proof_log <- lits :: t.proof_log
+
+let mark_unsat t =
+  t.ok <- false;
+  log_derived t [||]
+
+let proof t =
+  List.rev_map
+    (fun lits -> Array.to_list (Array.map Cnf.Lit.of_index lits))
+    t.proof_log
+
+(* ---------------- activity ---------------- *)
+
+let var_rescale = 1e100
+
+let bump_var t v =
+  t.activity.(v) <- t.activity.(v) +. t.var_inc;
+  if t.activity.(v) > var_rescale then begin
+    for i = 0 to t.nvars - 1 do
+      t.activity.(i) <- t.activity.(i) *. 1e-100
+    done;
+    t.var_inc <- t.var_inc *. 1e-100
+  end;
+  Var_heap.update t.heap v
+
+let decay_var_activity t = t.var_inc <- t.var_inc /. t.config.var_decay
+
+let bump_clause t (c : clause) =
+  c.activity <- c.activity +. t.cla_inc;
+  if c.activity > 1e20 then begin
+    Vec.iter (fun (c : clause) -> c.activity <- c.activity *. 1e-20) t.learnts;
+    t.cla_inc <- t.cla_inc *. 1e-20
+  end
+
+let decay_clause_activity t = t.cla_inc <- t.cla_inc /. t.config.clause_decay
+
+(* ---------------- assignment ---------------- *)
+
+let enqueue t p reason =
+  let v = lit_var p in
+  assert (lbool_equal t.assigns.(v) Unknown);
+  t.assigns.(v) <- (if lit_negated p then False else True);
+  t.level.(v) <- decision_level t;
+  t.reason.(v) <- reason;
+  t.trail.(t.trail_size) <- p;
+  t.trail_size <- t.trail_size + 1
+
+let cancel_until t lvl =
+  if decision_level t > lvl then begin
+    let bound = Vec.get t.trail_lim lvl in
+    for i = t.trail_size - 1 downto bound do
+      let p = t.trail.(i) in
+      let v = lit_var p in
+      t.phase.(v) <- lbool_equal t.assigns.(v) True;
+      t.assigns.(v) <- Unknown;
+      t.reason.(v) <- None;
+      Var_heap.insert t.heap v
+    done;
+    t.trail_size <- bound;
+    t.qhead <- bound;
+    Vec.shrink t.trail_lim lvl
+  end
+
+(* ---------------- watches / clause attachment ---------------- *)
+
+let attach t (c : clause) =
+  assert (Array.length c.lits >= 2);
+  (* the clause is found when one of its first two literals becomes false,
+     i.e. when the negation of that literal is assigned true *)
+  Vec.push t.watches.(lit_neg c.lits.(0)) { wclause = c; blocker = c.lits.(1) };
+  Vec.push t.watches.(lit_neg c.lits.(1)) { wclause = c; blocker = c.lits.(0) }
+
+let detach t (c : clause) =
+  let remove l = Vec.filter_in_place (fun w -> w.wclause != c) t.watches.(l) in
+  remove (lit_neg c.lits.(0));
+  remove (lit_neg c.lits.(1))
+
+let locked t (c : clause) =
+  Array.length c.lits > 0
+  &&
+  let v = lit_var c.lits.(0) in
+  (match t.reason.(v) with Some r -> r == c | None -> false)
+  && lbool_equal (lit_value t c.lits.(0)) True
+
+let remove_learnt t c =
+  detach t c;
+  t.stats.deleted_clauses <- t.stats.deleted_clauses + 1
+
+(* ---------------- native XOR constraints ---------------- *)
+
+let var_bool t v = lbool_equal t.assigns.(v) True
+
+(* Reason/conflict clause for an XOR row under the current assignment: the
+   currently-false literal of every assigned variable, with the implied
+   literal (if any) in front, as conflict analysis expects. *)
+let xor_clause t row ~implied =
+  let lits = ref [] in
+  Array.iter
+    (fun v ->
+      match implied with
+      | Some (iv, _) when iv = v -> ()
+      | Some _ | None ->
+          (* literal with sign = current value is false right now *)
+          lits := ((2 * v) + if var_bool t v then 1 else 0) :: !lits)
+    row.vars;
+  let lits =
+    match implied with
+    | Some (iv, b) -> ((2 * iv) + if b then 0 else 1) :: !lits
+    | None -> !lits
+  in
+  { lits = Array.of_list lits; learnt = false; activity = 0.0; lbd = 0 }
+
+(* Process the XOR rows watching variable [v], which was just assigned.
+   Mirrors clause watching: find a replacement unassigned watch, otherwise
+   the row is unit (imply the other watch) or fully assigned (check
+   parity).  Returns the conflicting virtual clause, if any. *)
+let propagate_xor t v =
+  let conflict = ref None in
+  let rows = t.xor_watches.(v) in
+  t.xor_watches.(v) <- [];
+  let rec process = function
+    | [] -> ()
+    | row :: rest -> (
+        let n = Array.length row.vars in
+        let my_w = if row.vars.(row.w0) = v then `W0 else `W1 in
+        let other_w = match my_w with `W0 -> row.w1 | `W1 -> row.w0 in
+        (* look for an unassigned replacement watch *)
+        let rec find k =
+          if k >= n then None
+          else if
+            k <> row.w0 && k <> row.w1
+            && lbool_equal t.assigns.(row.vars.(k)) Unknown
+          then Some k
+          else find (k + 1)
+        in
+        match find 0 with
+        | Some k ->
+            (match my_w with `W0 -> row.w0 <- k | `W1 -> row.w1 <- k);
+            let w = row.vars.(k) in
+            t.xor_watches.(w) <- row :: t.xor_watches.(w);
+            process rest
+        | None ->
+            (* keep watching v *)
+            t.xor_watches.(v) <- row :: t.xor_watches.(v);
+            let ov = row.vars.(other_w) in
+            if lbool_equal t.assigns.(ov) Unknown then begin
+              (* unit: the other watch is implied *)
+              let acc = ref row.parity in
+              Array.iter (fun x -> if x <> ov && var_bool t x then acc := not !acc) row.vars;
+              let reason = xor_clause t row ~implied:(Some (ov, !acc)) in
+              enqueue t ((2 * ov) + if !acc then 0 else 1) (Some reason);
+              process rest
+            end
+            else begin
+              (* fully assigned: verify the parity *)
+              let acc = ref false in
+              Array.iter (fun x -> if var_bool t x then acc := not !acc) row.vars;
+              if !acc <> row.parity then begin
+                conflict := Some (xor_clause t row ~implied:None);
+                List.iter
+                  (fun r -> t.xor_watches.(v) <- r :: t.xor_watches.(v))
+                  rest
+              end
+              else process rest
+            end)
+  in
+  process rows;
+  !conflict
+
+(* ---------------- propagation ---------------- *)
+
+(* Two-watched-literal Boolean constraint propagation.  Returns the
+   conflicting clause, if any. *)
+let propagate t =
+  let conflict = ref None in
+  while !conflict = None && t.qhead < t.trail_size do
+    let p = t.trail.(t.qhead) in
+    t.qhead <- t.qhead + 1;
+    t.stats.propagations <- t.stats.propagations + 1;
+    (* p became true; clauses registered under p watch a literal that just
+       became false.  The watcher vector is compacted in place: [i] scans,
+       [j] writes back the watchers that stay. *)
+    let ws = t.watches.(p) in
+    let false_lit = lit_neg p in
+    let n_ws = Vec.size ws in
+    let i = ref 0 and j = ref 0 in
+    let keep w =
+      Vec.set ws !j w;
+      incr j
+    in
+    while !i < n_ws do
+      let w = Vec.get ws !i in
+      incr i;
+      if lbool_equal (lit_value t w.blocker) True then keep w
+      else begin
+        let c = w.wclause in
+        (* normalise: the false watch goes to position 1 *)
+        if c.lits.(0) = false_lit then begin
+          c.lits.(0) <- c.lits.(1);
+          c.lits.(1) <- false_lit
+        end;
+        let first = c.lits.(0) in
+        if first <> w.blocker && lbool_equal (lit_value t first) True then
+          (* satisfied; keep watching with a better blocker *)
+          keep { wclause = c; blocker = first }
+        else begin
+          (* look for a new literal to watch *)
+          let n = Array.length c.lits in
+          let rec find k =
+            if k >= n then -1
+            else if not (lbool_equal (lit_value t c.lits.(k)) False) then k
+            else find (k + 1)
+          in
+          let k = find 2 in
+          if k >= 0 then begin
+            c.lits.(1) <- c.lits.(k);
+            c.lits.(k) <- false_lit;
+            Vec.push t.watches.(lit_neg c.lits.(1)) { wclause = c; blocker = first }
+          end
+          else begin
+            (* unit or conflicting; keep this watcher *)
+            keep { wclause = c; blocker = first };
+            if lbool_equal (lit_value t first) False then begin
+              conflict := Some c;
+              t.qhead <- t.trail_size;
+              (* keep the unexamined watchers *)
+              while !i < n_ws do
+                keep (Vec.get ws !i);
+                incr i
+              done
+            end
+            else enqueue t first (Some c)
+          end
+        end
+      end
+    done;
+    Vec.shrink ws !j;
+    if !conflict = None && t.n_xors > 0 then begin
+      match propagate_xor t (lit_var p) with
+      | Some c ->
+          conflict := Some c;
+          t.qhead <- t.trail_size
+      | None -> ()
+    end
+  done;
+  !conflict
+
+(* ---------------- conflict analysis (first UIP) ---------------- *)
+
+(* Recursive learnt-clause minimisation (MiniSat's deep litRedundant): a
+   literal is redundant if, walking its implication ancestry, every branch
+   terminates in a literal already in the clause (seen) or at level 0.
+   Results are memoised per call; a depth cap bounds pathological graphs
+   (failing the cap just keeps the literal, which is always sound). *)
+let literal_redundant t q =
+  let memo : (int, bool) Hashtbl.t = Hashtbl.create 16 in
+  let rec redundant depth q =
+    depth <= 64
+    &&
+    match t.reason.(lit_var q) with
+    | None -> false
+    | Some r ->
+        Array.for_all
+          (fun l ->
+            let v = lit_var l in
+            v = lit_var q || t.level.(v) = 0 || t.seen.(v)
+            ||
+            match Hashtbl.find_opt memo v with
+            | Some b -> b
+            | None ->
+                let b = redundant (depth + 1) l in
+                Hashtbl.replace memo v b;
+                b)
+          r.lits
+  in
+  redundant 0 q
+
+let analyze t confl =
+  let learnt = ref [] in
+  let path_count = ref 0 in
+  let p = ref (-1) in
+  let index = ref (t.trail_size - 1) in
+  let confl = ref confl in
+  let to_clear = ref [] in
+  let continue = ref true in
+  while !continue do
+    let c = !confl in
+    if c.learnt then bump_clause t c;
+    let start = if !p = -1 then 0 else 1 in
+    for i = start to Array.length c.lits - 1 do
+      let q = c.lits.(i) in
+      let v = lit_var q in
+      if (not t.seen.(v)) && t.level.(v) > 0 then begin
+        t.seen.(v) <- true;
+        to_clear := v :: !to_clear;
+        bump_var t v;
+        if t.level.(v) >= decision_level t then incr path_count
+        else learnt := q :: !learnt
+      end
+    done;
+    (* next clause to inspect: walk the trail backwards to the most recent
+       seen literal *)
+    while not t.seen.(lit_var t.trail.(!index)) do
+      decr index
+    done;
+    p := t.trail.(!index);
+    decr index;
+    t.seen.(lit_var !p) <- false;
+    decr path_count;
+    if !path_count <= 0 then continue := false
+    else
+      match t.reason.(lit_var !p) with
+      | Some r -> confl := r
+      | None -> assert false (* only the UIP can lack a reason *)
+  done;
+  let learnt =
+    if t.config.minimise_learnts then
+      List.filter (fun q -> not (literal_redundant t q)) !learnt
+    else !learnt
+  in
+  let learnt = Array.of_list (lit_neg !p :: learnt) in
+  (* compute backtrack level: highest level among learnt.(1..) *)
+  let bt_level =
+    if Array.length learnt = 1 then 0
+    else begin
+      let max_i = ref 1 in
+      for i = 2 to Array.length learnt - 1 do
+        if t.level.(lit_var learnt.(i)) > t.level.(lit_var learnt.(!max_i)) then max_i := i
+      done;
+      let tmp = learnt.(1) in
+      learnt.(1) <- learnt.(!max_i);
+      learnt.(!max_i) <- tmp;
+      t.level.(lit_var learnt.(1))
+    end
+  in
+  (* literal block distance: number of distinct decision levels *)
+  let module Iset = Set.Make (Int) in
+  let lbd =
+    Array.fold_left (fun s q -> Iset.add t.level.(lit_var q) s) Iset.empty learnt
+    |> Iset.cardinal
+  in
+  List.iter (fun v -> t.seen.(v) <- false) !to_clear;
+  (learnt, bt_level, lbd)
+
+(* ---------------- clause addition ---------------- *)
+
+let add_clause_internal t lits =
+  (* root-level simplification: drop false literals, succeed on true or
+     duplicate-complement literals *)
+  assert (decision_level t = 0);
+  let lits = List.sort_uniq Int.compare lits in
+  let tautology =
+    let rec go = function
+      | a :: (b :: _ as rest) -> (a = lit_neg b && lit_var a = lit_var b) || go rest
+      | [ _ ] | [] -> false
+    in
+    go lits
+  in
+  if tautology then true
+  else if List.exists (fun p -> lbool_equal (lit_value t p) True) lits then true
+  else begin
+    let lits = List.filter (fun p -> not (lbool_equal (lit_value t p) False)) lits in
+    match lits with
+    | [] ->
+        mark_unsat t;
+        false
+    | [ p ] ->
+        enqueue t p None;
+        (match propagate t with
+        | Some _ ->
+            mark_unsat t;
+            false
+        | None -> true)
+    | _ ->
+        let c =
+          { lits = Array.of_list lits; learnt = false; activity = 0.0; lbd = 0 }
+        in
+        Vec.push t.clauses c;
+        attach t c;
+        true
+  end
+
+let add_clause t lits =
+  if not t.ok then false
+  else begin
+    let lits = List.map (fun l -> Cnf.Lit.to_index l) lits in
+    List.iter (fun p -> grow_arrays t (lit_var p + 1)) lits;
+    List.iter
+      (fun p ->
+        if lit_var p >= t.nvars then begin
+          for v = t.nvars to lit_var p do
+            Var_heap.insert t.heap v
+          done;
+          t.nvars <- lit_var p + 1
+        end)
+      lits;
+    add_clause_internal t lits
+  end
+
+let add_formula t f =
+  List.for_all (fun c -> add_clause t (Cnf.Clause.to_list c)) (Cnf.Formula.clauses f)
+
+let add_xor t ~vars ~parity =
+  if not t.ok then false
+  else begin
+    assert (decision_level t = 0);
+    (* cancel duplicated variables (GF(2)) and fold root-level values *)
+    let sorted = List.sort Int.compare vars in
+    let rec dedup = function
+      | a :: b :: rest when a = b -> dedup rest
+      | a :: rest -> a :: dedup rest
+      | [] -> []
+    in
+    let distinct = dedup sorted in
+    List.iter (fun v -> grow_arrays t (v + 1)) distinct;
+    List.iter
+      (fun v ->
+        if v >= t.nvars then begin
+          for w = t.nvars to v do
+            Var_heap.insert t.heap w
+          done;
+          t.nvars <- v + 1
+        end)
+      distinct;
+    let parity, free =
+      List.fold_left
+        (fun (parity, free) v ->
+          match t.assigns.(v) with
+          | Unknown -> (parity, v :: free)
+          | True -> (not parity, free)
+          | False -> (parity, free))
+        (parity, []) distinct
+    in
+    match free with
+    | [] ->
+        if parity then begin
+          mark_unsat t;
+          false
+        end
+        else true
+    | [ v ] -> add_clause_internal t [ (2 * v) + if parity then 0 else 1 ]
+    | _ :: _ :: _ ->
+        let row = { vars = Array.of_list (List.rev free); parity; w0 = 0; w1 = 1 } in
+        let a = row.vars.(0) and b = row.vars.(1) in
+        t.xor_watches.(a) <- row :: t.xor_watches.(a);
+        t.xor_watches.(b) <- row :: t.xor_watches.(b);
+        t.n_xors <- t.n_xors + 1;
+        true
+  end
+
+(* ---------------- learnt DB reduction ---------------- *)
+
+let reduce_db t =
+  (* order: worse clauses first (higher LBD, then lower activity) *)
+  let cmp (a : clause) (b : clause) =
+    if a.lbd <> b.lbd then Stdlib.compare b.lbd a.lbd
+    else Stdlib.compare a.activity b.activity
+  in
+  Vec.sort_in_place cmp t.learnts;
+  let target = Vec.size t.learnts / 2 in
+  let removed = ref 0 in
+  let keep c =
+    if
+      !removed < target
+      && (not (locked t c))
+      && Array.length c.lits > 2
+      && c.lbd > 2
+    then begin
+      remove_learnt t c;
+      incr removed;
+      false
+    end
+    else true
+  in
+  Vec.filter_in_place keep t.learnts
+
+(* ---------------- restarts ---------------- *)
+
+(* Luby restart sequence 1,1,2,1,1,2,4,... (MiniSat's formulation): find
+   the finite subsequence containing index [x], then walk down. *)
+let luby y x =
+  let rec find size seq = if size < x + 1 then find ((2 * size) + 1) (seq + 1) else (size, seq) in
+  let size, seq = find 1 0 in
+  let rec walk size seq x =
+    if size - 1 = x then y ** float_of_int seq
+    else
+      let size = (size - 1) / 2 in
+      walk size (seq - 1) (x mod size)
+  in
+  walk size seq x
+
+(* ---------------- search ---------------- *)
+
+type search_outcome = Done of result | Restart
+
+let record_learnt t learnt lbd =
+  log_derived t (Array.copy learnt);
+  match Array.length learnt with
+  | 0 -> assert false
+  | 1 -> enqueue t learnt.(0) None
+  | _ ->
+      let c = { lits = learnt; learnt = true; activity = 0.0; lbd } in
+      Vec.push t.learnts c;
+      attach t c;
+      bump_clause t c;
+      t.stats.learnt_clauses <- t.stats.learnt_clauses + 1;
+      enqueue t learnt.(0) (Some c)
+
+let pick_branch_var t =
+  let rec go () =
+    if Var_heap.is_empty t.heap then None
+    else
+      let v = Var_heap.remove_max t.heap in
+      if lbool_equal t.assigns.(v) Unknown then Some v else go ()
+  in
+  go ()
+
+let model_of t =
+  Array.init t.nvars (fun v ->
+      match t.assigns.(v) with True -> true | False -> false | Unknown -> t.phase.(v))
+
+let search t ~restart_limit ~budget_left ~deadline =
+  let conflicts_here = ref 0 in
+  let outcome = ref None in
+  let deadline_passed () =
+    match deadline with
+    | Some d when t.stats.conflicts land 255 = 0 -> Unix.gettimeofday () > d
+    | Some _ | None -> false
+  in
+  while !outcome = None do
+    match propagate t with
+    | Some confl ->
+        t.stats.conflicts <- t.stats.conflicts + 1;
+        incr conflicts_here;
+        if decision_level t = 0 then begin
+          mark_unsat t;
+          outcome := Some (Done Unsat)
+        end
+        else begin
+          let learnt, bt_level, lbd = analyze t confl in
+          cancel_until t bt_level;
+          record_learnt t learnt lbd;
+          decay_var_activity t;
+          decay_clause_activity t;
+          match budget_left with
+          | Some b when t.stats.conflicts >= b -> outcome := Some (Done Undecided)
+          | Some _ | None ->
+              if deadline_passed () then outcome := Some (Done Undecided)
+              else if !conflicts_here >= restart_limit then outcome := Some Restart
+        end
+    | None ->
+        if float_of_int (Vec.size t.learnts) >= t.max_learnts then begin
+          reduce_db t;
+          t.max_learnts <- t.max_learnts *. t.config.learntsize_inc
+        end;
+        (match pick_branch_var t with
+        | None -> outcome := Some (Done (Sat (model_of t)))
+        | Some v ->
+            t.stats.decisions <- t.stats.decisions + 1;
+            Vec.push t.trail_lim t.trail_size;
+            t.stats.max_decision_level <- max t.stats.max_decision_level (decision_level t);
+            let p = (2 * v) + if t.phase.(v) then 0 else 1 in
+            enqueue t p None)
+  done;
+  Option.get !outcome
+
+let solve ?conflict_budget ?time_budget_s t =
+  if not t.ok then Unsat
+  else begin
+    cancel_until t 0;
+    t.max_learnts <-
+      Float.max 1000.0
+        (t.config.learntsize_factor *. float_of_int (Vec.size t.clauses));
+    let budget_left = Option.map (fun b -> t.stats.conflicts + b) conflict_budget in
+    let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) time_budget_s in
+    match propagate t with
+    | Some _ ->
+        mark_unsat t;
+        Unsat
+    | None ->
+        let rec run restart_no =
+          let limit =
+            if t.config.use_luby then
+              int_of_float (luby 2.0 restart_no *. float_of_int t.config.restart_first)
+            else
+              int_of_float
+                (float_of_int t.config.restart_first *. (t.config.restart_inc ** float_of_int restart_no))
+          in
+          match search t ~restart_limit:(max 1 limit) ~budget_left ~deadline with
+          | Done r -> r
+          | Restart ->
+              t.stats.restarts <- t.stats.restarts + 1;
+              cancel_until t 0;
+              run (restart_no + 1)
+        in
+        let result = run 0 in
+        cancel_until t 0;
+        result
+  end
+
+let probe t l =
+  if not t.ok then `Unusable
+  else begin
+    cancel_until t 0;
+    match propagate t with
+    | Some _ ->
+        mark_unsat t;
+        `Unusable
+    | None ->
+        let p = Cnf.Lit.to_index l in
+        if not (lbool_equal (lit_value t p) Unknown) then `Unusable
+        else begin
+          Vec.push t.trail_lim t.trail_size;
+          let base = t.trail_size in
+          enqueue t p None;
+          let outcome =
+            match propagate t with
+            | Some _ -> `Conflict
+            | None ->
+                `Implied
+                  (List.init (t.trail_size - base - 1) (fun i ->
+                       Cnf.Lit.of_index t.trail.(base + 1 + i)))
+          in
+          cancel_until t 0;
+          outcome
+        end
+  end
+
+let okay t = t.ok
+
+let root_units t =
+  (* after cancel_until 0 the entire trail is level-0 facts *)
+  let upto = if decision_level t = 0 then t.trail_size else Vec.get t.trail_lim 0 in
+  List.init upto (fun i -> Cnf.Lit.of_index t.trail.(i))
+
+let learnt_binaries t =
+  let acc = ref [] in
+  Vec.iter
+    (fun c ->
+      if Array.length c.lits = 2 then
+        acc := (Cnf.Lit.of_index c.lits.(0), Cnf.Lit.of_index c.lits.(1)) :: !acc)
+    t.learnts;
+  !acc
+
+let learnt_clauses t =
+  let acc = ref [] in
+  Vec.iter
+    (fun c -> acc := Array.to_list (Array.map Cnf.Lit.of_index c.lits) :: !acc)
+    t.learnts;
+  List.rev !acc
+
+let value t v = if v < 0 || v >= t.nvars then Unknown else var_value t v
+let stats t = t.stats

@@ -1,0 +1,95 @@
+(** A CDCL SAT solver in the MiniSat architecture.
+
+    Two-watched-literal propagation, first-UIP conflict analysis with
+    learnt-clause minimisation, VSIDS decision heuristic with phase saving,
+    Luby restarts, and activity/LBD-driven learnt-clause database
+    reduction.  Solving can be bounded by a number of conflicts (paper
+    Section II-D), in which case {!Types.Undecided} is possible; the learnt
+    unit and binary clauses accumulated so far can then be extracted —
+    these are the facts Bosphorus feeds back into the ANF. *)
+
+type t
+
+(** Tunables distinguishing the solver profiles of the evaluation. *)
+type config = {
+  var_decay : float;  (** VSIDS decay, e.g. 0.95 *)
+  clause_decay : float;  (** learnt-clause activity decay, e.g. 0.999 *)
+  restart_first : int;  (** conflicts before the first restart *)
+  use_luby : bool;  (** Luby sequence (else geometric growth) *)
+  restart_inc : float;  (** geometric factor when [use_luby] is false *)
+  learntsize_factor : float;  (** initial learnt limit as a fraction of clauses *)
+  learntsize_inc : float;  (** growth of the learnt limit per reduction *)
+  minimise_learnts : bool;  (** recursive learnt-clause minimisation *)
+}
+
+val default_config : config
+
+(** [create ?config ~nvars ()] makes a solver over variables
+    [0..nvars-1]. *)
+val create : ?config:config -> nvars:int -> unit -> t
+
+(** Current number of variables. *)
+val nvars : t -> int
+
+(** [new_var t] adds one variable and returns its index. *)
+val new_var : t -> int
+
+(** [add_clause t lits] adds a problem clause (given over {!Cnf.Lit.t}).
+    Returns [false] if the solver is already in an unsatisfiable state
+    (adding the empty clause, or a root-level conflict). *)
+val add_clause : t -> Cnf.Lit.t list -> bool
+
+(** [add_formula t f] adds every clause of a CNF formula, growing the
+    variable set as needed. *)
+val add_formula : t -> Cnf.Formula.t -> bool
+
+(** [add_xor t ~vars ~parity] adds a native XOR constraint
+    [vars(0) (+) ... (+) vars(n-1) = parity], propagated in-search with a
+    two-watched-variable scheme (the CryptoMiniSat-style XOR engine).
+    Duplicate variables cancel and root-level assignments are folded in;
+    like {!add_clause}, returns [false] on an immediate root conflict.
+    Must be called before {!solve} at decision level 0. *)
+val add_xor : t -> vars:int list -> parity:bool -> bool
+
+(** [solve ?conflict_budget ?time_budget_s t] runs CDCL search.  With a
+    conflict budget (the paper's replicable bound, Section II-D) the search
+    stops after that many conflicts; with a wall-clock budget (the outer
+    evaluation timeout) it stops once the elapsed time exceeds it, checked
+    every few hundred conflicts.  Either way the result is
+    {!Types.Undecided}. *)
+val solve : ?conflict_budget:int -> ?time_budget_s:float -> t -> Types.result
+
+(** [probe t l] temporarily assumes literal [l] at a fresh decision level
+    and unit-propagates: [`Conflict] means [¬l] is implied by the formula
+    (a failed literal); [`Implied lits] lists every literal forced by the
+    assumption.  State is restored before returning.  Requires a solver at
+    decision level 0 with no pending conflict; returns [`Unusable] if the
+    literal is already assigned or the solver is not okay. *)
+val probe : t -> Cnf.Lit.t -> [ `Conflict | `Implied of Cnf.Lit.t list | `Unusable ]
+
+(** [okay t] is [false] once unsatisfiability was established at the root
+    level. *)
+val okay : t -> bool
+
+(** Literals forced at decision level 0 so far (learnt unit facts). *)
+val root_units : t -> Cnf.Lit.t list
+
+(** Learnt clauses of length 2 currently in the database. *)
+val learnt_binaries : t -> (Cnf.Lit.t * Cnf.Lit.t) list
+
+(** All learnt clauses currently in the database, as literal lists. *)
+val learnt_clauses : t -> Cnf.Lit.t list list
+
+(** [enable_proof t] turns on DRUP-style proof logging (see {!Proof}).
+    Call before adding clauses.  Not supported together with {!add_xor}
+    (XOR-derived clauses are sound but not RUP over the CNF). *)
+val enable_proof : t -> unit
+
+(** Learnt-clause derivation log in order, ending with the empty clause if
+    UNSAT was established; checkable with {!Proof.check}. *)
+val proof : t -> Cnf.Lit.t list list
+
+(** [value t v] is the root-level or model value of variable [v]. *)
+val value : t -> int -> Types.lbool
+
+val stats : t -> Types.stats

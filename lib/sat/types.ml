@@ -1,0 +1,47 @@
+type lbool = True | False | Unknown
+
+let lbool_equal a b =
+  match (a, b) with
+  | True, True | False, False | Unknown, Unknown -> true
+  | (True | False | Unknown), _ -> false
+
+let neg_lbool = function True -> False | False -> True | Unknown -> Unknown
+
+let pp_lbool ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Unknown -> Format.pp_print_string ppf "unknown"
+
+type result = Sat of bool array | Unsat | Undecided
+
+let pp_result ppf = function
+  | Sat _ -> Format.pp_print_string ppf "SAT"
+  | Unsat -> Format.pp_print_string ppf "UNSAT"
+  | Undecided -> Format.pp_print_string ppf "UNDECIDED"
+
+type stats = {
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable restarts : int;
+  mutable learnt_clauses : int;
+  mutable deleted_clauses : int;
+  mutable max_decision_level : int;
+}
+
+let fresh_stats () =
+  {
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    restarts = 0;
+    learnt_clauses = 0;
+    deleted_clauses = 0;
+    max_decision_level = 0;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "conflicts=%d decisions=%d propagations=%d restarts=%d learnt=%d deleted=%d max_level=%d"
+    s.conflicts s.decisions s.propagations s.restarts s.learnt_clauses s.deleted_clauses
+    s.max_decision_level

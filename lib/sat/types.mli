@@ -1,0 +1,30 @@
+(** Shared types for the SAT solver. *)
+
+(** Three-valued assignment. *)
+type lbool = True | False | Unknown
+
+val lbool_equal : lbool -> lbool -> bool
+val neg_lbool : lbool -> lbool
+val pp_lbool : Format.formatter -> lbool -> unit
+
+(** Outcome of a (possibly budgeted) solve. *)
+type result =
+  | Sat of bool array  (** model indexed by variable *)
+  | Unsat
+  | Undecided          (** conflict budget exhausted (paper Section II-D case 3) *)
+
+val pp_result : Format.formatter -> result -> unit
+
+(** Search statistics. *)
+type stats = {
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable restarts : int;
+  mutable learnt_clauses : int;
+  mutable deleted_clauses : int;
+  mutable max_decision_level : int;
+}
+
+val fresh_stats : unit -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,86 @@
+type t = {
+  mutable heap : int array; (* heap slots -> variable *)
+  mutable pos : int array; (* variable -> heap slot, or -1 *)
+  mutable size : int;
+  mutable activity : float array;
+}
+
+let create n activity =
+  { heap = Array.make (max 1 n) 0; pos = Array.make (max 1 n) (-1); size = 0; activity }
+
+let grow h n activity =
+  let cap = Array.length h.pos in
+  if n > cap then begin
+    let heap = Array.make n 0 and pos = Array.make n (-1) in
+    Array.blit h.heap 0 heap 0 h.size;
+    Array.blit h.pos 0 pos 0 cap;
+    h.heap <- heap;
+    h.pos <- pos
+  end;
+  h.activity <- activity;
+  h
+
+let is_empty h = h.size = 0
+let mem h v = v < Array.length h.pos && h.pos.(v) >= 0
+
+(* Higher activity first; ties broken by lower variable index for
+   determinism. *)
+let before h a b =
+  h.activity.(a) > h.activity.(b) || (h.activity.(a) = h.activity.(b) && a < b)
+
+let swap h i j =
+  let a = h.heap.(i) and b = h.heap.(j) in
+  h.heap.(i) <- b;
+  h.heap.(j) <- a;
+  h.pos.(b) <- i;
+  h.pos.(a) <- j
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before h h.heap.(i) h.heap.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < h.size && before h h.heap.(l) h.heap.(!best) then best := l;
+  if r < h.size && before h h.heap.(r) h.heap.(!best) then best := r;
+  if !best <> i then begin
+    swap h i !best;
+    sift_down h !best
+  end
+
+let insert h v =
+  if not (mem h v) then begin
+    h.heap.(h.size) <- v;
+    h.pos.(v) <- h.size;
+    h.size <- h.size + 1;
+    sift_up h (h.size - 1)
+  end
+
+let remove_max h =
+  if h.size = 0 then invalid_arg "Var_heap.remove_max: empty";
+  let top = h.heap.(0) in
+  h.size <- h.size - 1;
+  h.pos.(top) <- -1;
+  if h.size > 0 then begin
+    h.heap.(0) <- h.heap.(h.size);
+    h.pos.(h.heap.(0)) <- 0;
+    sift_down h 0
+  end;
+  top
+
+let update h v =
+  if mem h v then begin
+    sift_up h h.pos.(v);
+    sift_down h h.pos.(v)
+  end
+
+let rebuild h vars =
+  Array.fill h.pos 0 (Array.length h.pos) (-1);
+  h.size <- 0;
+  List.iter (insert h) vars

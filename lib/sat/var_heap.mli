@@ -1,0 +1,30 @@
+(** Max-heap over variable indices keyed by VSIDS activity.
+
+    The heap stores a subset of variables 0..n-1 with position tracking so
+    that {!decrease}/{!increase} after an activity change is O(log n). *)
+
+type t
+
+(** [create n activity] builds an empty heap for variables [0..n-1]; the
+    live [activity] array is consulted on every comparison. *)
+val create : int -> float array -> t
+
+(** [grow h n activity] extends capacity to [n] variables, rebinding the
+    activity array (which may have been reallocated). *)
+val grow : t -> int -> float array -> t
+
+val is_empty : t -> bool
+val mem : t -> int -> bool
+
+(** [insert h v] adds variable [v] (no-op if present). *)
+val insert : t -> int -> unit
+
+(** [remove_max h] pops the variable with highest activity.
+    Raises [Invalid_argument] if empty. *)
+val remove_max : t -> int
+
+(** [update h v] restores heap order after [activity.(v)] changed. *)
+val update : t -> int -> unit
+
+(** [rebuild h vars] resets contents to exactly [vars]. *)
+val rebuild : t -> int list -> unit

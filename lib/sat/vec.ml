@@ -1,0 +1,71 @@
+type 'a t = { mutable data : 'a array; mutable size : int; dummy : 'a }
+
+let create ~dummy = { data = Array.make 8 dummy; size = 0; dummy }
+let size v = v.size
+
+let grow v =
+  let data = Array.make (2 * Array.length v.data) v.dummy in
+  Array.blit v.data 0 data 0 v.size;
+  v.data <- data
+
+let push v x =
+  if v.size = Array.length v.data then grow v;
+  v.data.(v.size) <- x;
+  v.size <- v.size + 1
+
+let check v i = if i < 0 || i >= v.size then invalid_arg "Vec: index out of range"
+
+let get v i =
+  check v i;
+  v.data.(i)
+
+let set v i x =
+  check v i;
+  v.data.(i) <- x
+
+let pop v =
+  if v.size = 0 then invalid_arg "Vec.pop: empty";
+  v.size <- v.size - 1;
+  let x = v.data.(v.size) in
+  v.data.(v.size) <- v.dummy;
+  x
+
+let last v =
+  if v.size = 0 then invalid_arg "Vec.last: empty";
+  v.data.(v.size - 1)
+
+let shrink v n =
+  if n < 0 || n > v.size then invalid_arg "Vec.shrink";
+  for i = n to v.size - 1 do
+    v.data.(i) <- v.dummy
+  done;
+  v.size <- n
+
+let clear v = shrink v 0
+
+let iter f v =
+  for i = 0 to v.size - 1 do
+    f v.data.(i)
+  done
+
+let filter_in_place f v =
+  let j = ref 0 in
+  for i = 0 to v.size - 1 do
+    if f v.data.(i) then begin
+      v.data.(!j) <- v.data.(i);
+      incr j
+    end
+  done;
+  shrink v !j
+
+let to_list v = List.init v.size (fun i -> v.data.(i))
+
+let of_list ~dummy xs =
+  let v = create ~dummy in
+  List.iter (push v) xs;
+  v
+
+let sort_in_place cmp v =
+  let live = Array.sub v.data 0 v.size in
+  Array.sort cmp live;
+  Array.blit live 0 v.data 0 v.size

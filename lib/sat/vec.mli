@@ -1,0 +1,34 @@
+(** Growable arrays (OCaml 5.1 predates [Dynarray]). *)
+
+type 'a t
+
+(** [create ~dummy] is an empty vector; [dummy] fills unused capacity. *)
+val create : dummy:'a -> 'a t
+
+val size : 'a t -> int
+val push : 'a t -> 'a -> unit
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+
+(** [pop v] removes and returns the last element. Raises [Invalid_argument]
+    if empty. *)
+val pop : 'a t -> 'a
+
+(** Last element without removing it. *)
+val last : 'a t -> 'a
+
+(** [shrink v n] truncates to the first [n] elements. *)
+val shrink : 'a t -> int -> unit
+
+val clear : 'a t -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+
+(** [filter_in_place f v] keeps only elements satisfying [f], preserving
+    order. *)
+val filter_in_place : ('a -> bool) -> 'a t -> unit
+
+val to_list : 'a t -> 'a list
+val of_list : dummy:'a -> 'a list -> 'a t
+
+(** [sort_in_place cmp v] sorts the live elements. *)
+val sort_in_place : ('a -> 'a -> int) -> 'a t -> unit

@@ -1,0 +1,37 @@
+The paper's Section II-E system through the command-line tool:
+
+  $ cat > example.anf <<'ANF'
+  > x1*x2 + x3 + x4 + 1
+  > x1*x2*x3 + x1 + x3 + 1
+  > x1*x3 + x3*x4*x5 + x3
+  > x2*x3 + x3*x5 + 1
+  > x2*x3 + x5 + 1
+  > ANF
+  $ bosphorus example.anf --write-cnf out.cnf | head -1
+  status: SATISFIABLE
+  $ bosphorus example.anf | grep -o "solution:.*"
+  solution: x0=0 x1=1 x2=1 x3=1 x4=1 x5=0
+
+Conversion without learning, then an explicit final solve:
+
+  $ bosphorus example.anf --no-learning --solve minisat | grep -o "final solve (minisat): SAT"
+  final solve (minisat): SAT
+
+An unsatisfiable system is reported as such:
+
+  $ printf 'x1*x2 + 1\nx1 + x2 + 1\n' > unsat.anf
+  $ bosphorus unsat.anf | head -1
+  status: UNSATISFIABLE
+
+The original tool's x(i) syntax is accepted:
+
+  $ printf 'x(1)*x(2) + 1\n' > paren.anf
+  $ bosphorus paren.anf | head -1
+  status: SATISFIABLE
+
+CNF preprocessing (a tiny pigeonhole instance):
+
+  $ bosphorus-gen php --holes 3 -o php.cnf
+  wrote 22 clauses to php.cnf
+  $ bosphorus php.cnf | head -1
+  status: UNSATISFIABLE

@@ -1,0 +1,25 @@
+Instance generation round-trips through the main tool:
+
+  $ bosphorus-gen simon --rounds 4 --plaintexts 2 --seed 7 -o simon.anf
+  c simon32/64 rounds=4 plaintexts=2 key=fc4b88ccd06326cb
+  wrote 224 equations to simon.anf
+  $ bosphorus simon.anf --no-learning --solve minisat | grep -oE "final solve \(minisat\): (SAT|UNSAT)"
+  final solve (minisat): SAT
+
+  $ bosphorus-gen speck --rounds 3 --plaintexts 2 --seed 7 -o speck.anf
+  wrote 247 equations to speck.anf
+  $ bosphorus speck.anf --no-learning --solve cms5 | grep -oE "final solve \(cms5\): (SAT|UNSAT)"
+  final solve (cms5): SAT
+
+  $ bosphorus-gen aes --sr 1,2,2,4 --seed 3 -o aes.anf
+  wrote 48 equations to aes.anf
+  $ bosphorus aes.anf --no-learning --solve lingeling | grep -oE "final solve \(lingeling\): (SAT|UNSAT)"
+  final solve (lingeling): SAT
+
+  $ bosphorus-gen parity --vertices 10 --unsat --seed 1 -o parity.cnf
+  wrote 37 clauses to parity.cnf
+  $ bosphorus parity.cnf | head -1
+  status: UNSATISFIABLE
+
+  $ bosphorus-gen ksat --vars 20 --clauses 40 --seed 2 | head -1
+  p cnf 20 40

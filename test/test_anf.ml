@@ -1,0 +1,364 @@
+(* Tests for the ANF substrate: monomials, polynomials, systems, io, eval. *)
+
+module M = Anf.Monomial
+module P = Anf.Poly
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let poly = Anf.Anf_io.poly_of_string
+let pstr p = P.to_string p
+
+(* ------------------------------------------------------------------ *)
+(* Monomial                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_mono_basics () =
+  check "one is one" true (M.is_one M.one);
+  check_int "degree one" 0 (M.degree M.one);
+  check_int "degree var" 1 (M.degree (M.var 3));
+  check_int "degree product" 3 (M.degree (M.of_vars [ 5; 1; 3 ]));
+  Alcotest.(check (list int)) "vars sorted" [ 1; 3; 5 ] (M.vars (M.of_vars [ 5; 1; 3 ]));
+  check "x*x = x" true (M.equal (M.var 2) (M.mul (M.var 2) (M.var 2)));
+  check "contains" true (M.contains (M.of_vars [ 1; 3 ]) 3);
+  check "not contains" false (M.contains (M.of_vars [ 1; 3 ]) 2);
+  check_int "max_var of 1" (-1) (M.max_var M.one);
+  check_int "max_var" 7 (M.max_var (M.of_vars [ 2; 7 ]))
+
+let test_mono_mul_merge () =
+  let a = M.of_vars [ 1; 4; 9 ] and b = M.of_vars [ 2; 4; 10 ] in
+  Alcotest.(check (list int)) "union" [ 1; 2; 4; 9; 10 ] (M.vars (M.mul a b))
+
+let test_mono_divides () =
+  check "1 divides all" true (M.divides M.one (M.of_vars [ 3 ]));
+  check "subset divides" true (M.divides (M.of_vars [ 1; 3 ]) (M.of_vars [ 1; 2; 3 ]));
+  check "non-subset" false (M.divides (M.of_vars [ 1; 4 ]) (M.of_vars [ 1; 2; 3 ]))
+
+let test_mono_order_graded () =
+  (* Graded order: degree first, then ascending lex, matching the paper's
+     polynomial display convention. *)
+  let ms =
+    [ M.one; M.var 1; M.var 2; M.var 3; M.of_vars [ 1; 2 ]; M.of_vars [ 1; 3 ];
+      M.of_vars [ 2; 3 ]; M.of_vars [ 1; 2; 3 ] ]
+  in
+  let sorted = List.sort M.compare ms in
+  check_str "graded order" "x1*x2*x3 x1*x2 x1*x3 x2*x3 x1 x2 x3 1"
+    (String.concat " " (List.map M.to_string sorted))
+
+let test_mono_remove_var () =
+  let m = M.of_vars [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "removed" [ 1; 3 ] (M.vars (M.remove_var m 2));
+  check "absent is identity" true (M.equal m (M.remove_var m 9))
+
+let test_mono_negative_rejected () =
+  Alcotest.check_raises "var -1" (Invalid_argument "Monomial.var") (fun () ->
+      ignore (M.var (-1)))
+
+(* ------------------------------------------------------------------ *)
+(* Poly                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_poly_parse_print_roundtrip () =
+  let cases =
+    [ "0"; "1"; "x1"; "x1 + 1"; "x1*x2 + x3 + x4 + 1"; "x1*x2*x3 + x1 + x3 + 1" ]
+  in
+  List.iter (fun s -> check_str s s (pstr (poly s))) cases
+
+let test_poly_add_cancels () =
+  let p = poly "x1*x2 + x3" in
+  check "p+p = 0" true (P.is_zero (P.add p p));
+  check_str "partial cancel" "x1*x2 + x4"
+    (pstr (P.add (poly "x1*x2 + x3") (poly "x3 + x4")))
+
+let test_poly_mul () =
+  (* (x1+1)(x1+1) = x1^2 + x1 + x1 + 1 = x1 + 1 under x^2=x *)
+  check_str "square of x1+1" "x1 + 1" (pstr (P.mul (poly "x1 + 1") (poly "x1 + 1")));
+  check_str "distribute" "x1*x2 + x1*x3" (pstr (P.mul (poly "x1") (poly "x2 + x3")));
+  check "mul by zero" true (P.is_zero (P.mul (poly "x1 + x2") P.zero));
+  (* Paper, Section II-C: (x2+x3)*x2 + x2x3 + 1 simplifies to x2 + 1 *)
+  let elim = P.add (P.mul (poly "x2 + x3") (poly "x2")) (poly "x2*x3 + 1") in
+  check_str "ElimLin example simplification" "x2 + 1" (pstr elim)
+
+let test_poly_subst () =
+  (* Substitute x1 := x2 + x3 in x1x2 + x2x3 + 1 (paper II-C) gives x2+1. *)
+  let p = poly "x1*x2 + x2*x3 + 1" in
+  check_str "subst" "x2 + 1" (pstr (P.subst p ~target:1 ~by:(poly "x2 + x3")));
+  (* assigning x2 = 1 in x1x2 + x2x3 + 1 gives x1 + x3 + 1 *)
+  check_str "assign" "x1 + x3 + 1" (pstr (P.assign p ~target:2 ~value:true));
+  check "subst absent var is identity" true
+    (P.equal p (P.subst p ~target:9 ~by:(poly "x2")))
+
+let test_poly_degree_terms () =
+  let p = poly "x1*x2*x3 + x2 + 1" in
+  check_int "degree" 3 (P.degree p);
+  check_int "terms" 3 (P.n_terms p);
+  check "has constant" true (P.has_constant_term p);
+  check "no constant" false (P.has_constant_term (poly "x1 + x2"));
+  check_str "leading" "x1*x2*x3" (M.to_string (P.leading p));
+  check "linear" false (P.is_linear p);
+  check "linear yes" true (P.is_linear (poly "x1 + x2 + 1"))
+
+let test_poly_classify () =
+  let open P in
+  check "tautology" true (classify zero = Tautology);
+  check "contradiction" true (classify one = Contradiction);
+  check "assign 0" true (classify (poly "x3") = Assign (3, false));
+  check "assign 1" true (classify (poly "x3 + 1") = Assign (3, true));
+  check "equiv" true (classify (poly "x2 + x5") = Equiv (5, 2, false));
+  check "negated equiv" true (classify (poly "x2 + x5 + 1") = Equiv (5, 2, true));
+  check "all ones" true (classify (poly "x1*x2*x4 + 1") = All_ones [ 1; 2; 4 ]);
+  check "other" true (classify (poly "x1*x2 + x3") = Other);
+  check "other: monomial=0" true (classify (poly "x1*x2") = Other)
+
+let test_poly_eval () =
+  let p = poly "x1*x2 + x3 + 1" in
+  let env a b c = fun x -> if x = 1 then a else if x = 2 then b else c in
+  check "1*1+1+1=1" true (P.eval (env true true true) p);
+  check "1*1+0+1=0" false (P.eval (env true true false) p);
+  check "0*1+0+1=1" true (P.eval (env false true false) p)
+
+(* ------------------------------------------------------------------ *)
+(* System                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_system_dedup_and_zero () =
+  let s = Anf.System.create [ poly "x1 + x2"; poly "x1 + x2"; P.zero ] in
+  check_int "duplicates and zero dropped" 1 (Anf.System.size s)
+
+let test_system_occurrence_lists () =
+  let s = Anf.System.create [ poly "x1*x2 + x3"; poly "x2 + x4"; poly "x5" ] in
+  check_int "x2 occurs twice" 2 (List.length (Anf.System.occurrences s 2));
+  check_int "x5 occurs once" 1 (List.length (Anf.System.occurrences s 5));
+  check_int "x9 never" 0 (List.length (Anf.System.occurrences s 9));
+  (* removing updates occurrences *)
+  (match Anf.System.occurrences s 4 with
+  | [ id ] ->
+      Anf.System.remove s id;
+      check_int "x2 now once" 1 (List.length (Anf.System.occurrences s 2))
+  | _ -> Alcotest.fail "expected exactly one equation with x4")
+
+let test_system_replace () =
+  let s = Anf.System.create [ poly "x1 + x2" ] in
+  match Anf.System.occurrences s 1 with
+  | [ id ] ->
+      let new_id = Anf.System.replace s id (poly "x1 + 1") in
+      check "replaced" true (new_id <> None);
+      check "old gone" true (Anf.System.find s id = None);
+      check_int "size still 1" 1 (Anf.System.size s);
+      check_int "x2 unreferenced" 0 (List.length (Anf.System.occurrences s 2))
+  | _ -> Alcotest.fail "expected one equation"
+
+let test_system_contradiction () =
+  let s = Anf.System.create [ poly "x1" ] in
+  check "no contradiction" false (Anf.System.has_contradiction s);
+  ignore (Anf.System.add s P.one);
+  check "contradiction" true (Anf.System.has_contradiction s)
+
+let test_system_copy_independent () =
+  let s = Anf.System.create [ poly "x1 + x2" ] in
+  let s2 = Anf.System.copy s in
+  ignore (Anf.System.add s2 (poly "x3 + 1"));
+  check_int "copy grew" 2 (Anf.System.size s2);
+  check_int "original unchanged" 1 (Anf.System.size s);
+  check_int "occurrences tracked in copy" 1 (List.length (Anf.System.occurrences s2 3));
+  check_int "not in original" 0 (List.length (Anf.System.occurrences s 3))
+
+let test_system_fresh_var () =
+  let s = Anf.System.create [ poly "x7 + x2" ] in
+  let v = Anf.System.fresh_var s in
+  check "fresh beyond max" true (v >= 8);
+  let v2 = Anf.System.fresh_var s in
+  check "fresh increments" true (v2 > v)
+
+(* ------------------------------------------------------------------ *)
+(* Io and Eval                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_io_comments_and_blanks () =
+  let text = "c a comment\n# another\n\nx1 + x2\nx2 + 1\n" in
+  check_int "two polys" 2 (List.length (Anf.Anf_io.parse_string text))
+
+let test_io_parse_errors () =
+  let expect_fail s =
+    match Anf.Anf_io.poly_of_string s with
+    | exception Anf.Anf_io.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error on %S" s
+  in
+  List.iter expect_fail [ "x"; "+ x1"; "x1 *"; "x1 x2"; "y3"; "" ]
+
+let test_io_xor_synonym () =
+  check "^ parses as +" true (P.equal (poly "x1 ^ x2") (poly "x1 + x2"))
+
+let test_io_parenthesised_vars () =
+  (* the original Bosphorus tool writes x(3)*x(4) *)
+  check "x(3) form" true (P.equal (poly "x(1)*x(2) + x(3) + 1") (poly "x1*x2 + x3 + 1"));
+  (match Anf.Anf_io.poly_of_string "x(3" with
+  | exception Anf.Anf_io.Parse_error _ -> ()
+  | _ -> Alcotest.fail "unclosed parenthesis accepted")
+
+let test_eval_example_system () =
+  (* System (1) of the paper; unique solution x1..x4=1, x5=0 per Section II-E *)
+  let system =
+    List.map poly
+      [
+        "x1*x2 + x3 + x4 + 1";
+        "x1*x2*x3 + x1 + x3 + 1";
+        "x1*x3 + x3*x4*x5 + x3";
+        "x2*x3 + x3*x5 + 1";
+        "x2*x3 + x5 + 1";
+      ]
+  in
+  match Anf.Eval.all_solutions system with
+  | [ sol ] ->
+      List.iter
+        (fun (x, v) ->
+          check (Printf.sprintf "x%d" x) (if x = 5 then false else true) v)
+        sol
+  | sols -> Alcotest.failf "expected unique solution, got %d" (List.length sols)
+
+let test_eval_unsat () =
+  check "x1 and x1+1 unsat" false
+    (Anf.Eval.solution_exists [ poly "x1"; poly "x1 + 1" ]);
+  check "1=0 unsat" false (Anf.Eval.solution_exists [ P.one ])
+
+let test_eval_count () =
+  (* x1 + x2 = 0 has 2 solutions over {x1,x2} *)
+  check_int "xor constraint" 2 (Anf.Eval.count_solutions [ poly "x1 + x2" ])
+
+(* ------------------------------------------------------------------ *)
+(* Property tests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let mono_gen =
+  QCheck.Gen.(map M.of_vars (list_size (int_bound 4) (int_bound 7)))
+
+let poly_gen = QCheck.Gen.(map P.of_monomials (list_size (int_bound 8) mono_gen))
+let arb_poly = QCheck.make ~print:pstr poly_gen
+
+let total_env seed x = Hashtbl.hash (seed, x) land 1 = 1
+
+let prop_add_comm =
+  QCheck.Test.make ~name:"poly: add commutative" ~count:300
+    QCheck.(pair arb_poly arb_poly)
+    (fun (a, b) -> P.equal (P.add a b) (P.add b a))
+
+let prop_add_assoc =
+  QCheck.Test.make ~name:"poly: add associative" ~count:300
+    QCheck.(triple arb_poly arb_poly arb_poly)
+    (fun (a, b, c) -> P.equal (P.add (P.add a b) c) (P.add a (P.add b c)))
+
+let prop_mul_comm =
+  QCheck.Test.make ~name:"poly: mul commutative" ~count:300
+    QCheck.(pair arb_poly arb_poly)
+    (fun (a, b) -> P.equal (P.mul a b) (P.mul b a))
+
+let prop_mul_assoc =
+  QCheck.Test.make ~name:"poly: mul associative" ~count:100
+    QCheck.(triple arb_poly arb_poly arb_poly)
+    (fun (a, b, c) -> P.equal (P.mul (P.mul a b) c) (P.mul a (P.mul b c)))
+
+let prop_distrib =
+  QCheck.Test.make ~name:"poly: mul distributes over add" ~count:200
+    QCheck.(triple arb_poly arb_poly arb_poly)
+    (fun (a, b, c) -> P.equal (P.mul a (P.add b c)) (P.add (P.mul a b) (P.mul a c)))
+
+let prop_idempotent_square =
+  QCheck.Test.make ~name:"poly: p*p = p (Boolean ring)" ~count:300 arb_poly (fun p ->
+      P.equal (P.mul p p) p)
+
+let prop_eval_homomorphism =
+  QCheck.Test.make ~name:"poly: eval is a ring homomorphism" ~count:300
+    QCheck.(triple arb_poly arb_poly int)
+    (fun (a, b, seed) ->
+      let env = total_env seed in
+      P.eval env (P.add a b) = (P.eval env a <> P.eval env b)
+      && P.eval env (P.mul a b) = (P.eval env a && P.eval env b))
+
+let prop_subst_agrees_with_eval =
+  QCheck.Test.make ~name:"poly: subst agrees with eval" ~count:300
+    QCheck.(triple arb_poly arb_poly int)
+    (fun (p, by, seed) ->
+      let env = total_env seed in
+      let target = 3 in
+      let env' x = if x = target then P.eval env by else env x in
+      P.eval env (P.subst p ~target ~by) = P.eval env' p)
+
+let prop_parse_print_roundtrip =
+  QCheck.Test.make ~name:"io: parse(print(p)) = p" ~count:300 arb_poly (fun p ->
+      P.equal p (poly (pstr p)))
+
+let prop_classify_sound =
+  QCheck.Test.make ~name:"poly: classify is sound wrt solutions" ~count:300 arb_poly
+    (fun p ->
+      match P.classify p with
+      | P.Tautology -> P.is_zero p
+      | P.Contradiction -> not (Anf.Eval.solution_exists [ p ])
+      | P.Assign (x, v) ->
+          List.for_all (fun sol -> List.assoc x sol = v) (Anf.Eval.all_solutions [ p ])
+      | P.Equiv (x, y, negated) ->
+          List.for_all
+            (fun sol -> List.assoc x sol = (List.assoc y sol <> negated))
+            (Anf.Eval.all_solutions [ p ])
+      | P.All_ones xs ->
+          List.for_all
+            (fun sol -> List.for_all (fun x -> List.assoc x sol) xs)
+            (Anf.Eval.all_solutions [ p ])
+      | P.Other -> true)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_add_comm;
+      prop_add_assoc;
+      prop_mul_comm;
+      prop_mul_assoc;
+      prop_distrib;
+      prop_idempotent_square;
+      prop_eval_homomorphism;
+      prop_subst_agrees_with_eval;
+      prop_parse_print_roundtrip;
+      prop_classify_sound;
+    ]
+
+let suite =
+  [
+    ( "anf.monomial",
+      [
+        Alcotest.test_case "basics" `Quick test_mono_basics;
+        Alcotest.test_case "mul merges" `Quick test_mono_mul_merge;
+        Alcotest.test_case "divides" `Quick test_mono_divides;
+        Alcotest.test_case "graded monomial order" `Quick test_mono_order_graded;
+        Alcotest.test_case "remove_var" `Quick test_mono_remove_var;
+        Alcotest.test_case "negative var rejected" `Quick test_mono_negative_rejected;
+      ] );
+    ( "anf.poly",
+      [
+        Alcotest.test_case "print/parse roundtrip" `Quick test_poly_parse_print_roundtrip;
+        Alcotest.test_case "add cancels" `Quick test_poly_add_cancels;
+        Alcotest.test_case "mul" `Quick test_poly_mul;
+        Alcotest.test_case "subst/assign" `Quick test_poly_subst;
+        Alcotest.test_case "degree and terms" `Quick test_poly_degree_terms;
+        Alcotest.test_case "classify shapes" `Quick test_poly_classify;
+        Alcotest.test_case "eval" `Quick test_poly_eval;
+      ] );
+    ( "anf.system",
+      [
+        Alcotest.test_case "dedup and zero" `Quick test_system_dedup_and_zero;
+        Alcotest.test_case "occurrence lists" `Quick test_system_occurrence_lists;
+        Alcotest.test_case "replace" `Quick test_system_replace;
+        Alcotest.test_case "contradiction" `Quick test_system_contradiction;
+        Alcotest.test_case "copy independence" `Quick test_system_copy_independent;
+        Alcotest.test_case "fresh var" `Quick test_system_fresh_var;
+      ] );
+    ( "anf.io_eval",
+      [
+        Alcotest.test_case "comments and blanks" `Quick test_io_comments_and_blanks;
+        Alcotest.test_case "parse errors" `Quick test_io_parse_errors;
+        Alcotest.test_case "^ synonym" `Quick test_io_xor_synonym;
+        Alcotest.test_case "x(i) variable form" `Quick test_io_parenthesised_vars;
+        Alcotest.test_case "paper system (1) unique solution" `Quick test_eval_example_system;
+        Alcotest.test_case "unsat detection" `Quick test_eval_unsat;
+        Alcotest.test_case "solution counting" `Quick test_eval_count;
+      ] );
+    ("anf.properties", qcheck_cases);
+  ]

@@ -1,0 +1,306 @@
+(* Tests for the GF(2) linear-algebra substrate: Bitvec and Matrix. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Bitvec unit tests                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_bitvec_create_zero () =
+  let v = Gf2.Bitvec.create 200 in
+  check_int "length" 200 (Gf2.Bitvec.length v);
+  check "all zero" true (Gf2.Bitvec.is_zero v);
+  check_int "popcount" 0 (Gf2.Bitvec.popcount v)
+
+let test_bitvec_set_get () =
+  let v = Gf2.Bitvec.create 130 in
+  Gf2.Bitvec.set v 0 true;
+  Gf2.Bitvec.set v 62 true;
+  Gf2.Bitvec.set v 63 true;
+  Gf2.Bitvec.set v 129 true;
+  check "bit 0" true (Gf2.Bitvec.get v 0);
+  check "bit 62" true (Gf2.Bitvec.get v 62);
+  check "bit 63 (word boundary)" true (Gf2.Bitvec.get v 63);
+  check "bit 129" true (Gf2.Bitvec.get v 129);
+  check "bit 1" false (Gf2.Bitvec.get v 1);
+  check_int "popcount" 4 (Gf2.Bitvec.popcount v);
+  Gf2.Bitvec.set v 63 false;
+  check "bit 63 cleared" false (Gf2.Bitvec.get v 63);
+  check_int "popcount after clear" 3 (Gf2.Bitvec.popcount v)
+
+let test_bitvec_flip () =
+  let v = Gf2.Bitvec.create 10 in
+  Gf2.Bitvec.flip v 3;
+  check "flipped on" true (Gf2.Bitvec.get v 3);
+  Gf2.Bitvec.flip v 3;
+  check "flipped off" false (Gf2.Bitvec.get v 3)
+
+let test_bitvec_out_of_range () =
+  let v = Gf2.Bitvec.create 8 in
+  Alcotest.check_raises "get -1" (Invalid_argument "Bitvec: index out of range") (fun () ->
+      ignore (Gf2.Bitvec.get v (-1)));
+  Alcotest.check_raises "get 8" (Invalid_argument "Bitvec: index out of range") (fun () ->
+      ignore (Gf2.Bitvec.get v 8));
+  Alcotest.check_raises "negative length" (Invalid_argument "Bitvec.create") (fun () ->
+      ignore (Gf2.Bitvec.create (-1)))
+
+let test_bitvec_xor () =
+  let a = Gf2.Bitvec.of_list 100 [ 1; 50; 99 ] in
+  let b = Gf2.Bitvec.of_list 100 [ 1; 60 ] in
+  Gf2.Bitvec.xor_into ~src:b ~dst:a;
+  Alcotest.(check (list int)) "xor result" [ 50; 60; 99 ] (Gf2.Bitvec.to_list a);
+  (* b unchanged *)
+  Alcotest.(check (list int)) "src untouched" [ 1; 60 ] (Gf2.Bitvec.to_list b)
+
+let test_bitvec_xor_length_mismatch () =
+  let a = Gf2.Bitvec.create 10 and b = Gf2.Bitvec.create 11 in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Bitvec.xor_into: length mismatch")
+    (fun () -> Gf2.Bitvec.xor_into ~src:a ~dst:b)
+
+let test_bitvec_first_set () =
+  let v = Gf2.Bitvec.create 200 in
+  check "none" true (Gf2.Bitvec.first_set v = None);
+  Gf2.Bitvec.set v 150 true;
+  check "150" true (Gf2.Bitvec.first_set v = Some 150);
+  Gf2.Bitvec.set v 7 true;
+  check "7" true (Gf2.Bitvec.first_set v = Some 7)
+
+let test_bitvec_of_list_toggles () =
+  (* duplicates toggle, matching GF(2) addition of unit vectors *)
+  let v = Gf2.Bitvec.of_list 10 [ 3; 3; 5 ] in
+  Alcotest.(check (list int)) "duplicate cancels" [ 5 ] (Gf2.Bitvec.to_list v)
+
+let test_bitvec_copy_independent () =
+  let a = Gf2.Bitvec.of_list 10 [ 2 ] in
+  let b = Gf2.Bitvec.copy a in
+  Gf2.Bitvec.set b 4 true;
+  check "copy has bit" true (Gf2.Bitvec.get b 4);
+  check "original unchanged" false (Gf2.Bitvec.get a 4);
+  check "equal after undo" false (Gf2.Bitvec.equal a b)
+
+let test_bitvec_fold_iter () =
+  let v = Gf2.Bitvec.of_list 300 [ 0; 63; 64; 127; 128; 299 ] in
+  let collected = ref [] in
+  Gf2.Bitvec.iter_set v (fun i -> collected := i :: !collected);
+  Alcotest.(check (list int)) "iter ascending" [ 0; 63; 64; 127; 128; 299 ]
+    (List.rev !collected);
+  check_int "fold count" 6 (Gf2.Bitvec.fold_set v 0 (fun acc _ -> acc + 1))
+
+(* ------------------------------------------------------------------ *)
+(* Matrix unit tests                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let matrix_of_lists ~cols rows =
+  Gf2.Matrix.of_rows ~cols (List.map (Gf2.Bitvec.of_list cols) rows)
+
+let test_matrix_identity_rref () =
+  let m = matrix_of_lists ~cols:3 [ [ 0 ]; [ 1 ]; [ 2 ] ] in
+  check_int "rank" 3 (Gf2.Matrix.rref m);
+  check "still identity" true (Gf2.Matrix.get m 0 0 && Gf2.Matrix.get m 1 1 && Gf2.Matrix.get m 2 2)
+
+let test_matrix_rref_dependent_rows () =
+  (* row3 = row1 + row2, so rank 2 *)
+  let m = matrix_of_lists ~cols:4 [ [ 0; 1 ]; [ 1; 2 ]; [ 0; 2 ] ] in
+  check_int "rank" 2 (Gf2.Matrix.rref m);
+  (* third row must be zero after elimination *)
+  check "dependent row zeroed" true (Gf2.Bitvec.is_zero (Gf2.Matrix.row m 2))
+
+let test_matrix_rref_is_reduced () =
+  (* After Gauss-Jordan each pivot column must contain a single 1. *)
+  let m =
+    matrix_of_lists ~cols:5 [ [ 0; 1; 4 ]; [ 1; 2 ]; [ 0; 2; 3 ]; [ 3; 4 ] ]
+  in
+  let rank = Gf2.Matrix.rref m in
+  for r = 0 to rank - 1 do
+    match Gf2.Bitvec.first_set (Gf2.Matrix.row m r) with
+    | None -> Alcotest.fail "nonzero row expected within rank"
+    | Some pivot ->
+        let count = ref 0 in
+        for r' = 0 to Gf2.Matrix.rows m - 1 do
+          if Gf2.Matrix.get m r' pivot then incr count
+        done;
+        check_int "pivot column has one 1" 1 !count
+  done
+
+let test_matrix_rank_no_mutation () =
+  let m = matrix_of_lists ~cols:3 [ [ 0; 1 ]; [ 1; 2 ] ] in
+  let before = Format.asprintf "%a" Gf2.Matrix.pp m in
+  check_int "rank" 2 (Gf2.Matrix.rank m);
+  let after = Format.asprintf "%a" Gf2.Matrix.pp m in
+  Alcotest.(check string) "unchanged by rank" before after
+
+let test_matrix_table1_example () =
+  (* Table I of the paper: XL on {x1x2+x1+1, x2x3+x3} with D=1 expansion.
+     Columns in Table I order, indexed:
+     0:x1x2x3 1:x2x3 2:x1x3 3:x1x2 4:x3 5:x2 6:x1 7:1.
+     Each row is the set of columns with a 1. *)
+  let expansion =
+    [
+      [ 3; 6; 7 ]; (* x1x2 + x1 + 1 *)
+      [ 3 ];       (* x1 * (x1x2+x1+1) = x1x2 *)
+      [ 5 ];       (* x2 * (x1x2+x1+1) = x2 *)
+      [ 0; 2; 4 ]; (* x3 * (x1x2+x1+1) = x1x2x3 + x1x3 + x3 *)
+      [ 1; 4 ];    (* x2x3 + x3 *)
+      [ 0; 2 ];    (* x1 * (x2x3+x3) = x1x2x3 + x1x3 *)
+      [ 1; 4 ];    (* x3 * (x2x3+x3) = x2x3 + x3 (duplicate row) *)
+    ]
+  in
+  let m = matrix_of_lists ~cols:8 expansion in
+  let rank = Gf2.Matrix.rref m in
+  (* The GJE result in Table I(b) has 6 nonzero rows, whose last three are
+     the linear facts x1+1, x2, x3. *)
+  check_int "rank" 6 rank;
+  let nonzero = Gf2.Matrix.nonzero_rows m in
+  check_int "nonzero rows" 6 (List.length nonzero);
+  let last3 =
+    List.filteri (fun i _ -> i >= 3) (List.map Gf2.Bitvec.to_list nonzero)
+  in
+  (* columns: 4:x3 5:x2 6:x1 7:1 ; facts x3, x2, x1+1 *)
+  Alcotest.(check (list (list int)))
+    "linear facts rows" [ [ 4 ]; [ 5 ]; [ 6; 7 ] ] last3
+
+let test_matrix_of_rows_mismatch () =
+  Alcotest.check_raises "row length" (Invalid_argument "Matrix.of_rows: row length mismatch")
+    (fun () ->
+      ignore (Gf2.Matrix.of_rows ~cols:3 [ Gf2.Bitvec.create 4 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Property tests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let bitvec_gen =
+  QCheck.Gen.(
+    sized (fun n ->
+        let n = max 1 (min 200 (n + 1)) in
+        map (Gf2.Bitvec.of_list n) (list_size (int_bound 30) (int_bound (n - 1)))))
+
+let arb_bitvec = QCheck.make ~print:(Format.asprintf "%a" Gf2.Bitvec.pp) bitvec_gen
+
+let prop_xor_self_is_zero =
+  QCheck.Test.make ~name:"bitvec: v xor v = 0" ~count:200 arb_bitvec (fun v ->
+      let d = Gf2.Bitvec.copy v in
+      Gf2.Bitvec.xor_into ~src:v ~dst:d;
+      Gf2.Bitvec.is_zero d)
+
+let prop_xor_commutes =
+  QCheck.Test.make ~name:"bitvec: xor commutes" ~count:200
+    QCheck.(pair arb_bitvec arb_bitvec)
+    (fun (a, b) ->
+      QCheck.assume (Gf2.Bitvec.length a = Gf2.Bitvec.length b);
+      let ab = Gf2.Bitvec.copy a and ba = Gf2.Bitvec.copy b in
+      Gf2.Bitvec.xor_into ~src:b ~dst:ab;
+      Gf2.Bitvec.xor_into ~src:a ~dst:ba;
+      Gf2.Bitvec.equal ab ba)
+
+let prop_popcount_matches_list =
+  QCheck.Test.make ~name:"bitvec: popcount = |to_list|" ~count:200 arb_bitvec (fun v ->
+      Gf2.Bitvec.popcount v = List.length (Gf2.Bitvec.to_list v))
+
+let matrix_gen =
+  QCheck.Gen.(
+    let* rows = int_range 1 12 in
+    let* cols = int_range 1 12 in
+    let* bits = list_size (int_bound 40) (pair (int_bound (rows - 1)) (int_bound (cols - 1))) in
+    let m = Gf2.Matrix.create ~rows ~cols in
+    List.iter (fun (r, c) -> Gf2.Matrix.set m r c true) bits;
+    return m)
+
+let arb_matrix = QCheck.make ~print:(Format.asprintf "%a" Gf2.Matrix.pp) matrix_gen
+
+let prop_rref_idempotent =
+  QCheck.Test.make ~name:"matrix: rref idempotent" ~count:200 arb_matrix (fun m ->
+      let m1 = Gf2.Matrix.copy m in
+      let r1 = Gf2.Matrix.rref m1 in
+      let m2 = Gf2.Matrix.copy m1 in
+      let r2 = Gf2.Matrix.rref m2 in
+      r1 = r2 && Format.asprintf "%a" Gf2.Matrix.pp m1 = Format.asprintf "%a" Gf2.Matrix.pp m2)
+
+let prop_rank_bounded =
+  QCheck.Test.make ~name:"matrix: rank <= min(rows,cols)" ~count:200 arb_matrix (fun m ->
+      Gf2.Matrix.rank m <= min (Gf2.Matrix.rows m) (Gf2.Matrix.cols m))
+
+(* Row space is preserved by rref: every original row must reduce to zero
+   against the rref basis. *)
+let prop_rref_preserves_row_space =
+  QCheck.Test.make ~name:"matrix: rref preserves row space" ~count:100 arb_matrix (fun m ->
+      let reduced = Gf2.Matrix.copy m in
+      ignore (Gf2.Matrix.rref reduced);
+      let basis = Gf2.Matrix.nonzero_rows reduced in
+      let reduce_row row =
+        let v = Gf2.Bitvec.copy row in
+        List.iter
+          (fun b ->
+            match Gf2.Bitvec.first_set b with
+            | Some p when Gf2.Bitvec.get v p -> Gf2.Bitvec.xor_into ~src:b ~dst:v
+            | Some _ | None -> ())
+          basis;
+        Gf2.Bitvec.is_zero v
+      in
+      let ok = ref true in
+      for r = 0 to Gf2.Matrix.rows m - 1 do
+        if not (reduce_row (Gf2.Matrix.row m r)) then ok := false
+      done;
+      !ok)
+
+let test_m4rm_matches_rref () =
+  let m =
+    matrix_of_lists ~cols:7 [ [ 0; 1; 4 ]; [ 1; 2 ]; [ 0; 2; 3 ]; [ 3; 4 ]; [ 5; 6 ]; [ 0; 5 ] ]
+  in
+  let plain = Gf2.Matrix.copy m and four = Gf2.Matrix.copy m in
+  let r1 = Gf2.Matrix.rref plain in
+  let r2 = Gf2.Matrix.rref_m4rm ~k:3 four in
+  check_int "same rank" r1 r2;
+  Alcotest.(check string) "same RREF"
+    (Format.asprintf "%a" Gf2.Matrix.pp plain)
+    (Format.asprintf "%a" Gf2.Matrix.pp four)
+
+let prop_m4rm_equals_rref =
+  QCheck.Test.make ~name:"four russians RREF = plain RREF" ~count:300
+    QCheck.(pair (make matrix_gen) (int_range 1 8))
+    (fun (m, k) ->
+      let plain = Gf2.Matrix.copy m and four = Gf2.Matrix.copy m in
+      let r1 = Gf2.Matrix.rref plain in
+      let r2 = Gf2.Matrix.rref_m4rm ~k four in
+      r1 = r2
+      && Format.asprintf "%a" Gf2.Matrix.pp plain = Format.asprintf "%a" Gf2.Matrix.pp four)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_xor_self_is_zero;
+      prop_xor_commutes;
+      prop_popcount_matches_list;
+      prop_rref_idempotent;
+      prop_rank_bounded;
+      prop_rref_preserves_row_space;
+      prop_m4rm_equals_rref;
+    ]
+
+let suite =
+  [
+    ( "gf2.bitvec",
+      [
+        Alcotest.test_case "create is zero" `Quick test_bitvec_create_zero;
+        Alcotest.test_case "set/get across word boundary" `Quick test_bitvec_set_get;
+        Alcotest.test_case "flip" `Quick test_bitvec_flip;
+        Alcotest.test_case "bounds checks" `Quick test_bitvec_out_of_range;
+        Alcotest.test_case "xor_into" `Quick test_bitvec_xor;
+        Alcotest.test_case "xor length mismatch" `Quick test_bitvec_xor_length_mismatch;
+        Alcotest.test_case "first_set" `Quick test_bitvec_first_set;
+        Alcotest.test_case "of_list toggles duplicates" `Quick test_bitvec_of_list_toggles;
+        Alcotest.test_case "copy independence" `Quick test_bitvec_copy_independent;
+        Alcotest.test_case "iter/fold over set bits" `Quick test_bitvec_fold_iter;
+      ] );
+    ( "gf2.matrix",
+      [
+        Alcotest.test_case "identity rref" `Quick test_matrix_identity_rref;
+        Alcotest.test_case "dependent rows" `Quick test_matrix_rref_dependent_rows;
+        Alcotest.test_case "rref fully reduced" `Quick test_matrix_rref_is_reduced;
+        Alcotest.test_case "rank does not mutate" `Quick test_matrix_rank_no_mutation;
+        Alcotest.test_case "Table I worked example" `Quick test_matrix_table1_example;
+        Alcotest.test_case "of_rows length mismatch" `Quick test_matrix_of_rows_mismatch;
+        Alcotest.test_case "four russians RREF" `Quick test_m4rm_matches_rref;
+      ] );
+    ("gf2.properties", qcheck_cases);
+  ]

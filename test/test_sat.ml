@@ -1,0 +1,654 @@
+(* Tests for the CDCL SAT solver. *)
+
+module L = Cnf.Lit
+module S = Sat.Solver
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let clause lits = List.map L.of_dimacs lits
+
+let solver_of_dimacs_clauses ~nvars cls =
+  let s = S.create ~nvars () in
+  List.iter (fun c -> ignore (S.add_clause s (clause c))) cls;
+  s
+
+let is_sat = function Sat.Types.Sat _ -> true | Sat.Types.Unsat | Sat.Types.Undecided -> false
+let is_unsat = function Sat.Types.Unsat -> true | Sat.Types.Sat _ | Sat.Types.Undecided -> false
+
+(* ------------------------------------------------------------------ *)
+(* Unit tests                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_empty_formula () =
+  let s = S.create ~nvars:3 () in
+  check "sat" true (is_sat (S.solve s))
+
+let test_single_unit () =
+  let s = solver_of_dimacs_clauses ~nvars:1 [ [ 1 ] ] in
+  (match S.solve s with
+  | Sat.Types.Sat model -> check "x0 true" true model.(0)
+  | Sat.Types.Unsat | Sat.Types.Undecided -> Alcotest.fail "expected SAT");
+  check_int "one root unit" 1 (List.length (S.root_units s))
+
+let test_contradictory_units () =
+  let s = S.create ~nvars:1 () in
+  check "first ok" true (S.add_clause s (clause [ 1 ]));
+  check "second fails" false (S.add_clause s (clause [ -1 ]));
+  check "unsat" true (is_unsat (S.solve s));
+  check "not okay" false (S.okay s)
+
+let test_implication_chain () =
+  (* x0, x0->x1, x1->x2, ..., all forced true *)
+  let n = 30 in
+  let cls = [ 1 ] :: List.init (n - 1) (fun i -> [ -(i + 1); i + 2 ]) in
+  let s = solver_of_dimacs_clauses ~nvars:n cls in
+  match S.solve s with
+  | Sat.Types.Sat model -> check "all true" true (Array.for_all Fun.id model)
+  | Sat.Types.Unsat | Sat.Types.Undecided -> Alcotest.fail "expected SAT"
+
+let test_simple_unsat () =
+  (* (x|y) (x|~y) (~x|y) (~x|~y) *)
+  let s = solver_of_dimacs_clauses ~nvars:2 [ [ 1; 2 ]; [ 1; -2 ]; [ -1; 2 ]; [ -1; -2 ] ] in
+  check "unsat" true (is_unsat (S.solve s))
+
+let test_tautology_ignored () =
+  let s = solver_of_dimacs_clauses ~nvars:2 [ [ 1; -1 ] ] in
+  check "sat" true (is_sat (S.solve s))
+
+let test_duplicate_literals () =
+  let s = solver_of_dimacs_clauses ~nvars:1 [ [ 1; 1; 1 ] ] in
+  match S.solve s with
+  | Sat.Types.Sat model -> check "forced" true model.(0)
+  | Sat.Types.Unsat | Sat.Types.Undecided -> Alcotest.fail "expected SAT"
+
+let pigeonhole ~holes =
+  (* PHP(holes+1, holes): unsatisfiable.  Pigeon p in hole h is variable
+     p*holes + h + 1 (DIMACS). *)
+  let pigeons = holes + 1 in
+  let v p h = (p * holes) + h + 1 in
+  let at_least = List.init pigeons (fun p -> List.init holes (fun h -> v p h)) in
+  let at_most =
+    List.concat_map
+      (fun h ->
+        List.concat_map
+          (fun p1 ->
+            List.filter_map
+              (fun p2 -> if p2 > p1 then Some [ -(v p1 h); -(v p2 h) ] else None)
+              (List.init pigeons Fun.id))
+          (List.init pigeons Fun.id))
+      (List.init holes Fun.id)
+  in
+  at_least @ at_most
+
+let test_pigeonhole_unsat () =
+  List.iter
+    (fun holes ->
+      let s = solver_of_dimacs_clauses ~nvars:((holes + 1) * holes) (pigeonhole ~holes) in
+      check (Printf.sprintf "php %d unsat" holes) true (is_unsat (S.solve s)))
+    [ 2; 3; 4; 5 ]
+
+let test_pigeonhole_sat_when_equal () =
+  (* pigeons = holes: satisfiable (drop the extra pigeon). *)
+  let holes = 4 in
+  let v p h = (p * holes) + h + 1 in
+  let cls =
+    List.init holes (fun p -> List.init holes (fun h -> v p h))
+    @ List.concat_map
+        (fun h ->
+          List.concat_map
+            (fun p1 ->
+              List.filter_map
+                (fun p2 -> if p2 > p1 then Some [ -(v p1 h); -(v p2 h) ] else None)
+                (List.init holes Fun.id))
+            (List.init holes Fun.id))
+        (List.init holes Fun.id)
+  in
+  let s = solver_of_dimacs_clauses ~nvars:(holes * holes) cls in
+  check "sat" true (is_sat (S.solve s))
+
+let test_conflict_budget () =
+  (* A hard instance with a tiny budget must return Undecided. *)
+  let holes = 7 in
+  let s = solver_of_dimacs_clauses ~nvars:((holes + 1) * holes) (pigeonhole ~holes) in
+  match S.solve ~conflict_budget:5 s with
+  | Sat.Types.Undecided -> ()
+  | Sat.Types.Sat _ -> Alcotest.fail "php8x7 should not be SAT"
+  | Sat.Types.Unsat -> Alcotest.fail "budget of 5 conflicts cannot refute php8x7"
+
+let test_budget_resume () =
+  (* Solving again without budget after Undecided completes the proof. *)
+  let holes = 5 in
+  let s = solver_of_dimacs_clauses ~nvars:((holes + 1) * holes) (pigeonhole ~holes) in
+  (match S.solve ~conflict_budget:3 s with
+  | Sat.Types.Undecided -> ()
+  | Sat.Types.Sat _ | Sat.Types.Unsat -> Alcotest.fail "expected Undecided on tiny budget");
+  check "resumed to unsat" true (is_unsat (S.solve s))
+
+let test_model_satisfies_formula () =
+  let cls = [ [ 1; 2; -3 ]; [ -1; 3 ]; [ 2; 3 ]; [ -2; -3; 1 ] ] in
+  let s = solver_of_dimacs_clauses ~nvars:3 cls in
+  match S.solve s with
+  | Sat.Types.Sat model ->
+      let assignment v = model.(v) in
+      List.iter
+        (fun c ->
+          check "clause satisfied" true
+            (List.exists (fun d -> L.eval assignment (L.of_dimacs d)) c))
+        cls
+  | Sat.Types.Unsat | Sat.Types.Undecided -> Alcotest.fail "expected SAT"
+
+let test_new_var_growth () =
+  let s = S.create ~nvars:0 () in
+  let a = S.new_var s in
+  let b = S.new_var s in
+  check_int "vars allocated" 2 (S.nvars s);
+  ignore (S.add_clause s [ L.pos a; L.pos b ]);
+  check "sat" true (is_sat (S.solve s))
+
+let test_add_formula () =
+  let f =
+    Cnf.Dimacs.parse_string "p cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0\n"
+  in
+  let s = S.create ~nvars:0 () in
+  check "added" true (S.add_formula s f);
+  check "sat" true (is_sat (S.solve s))
+
+let test_stats_populated () =
+  let holes = 5 in
+  let s = solver_of_dimacs_clauses ~nvars:((holes + 1) * holes) (pigeonhole ~holes) in
+  ignore (S.solve s);
+  let st = S.stats s in
+  check "conflicts counted" true (st.Sat.Types.conflicts > 0);
+  check "decisions counted" true (st.Sat.Types.decisions > 0);
+  check "propagations counted" true (st.Sat.Types.propagations > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Native XOR constraints                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_xor_unit_propagation () =
+  (* x0+x1+x2 = 1 with x0 = 0, x1 = 1 forces x2 = 0 *)
+  let s = S.create ~nvars:3 () in
+  check "xor added" true (S.add_xor s ~vars:[ 0; 1; 2 ] ~parity:true);
+  ignore (S.add_clause s (clause [ -1 ]));
+  ignore (S.add_clause s (clause [ 2 ]));
+  match S.solve s with
+  | Sat.Types.Sat model ->
+      check "x2 forced false" false model.(2)
+  | Sat.Types.Unsat | Sat.Types.Undecided -> Alcotest.fail "expected SAT"
+
+let test_xor_chain_conflict () =
+  (* x0+x1=1, x1+x2=1, x0+x2=1: odd cycle, UNSAT *)
+  let s = S.create ~nvars:3 () in
+  check "a" true (S.add_xor s ~vars:[ 0; 1 ] ~parity:true);
+  check "b" true (S.add_xor s ~vars:[ 1; 2 ] ~parity:true);
+  check "c" true (S.add_xor s ~vars:[ 0; 2 ] ~parity:true);
+  check "unsat" true (is_unsat (S.solve s))
+
+let test_xor_root_folding () =
+  (* duplicate variables cancel; root units fold into the parity *)
+  let s = S.create ~nvars:3 () in
+  ignore (S.add_clause s (clause [ 1 ]));
+  (* x0 = 1, so x0+x1+x1+x2 = 1 reduces to x2 = 0 *)
+  check "added" true (S.add_xor s ~vars:[ 0; 1; 1; 2 ] ~parity:true);
+  match S.solve s with
+  | Sat.Types.Sat model -> check "x2 false" false model.(2)
+  | Sat.Types.Unsat | Sat.Types.Undecided -> Alcotest.fail "expected SAT"
+
+let test_xor_empty_inconsistent () =
+  let s = S.create ~nvars:1 () in
+  ignore (S.add_clause s (clause [ 1 ]));
+  (* x0+x0 = 1 folds to 0 = 1 *)
+  check "conflict" false (S.add_xor s ~vars:[ 0; 0 ] ~parity:true);
+  check "unsat" true (is_unsat (S.solve s))
+
+let test_xor_long_chain_sat () =
+  (* a long xor chain with one anchor: x0=1 and x_i + x_{i+1} = 1 forces an
+     alternating assignment *)
+  let n = 40 in
+  let s = S.create ~nvars:n () in
+  ignore (S.add_clause s (clause [ 1 ]));
+  for i = 0 to n - 2 do
+    ignore (S.add_xor s ~vars:[ i; i + 1 ] ~parity:true)
+  done;
+  match S.solve s with
+  | Sat.Types.Sat model ->
+      for i = 0 to n - 1 do
+        check "alternating" (i mod 2 = 0) model.(i)
+      done
+  | Sat.Types.Unsat | Sat.Types.Undecided -> Alcotest.fail "expected SAT"
+
+let prop_native_xor_matches_brute_force =
+  (* random mixed CNF + XOR systems: the native engine agrees with brute
+     force over the clause encoding of the same xors *)
+  let gen =
+    QCheck.Gen.(
+      let* nvars = int_range 2 9 in
+      let* n_clauses = int_range 0 10 in
+      let* clauses =
+        list_repeat n_clauses
+          (let* len = int_range 1 3 in
+           list_repeat len
+             (let* v = int_bound (nvars - 1) in
+              let* s = bool in
+              return (if s then v + 1 else -(v + 1))))
+      in
+      let* n_xors = int_range 1 6 in
+      let* xors =
+        list_repeat n_xors
+          (let* len = int_range 2 4 in
+           let* vars = list_repeat len (int_bound (nvars - 1)) in
+           let* parity = bool in
+           return (vars, parity))
+      in
+      return (nvars, clauses, xors))
+  in
+  QCheck.Test.make ~name:"native xor engine agrees with brute force" ~count:300
+    (QCheck.make
+       ~print:(fun (n, cls, xors) ->
+         Printf.sprintf "nvars=%d cls=%s xors=%s" n
+           (String.concat ";" (List.map (fun c -> String.concat "," (List.map string_of_int c)) cls))
+           (String.concat ";"
+              (List.map
+                 (fun (vs, p) ->
+                   String.concat "+" (List.map string_of_int vs) ^ "=" ^ string_of_bool p)
+                 xors)))
+       gen)
+    (fun (nvars, cls, xors) ->
+      (* reference: encode xors as clauses *)
+      let xor_clauses =
+        List.concat_map
+          (fun (vars, parity) ->
+            Sat.Xor_module.clauses_of_xor (Sat.Xor_module.make_xor ~vars ~parity))
+          xors
+      in
+      let base_clauses = List.map (fun c -> Cnf.Clause.of_list (List.map L.of_dimacs c)) cls in
+      let f = Cnf.Formula.create ~nvars (base_clauses @ xor_clauses) in
+      let expected = Cnf.Formula.brute_force_sat f = Some true in
+      (* native: clauses plus add_xor *)
+      let s = S.create ~nvars () in
+      let ok =
+        List.for_all (fun c -> S.add_clause s (clause c)) cls
+        && List.for_all (fun (vars, parity) -> S.add_xor s ~vars ~parity) xors
+      in
+      if not ok then not expected
+      else
+        match S.solve s with
+        | Sat.Types.Sat model -> expected && Cnf.Formula.eval (fun v -> model.(v)) f
+        | Sat.Types.Unsat -> not expected
+        | Sat.Types.Undecided -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Property tests: CDCL agrees with brute force                        *)
+(* ------------------------------------------------------------------ *)
+
+let random_cnf_gen =
+  QCheck.Gen.(
+    let* nvars = int_range 1 10 in
+    let* n_clauses = int_range 1 40 in
+    let* clauses =
+      list_repeat n_clauses
+        (let* len = int_range 1 4 in
+         list_repeat len
+           (let* v = int_bound (nvars - 1) in
+            let* s = bool in
+            return (if s then v + 1 else -(v + 1))))
+    in
+    return (nvars, clauses))
+
+let arb_cnf =
+  QCheck.make
+    ~print:(fun (n, cls) ->
+      Printf.sprintf "nvars=%d %s" n
+        (String.concat " ; " (List.map (fun c -> String.concat "," (List.map string_of_int c)) cls)))
+    random_cnf_gen
+
+let formula_of (nvars, cls) =
+  Cnf.Formula.create ~nvars
+    (List.map (fun c -> Cnf.Clause.of_list (List.map L.of_dimacs c)) cls)
+
+let prop_cdcl_matches_brute_force =
+  QCheck.Test.make ~name:"solver agrees with brute force" ~count:500 arb_cnf
+    (fun (nvars, cls) ->
+      let f = formula_of (nvars, cls) in
+      let expected = Cnf.Formula.brute_force_sat f in
+      let s = solver_of_dimacs_clauses ~nvars cls in
+      let got = S.solve s in
+      match (expected, got) with
+      | Some true, Sat.Types.Sat model -> Cnf.Formula.eval (fun v -> model.(v)) f
+      | Some false, Sat.Types.Unsat -> true
+      | _, Sat.Types.Undecided -> false
+      | Some true, Sat.Types.Unsat | Some false, Sat.Types.Sat _ | None, _ -> false)
+
+let prop_root_units_are_consequences =
+  QCheck.Test.make ~name:"root units are logical consequences" ~count:200 arb_cnf
+    (fun (nvars, cls) ->
+      let f = formula_of (nvars, cls) in
+      let s = solver_of_dimacs_clauses ~nvars cls in
+      ignore (S.solve s);
+      if not (S.okay s) then true
+      else
+        (* every model of f must satisfy every root unit *)
+        let units = S.root_units s in
+        let ok = ref true in
+        (try
+           for mask = 0 to (1 lsl Cnf.Formula.nvars f) - 1 do
+             let assignment v = mask lsr v land 1 = 1 in
+             if Cnf.Formula.eval assignment f then
+               List.iter
+                 (fun u -> if L.var u < Cnf.Formula.nvars f && not (L.eval assignment u) then ok := false)
+                 units
+           done
+         with Invalid_argument _ -> ());
+        !ok)
+
+let prop_learnt_clauses_are_implied =
+  QCheck.Test.make ~name:"learnt clauses are implied by the formula" ~count:150 arb_cnf
+    (fun (nvars, cls) ->
+      let f = formula_of (nvars, cls) in
+      let s = solver_of_dimacs_clauses ~nvars cls in
+      ignore (S.solve s);
+      let learnts = S.learnt_clauses s in
+      let ok = ref true in
+      for mask = 0 to (1 lsl Cnf.Formula.nvars f) - 1 do
+        let assignment v = mask lsr v land 1 = 1 in
+        if Cnf.Formula.eval assignment f then
+          List.iter
+            (fun c ->
+              if
+                List.for_all (fun l -> L.var l < Cnf.Formula.nvars f) c
+                && not (List.exists (L.eval assignment) c)
+              then ok := false)
+            learnts
+      done;
+      !ok)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_cdcl_matches_brute_force;
+      prop_root_units_are_consequences;
+      prop_learnt_clauses_are_implied;
+      prop_native_xor_matches_brute_force;
+    ]
+
+let main_suite =
+  [
+    ( "sat.solver",
+      [
+        Alcotest.test_case "empty formula" `Quick test_empty_formula;
+        Alcotest.test_case "single unit" `Quick test_single_unit;
+        Alcotest.test_case "contradictory units" `Quick test_contradictory_units;
+        Alcotest.test_case "implication chain" `Quick test_implication_chain;
+        Alcotest.test_case "simple unsat" `Quick test_simple_unsat;
+        Alcotest.test_case "tautology ignored" `Quick test_tautology_ignored;
+        Alcotest.test_case "duplicate literals" `Quick test_duplicate_literals;
+        Alcotest.test_case "pigeonhole unsat" `Quick test_pigeonhole_unsat;
+        Alcotest.test_case "pigeonhole sat at equality" `Quick test_pigeonhole_sat_when_equal;
+        Alcotest.test_case "conflict budget" `Quick test_conflict_budget;
+        Alcotest.test_case "budget then resume" `Quick test_budget_resume;
+        Alcotest.test_case "model satisfies formula" `Quick test_model_satisfies_formula;
+        Alcotest.test_case "new_var growth" `Quick test_new_var_growth;
+        Alcotest.test_case "add_formula" `Quick test_add_formula;
+        Alcotest.test_case "stats populated" `Quick test_stats_populated;
+      ] );
+    ( "sat.native_xor",
+      [
+        Alcotest.test_case "unit propagation through xor" `Quick test_xor_unit_propagation;
+        Alcotest.test_case "odd cycle conflict" `Quick test_xor_chain_conflict;
+        Alcotest.test_case "root folding" `Quick test_xor_root_folding;
+        Alcotest.test_case "degenerate inconsistency" `Quick test_xor_empty_inconsistent;
+        Alcotest.test_case "long alternating chain" `Quick test_xor_long_chain_sat;
+      ] );
+    ("sat.properties", qcheck_cases);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Proof logging and RUP checking                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_proof_simple_unsat () =
+  let cls = [ [ 1; 2 ]; [ 1; -2 ]; [ -1; 2 ]; [ -1; -2 ] ] in
+  let s = S.create ~nvars:2 () in
+  S.enable_proof s;
+  List.iter (fun c -> ignore (S.add_clause s (clause c))) cls;
+  check "unsat" true (is_unsat (S.solve s));
+  let proof = S.proof s in
+  check "ends with empty clause" true (List.exists (fun st -> st = []) proof);
+  let f = Cnf.Formula.create ~nvars:2 (List.map (fun c -> Cnf.Clause.of_list (clause c)) cls) in
+  check "certificate verifies" true (Sat.Proof.check f proof)
+
+let test_proof_pigeonhole () =
+  List.iter
+    (fun holes ->
+      let cls = pigeonhole ~holes in
+      let nvars = (holes + 1) * holes in
+      let s = S.create ~nvars () in
+      S.enable_proof s;
+      List.iter (fun c -> ignore (S.add_clause s (clause c))) cls;
+      check "unsat" true (is_unsat (S.solve s));
+      let f =
+        Cnf.Formula.create ~nvars (List.map (fun c -> Cnf.Clause.of_list (clause c)) cls)
+      in
+      check
+        (Printf.sprintf "php %d certificate verifies" holes)
+        true
+        (Sat.Proof.check f (S.proof s)))
+    [ 3; 4; 5 ]
+
+let test_proof_rejects_bogus () =
+  (* a fabricated certificate must be rejected *)
+  let f = Cnf.Dimacs.parse_string "p cnf 3 2\n1 2 0\n-1 3 0\n" in
+  (* claiming the empty clause out of thin air *)
+  check "bogus rejected" false (Sat.Proof.check f [ [] ]);
+  (* claiming a non-implied unit *)
+  check "non-implied step rejected" false
+    (Sat.Proof.check f [ [ L.pos 0 ]; [] ]);
+  (* a missing empty clause is not a certificate *)
+  check "no empty clause" false (Sat.Proof.check f [ [ L.pos 0; L.pos 2 ] ])
+
+let test_proof_is_rup_direct () =
+  (* from (a|b) and (~a|b), b is RUP *)
+  let clauses = [ [ L.pos 0; L.pos 1 ]; [ L.neg_of 0; L.pos 1 ] ] in
+  check "b is rup" true (Sat.Proof.is_rup ~clauses [ L.pos 1 ]);
+  check "a is not rup" false (Sat.Proof.is_rup ~clauses [ L.pos 0 ]);
+  (* tautological step is trivially fine *)
+  check "tautology" true (Sat.Proof.is_rup ~clauses [ L.pos 2; L.neg_of 2 ])
+
+let prop_unsat_proofs_verify =
+  QCheck.Test.make ~name:"every UNSAT run yields a verifiable certificate" ~count:300
+    arb_cnf
+    (fun (nvars, cls) ->
+      let f = formula_of (nvars, cls) in
+      let s = S.create ~nvars () in
+      S.enable_proof s;
+      List.iter (fun c -> ignore (S.add_clause s (clause c))) cls;
+      match S.solve s with
+      | Sat.Types.Unsat -> Sat.Proof.check f (S.proof s)
+      | Sat.Types.Sat _ | Sat.Types.Undecided -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Probing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_probe_implications () =
+  (* x0 -> x1 -> x2: probing x0 implies x1 and x2 *)
+  let s = solver_of_dimacs_clauses ~nvars:3 [ [ -1; 2 ]; [ -2; 3 ] ] in
+  (match S.probe s (L.pos 0) with
+  | `Implied lits ->
+      let vars = List.sort Int.compare (List.map L.var lits) in
+      Alcotest.(check (list int)) "implied x1 x2" [ 1; 2 ] vars;
+      check "all positive" true (List.for_all (fun l -> not (L.negated l)) lits)
+  | `Conflict | `Unusable -> Alcotest.fail "expected implications");
+  (* state restored: solver still solves *)
+  check "still solvable" true (is_sat (S.solve s))
+
+let test_probe_failed_literal () =
+  (* x0 -> x1 and x0 -> ~x1: assuming x0 conflicts, so ~x0 is forced *)
+  let s = solver_of_dimacs_clauses ~nvars:2 [ [ -1; 2 ]; [ -1; -2 ] ] in
+  (match S.probe s (L.pos 0) with
+  | `Conflict -> ()
+  | `Implied _ | `Unusable -> Alcotest.fail "expected a failed literal");
+  (match S.probe s (L.neg_of 0) with
+  | `Implied [] -> ()
+  | `Implied _ -> Alcotest.fail "~x0 implies nothing here"
+  | `Conflict | `Unusable -> Alcotest.fail "~x0 is consistent");
+  check "still solvable" true (is_sat (S.solve s))
+
+let test_probe_assigned_unusable () =
+  let s = solver_of_dimacs_clauses ~nvars:2 [ [ 1 ] ] in
+  ignore (S.solve s);
+  match S.probe s (L.pos 0) with
+  | `Unusable -> ()
+  | `Conflict | `Implied _ -> Alcotest.fail "probing an assigned literal"
+
+let test_driver_probing_learns_equivalence () =
+  (* x1 xor x2 = 1 encoded nonlinearly enough that only probing (not the
+     classify shapes) sees it... simplest: give the driver a system where
+     probing must find v equivalences through CNF implications.  Use the
+     xor clauses directly via CNF -> ANF with probing on. *)
+  let config =
+    { Bosphorus.Config.default with Bosphorus.Config.sat_probe_vars = 8 }
+  in
+  let polys = [ Anf.Anf_io.poly_of_string "x0*x1 + x0 + x1" ] in
+  (* x0*x1 + x0 + x1 = 0 means x0 or x1 is 0... and (x0,x1) != (1,1):
+     actually it forces x0 = x1 = 0 or exactly one... truth table:
+     00->0 ok; 01->1 no; 10->1 no; 11->1+1+1=1 no. Unique solution x0=x1=0. *)
+  match (Bosphorus.Driver.run ~config polys).Bosphorus.Driver.status with
+  | Bosphorus.Driver.Solved_sat sol ->
+      check "x0=0" false (List.assoc 0 sol);
+      check "x1=0" false (List.assoc 1 sol)
+  | Bosphorus.Driver.Solved_unsat | Bosphorus.Driver.Processed ->
+      Alcotest.fail "expected solution"
+
+let prop_probing_driver_sound =
+  QCheck.Test.make ~name:"driver with probing agrees with brute force" ~count:40
+    arb_cnf
+    (fun (nvars, cls) ->
+      let f = formula_of (nvars, cls) in
+      let expected = Cnf.Formula.brute_force_sat f = Some true in
+      let config =
+        { Bosphorus.Config.default with Bosphorus.Config.sat_probe_vars = 16 }
+      in
+      match (Bosphorus.Driver.run_cnf ~config f).Bosphorus.Driver.status with
+      | Bosphorus.Driver.Solved_sat sol ->
+          expected
+          &&
+          let lookup x = try List.assoc x sol with Not_found -> false in
+          Cnf.Formula.eval lookup f
+      | Bosphorus.Driver.Solved_unsat -> not expected
+      | Bosphorus.Driver.Processed -> true)
+
+let probe_suite =
+  [
+    ( "sat.probe",
+      [
+        Alcotest.test_case "implications" `Quick test_probe_implications;
+        Alcotest.test_case "failed literal" `Quick test_probe_failed_literal;
+        Alcotest.test_case "assigned is unusable" `Quick test_probe_assigned_unusable;
+        Alcotest.test_case "driver probing solves" `Quick test_driver_probing_learns_equivalence;
+        QCheck_alcotest.to_alcotest prop_probing_driver_sound;
+      ] );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Enumeration                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_enumerate_simple () =
+  (* (x0 | x1) has 3 models *)
+  let f = formula_of (2, [ [ 1; 2 ] ]) in
+  (match Sat.Enumerate.models f with
+  | ms, true ->
+      check_int "three models" 3 (List.length ms);
+      List.iter (fun m -> check "model valid" true (Cnf.Formula.eval (fun v -> m.(v)) f)) ms
+  | _, false -> Alcotest.fail "enumeration should complete");
+  check "count" true (Sat.Enumerate.count f = Some 3)
+
+let test_enumerate_limit () =
+  (* unconstrained over 6 vars: 64 models; limit 10 stops early *)
+  let f = Cnf.Formula.create ~nvars:6 [ Cnf.Clause.of_list [ L.pos 0; L.neg_of 0 ] ] in
+  let f = Cnf.Formula.add_clause f (Cnf.Clause.of_list [ L.pos 0; L.pos 1 ]) in
+  match Sat.Enumerate.models ~limit:10 f with
+  | ms, false -> check_int "stopped at limit" 10 (List.length ms)
+  | _, true -> Alcotest.fail "limit should bind"
+
+let test_enumerate_exact_boundary () =
+  let f = formula_of (2, [ [ 1; -1 ] ]) in
+  (* below the model count: incomplete by construction *)
+  (match Sat.Enumerate.models ~limit:3 f with
+  | ms, complete ->
+      check_int "three found" 3 (List.length ms);
+      check "not complete" false complete);
+  (* above the model count: complete *)
+  match Sat.Enumerate.models ~limit:5 f with
+  | ms, complete ->
+      check_int "all four" 4 (List.length ms);
+      check "certified complete" true complete
+
+let test_enumerate_projection () =
+  (* x0 free, x1 constrained equal to x2: projecting on {1,2} gives 2 *)
+  let f =
+    formula_of (3, [ [ -2; 3 ]; [ 2; -3 ] ])
+  in
+  check "projected" true (Sat.Enumerate.count ~relevant:[ 1; 2 ] f = Some 2);
+  check "unprojected" true (Sat.Enumerate.count f = Some 4)
+
+let test_enumerate_unsat () =
+  let f = formula_of (1, [ [ 1 ]; [ -1 ] ]) in
+  check "no models" true (Sat.Enumerate.count f = Some 0)
+
+let prop_enumeration_matches_brute_force =
+  QCheck.Test.make ~name:"enumeration count = brute force count" ~count:200 arb_cnf
+    (fun (nvars, cls) ->
+      let f = formula_of (nvars, cls) in
+      (* nvars <= 10, so 2048 strictly exceeds the maximum model count *)
+      Sat.Enumerate.count ~limit:2048 f = Some (Cnf.Formula.brute_force_count f))
+
+let prop_driver_preserves_projected_count =
+  (* Section V via enumeration: the processed CNF of the driver has exactly
+     the original formula's models when projected to the original
+     variables *)
+  QCheck.Test.make ~name:"bosphorus preserves projected model count" ~count:60 arb_cnf
+    (fun (nvars, cls) ->
+      let f = formula_of (nvars, cls) in
+      let config =
+        { Bosphorus.Config.default with Bosphorus.Config.stop_on_solution = false }
+      in
+      let outcome = Bosphorus.Driver.run_cnf ~config f in
+      match outcome.Bosphorus.Driver.status with
+      | Bosphorus.Driver.Solved_unsat -> Cnf.Formula.brute_force_count f = 0
+      | Bosphorus.Driver.Solved_sat _ | Bosphorus.Driver.Processed ->
+          let augmented = Bosphorus.Driver.augmented_cnf f outcome in
+          let relevant = List.init (Cnf.Formula.nvars f) Fun.id in
+          Sat.Enumerate.count ~limit:4096 ~relevant augmented
+          = Some (Cnf.Formula.brute_force_count f))
+
+let enumerate_suite =
+  [
+    ( "sat.enumerate",
+      [
+        Alcotest.test_case "simple" `Quick test_enumerate_simple;
+        Alcotest.test_case "limit" `Quick test_enumerate_limit;
+        Alcotest.test_case "exact boundary" `Quick test_enumerate_exact_boundary;
+        Alcotest.test_case "projection" `Quick test_enumerate_projection;
+        Alcotest.test_case "unsat" `Quick test_enumerate_unsat;
+        QCheck_alcotest.to_alcotest prop_enumeration_matches_brute_force;
+        QCheck_alcotest.to_alcotest prop_driver_preserves_projected_count;
+      ] );
+  ]
+
+let proof_suite =
+  [
+    ( "sat.proof",
+      [
+        Alcotest.test_case "simple unsat certificate" `Quick test_proof_simple_unsat;
+        Alcotest.test_case "pigeonhole certificates" `Quick test_proof_pigeonhole;
+        Alcotest.test_case "bogus certificates rejected" `Quick test_proof_rejects_bogus;
+        Alcotest.test_case "is_rup" `Quick test_proof_is_rup_direct;
+        QCheck_alcotest.to_alcotest prop_unsat_proofs_verify;
+      ] );
+  ]
+
+let suite = main_suite @ probe_suite @ enumerate_suite @ proof_suite

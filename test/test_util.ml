@@ -1,0 +1,157 @@
+(* Tests for the solver's utility structures: growable vectors and the
+   activity-ordered variable heap. *)
+
+module V = Sat.Vec
+module H = Sat.Var_heap
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Vec                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_vec_push_get () =
+  let v = V.create ~dummy:(-1) in
+  check_int "empty" 0 (V.size v);
+  for i = 0 to 99 do
+    V.push v i
+  done;
+  check_int "size" 100 (V.size v);
+  check_int "get 0" 0 (V.get v 0);
+  check_int "get 99" 99 (V.get v 99);
+  V.set v 5 500;
+  check_int "set" 500 (V.get v 5)
+
+let test_vec_bounds () =
+  let v = V.of_list ~dummy:0 [ 1; 2; 3 ] in
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec: index out of range") (fun () ->
+      ignore (V.get v 3));
+  Alcotest.check_raises "set negative" (Invalid_argument "Vec: index out of range") (fun () ->
+      V.set v (-1) 0);
+  Alcotest.check_raises "bad shrink" (Invalid_argument "Vec.shrink") (fun () -> V.shrink v 4)
+
+let test_vec_pop_last () =
+  let v = V.of_list ~dummy:0 [ 1; 2; 3 ] in
+  check_int "last" 3 (V.last v);
+  check_int "pop" 3 (V.pop v);
+  check_int "size after pop" 2 (V.size v);
+  V.clear v;
+  check_int "cleared" 0 (V.size v);
+  Alcotest.check_raises "pop empty" (Invalid_argument "Vec.pop: empty") (fun () ->
+      ignore (V.pop v))
+
+let test_vec_filter_in_place () =
+  let v = V.of_list ~dummy:0 [ 1; 2; 3; 4; 5; 6 ] in
+  V.filter_in_place (fun x -> x mod 2 = 0) v;
+  Alcotest.(check (list int)) "evens kept in order" [ 2; 4; 6 ] (V.to_list v)
+
+let test_vec_sort () =
+  let v = V.of_list ~dummy:0 [ 5; 1; 4; 2; 3 ] in
+  V.sort_in_place Int.compare v;
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 4; 5 ] (V.to_list v)
+
+let test_vec_iter () =
+  let v = V.of_list ~dummy:0 [ 10; 20; 30 ] in
+  let sum = ref 0 in
+  V.iter (fun x -> sum := !sum + x) v;
+  check_int "sum" 60 !sum
+
+(* ------------------------------------------------------------------ *)
+(* Var_heap                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_max_order () =
+  let n = 10 in
+  let activity = Array.init n float_of_int in
+  let h = H.create n activity in
+  for v = 0 to n - 1 do
+    H.insert h v
+  done;
+  (* highest activity first *)
+  let order = List.init n (fun _ -> H.remove_max h) in
+  Alcotest.(check (list int)) "descending activity" [ 9; 8; 7; 6; 5; 4; 3; 2; 1; 0 ] order;
+  check "empty" true (H.is_empty h)
+
+let test_heap_ties_by_index () =
+  let activity = Array.make 5 1.0 in
+  let h = H.create 5 activity in
+  List.iter (H.insert h) [ 3; 1; 4; 0; 2 ];
+  let order = List.init 5 (fun _ -> H.remove_max h) in
+  Alcotest.(check (list int)) "ties broken by lower index" [ 0; 1; 2; 3; 4 ] order
+
+let test_heap_update () =
+  let activity = Array.init 4 float_of_int in
+  let h = H.create 4 activity in
+  for v = 0 to 3 do
+    H.insert h v
+  done;
+  (* boost variable 0 past everyone *)
+  activity.(0) <- 100.0;
+  H.update h 0;
+  check_int "boosted to top" 0 (H.remove_max h)
+
+let test_heap_insert_idempotent () =
+  let activity = Array.make 3 0.0 in
+  let h = H.create 3 activity in
+  H.insert h 1;
+  H.insert h 1;
+  check_int "single copy" 1 (H.remove_max h);
+  check "now empty" true (H.is_empty h)
+
+let test_heap_mem_and_rebuild () =
+  let activity = Array.make 6 0.0 in
+  let h = H.create 6 activity in
+  H.insert h 2;
+  check "mem" true (H.mem h 2);
+  check "not mem" false (H.mem h 3);
+  H.rebuild h [ 4; 5 ];
+  check "rebuilt drops old" false (H.mem h 2);
+  check "rebuilt has new" true (H.mem h 4 && H.mem h 5)
+
+let test_heap_grow () =
+  let activity = Array.make 2 0.0 in
+  let h = H.create 2 activity in
+  H.insert h 0;
+  let activity' = Array.make 8 0.0 in
+  activity'.(7) <- 9.0;
+  let h = H.grow h 8 activity' in
+  H.insert h 7;
+  check_int "new var wins" 7 (H.remove_max h);
+  check_int "old var kept" 0 (H.remove_max h)
+
+let prop_heap_is_sorting =
+  QCheck.Test.make ~name:"heap drains in activity order" ~count:300
+    QCheck.(list_of_size Gen.(int_range 1 30) (float_range 0.0 100.0))
+    (fun floats ->
+      let n = List.length floats in
+      let activity = Array.of_list floats in
+      let h = H.create n activity in
+      for v = 0 to n - 1 do
+        H.insert h v
+      done;
+      let drained = List.init n (fun _ -> activity.(H.remove_max h)) in
+      drained = List.sort (fun a b -> Float.compare b a) drained)
+
+let suite =
+  [
+    ( "sat.vec",
+      [
+        Alcotest.test_case "push/get/set" `Quick test_vec_push_get;
+        Alcotest.test_case "bounds" `Quick test_vec_bounds;
+        Alcotest.test_case "pop/last/clear" `Quick test_vec_pop_last;
+        Alcotest.test_case "filter_in_place" `Quick test_vec_filter_in_place;
+        Alcotest.test_case "sort_in_place" `Quick test_vec_sort;
+        Alcotest.test_case "iter" `Quick test_vec_iter;
+      ] );
+    ( "sat.var_heap",
+      [
+        Alcotest.test_case "max order" `Quick test_heap_max_order;
+        Alcotest.test_case "ties by index" `Quick test_heap_ties_by_index;
+        Alcotest.test_case "update after boost" `Quick test_heap_update;
+        Alcotest.test_case "idempotent insert" `Quick test_heap_insert_idempotent;
+        Alcotest.test_case "mem and rebuild" `Quick test_heap_mem_and_rebuild;
+        Alcotest.test_case "grow" `Quick test_heap_grow;
+        QCheck_alcotest.to_alcotest prop_heap_is_sorting;
+      ] );
+  ]

@@ -1,0 +1,118 @@
+(* Tests for the ZDD-backed polynomial representation (PolyBoRi's data
+   structure), cross-checked against the expanded Poly representation. *)
+
+module P = Anf.Poly
+module Z = Anf.Zdd
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let poly = Anf.Anf_io.poly_of_string
+
+let test_terminals () =
+  let m = Z.create_manager () in
+  check "zero" true (Z.is_zero Z.zero);
+  check "one" true (Z.is_one Z.one);
+  check "0 roundtrip" true (P.is_zero (Z.to_poly m Z.zero));
+  check "1 roundtrip" true (P.is_one (Z.to_poly m Z.one));
+  check_int "terms of zero" 0 (Z.n_terms m Z.zero);
+  check_int "terms of one" 1 (Z.n_terms m Z.one)
+
+let test_roundtrip () =
+  let m = Z.create_manager () in
+  List.iter
+    (fun s ->
+      let p = poly s in
+      check s true (P.equal p (Z.to_poly m (Z.of_poly m p))))
+    [ "0"; "1"; "x0"; "x3 + 1"; "x0*x1 + x2 + 1"; "x1*x2*x3 + x1 + x3" ]
+
+let test_hash_consing_equality () =
+  let m = Z.create_manager () in
+  let a = Z.of_poly m (poly "x0*x1 + x2") in
+  let b = Z.add m (Z.of_poly m (poly "x0*x1")) (Z.of_poly m (poly "x2")) in
+  check "same structure, same id" true (Z.equal a b)
+
+let test_add_cancellation () =
+  let m = Z.create_manager () in
+  let a = Z.of_poly m (poly "x0*x1 + x2") in
+  check "f + f = 0" true (Z.is_zero (Z.add m a a))
+
+let test_mul_idempotent () =
+  let m = Z.create_manager () in
+  let a = Z.of_poly m (poly "x0 + x1 + 1") in
+  check "f * f = f" true (Z.equal a (Z.mul m a a))
+
+let test_sharing_compactness () =
+  (* (x0+1)(x1+1)...(x(k-1)+1) has 2^k monomials but only k nonterminal
+     nodes - the memory argument of PolyBoRi *)
+  let m = Z.create_manager () in
+  let k = 16 in
+  let product = ref Z.one in
+  for i = 0 to k - 1 do
+    product := Z.mul m !product (Z.add m (Z.var m i) Z.one)
+  done;
+  check_int "2^16 monomials" (1 lsl k) (Z.n_terms m !product);
+  check "linear node count" true (Z.node_count m !product <= k);
+  (* the expanded Poly representation would need 65536 monomials *)
+  check "manager stayed small" true (Z.manager_size m < 4096)
+
+let test_subst () =
+  let m = Z.create_manager () in
+  (* paper II-C: substituting x1 := x2 + x3 in x1x2 + x2x3 + 1 gives x2+1 *)
+  let f = Z.of_poly m (poly "x1*x2 + x2*x3 + 1") in
+  let by = Z.of_poly m (poly "x2 + x3") in
+  let r = Z.subst m f ~target:1 ~by in
+  Alcotest.(check string) "subst" "x2 + 1" (P.to_string (Z.to_poly m r));
+  (* substitution introducing a smaller variable (ordering stress) *)
+  let g = Z.of_poly m (poly "x5*x6 + x6") in
+  let r2 = Z.subst m g ~target:6 ~by:(Z.of_poly m (poly "x0 + 1")) in
+  check "smaller-var substitution" true
+    (P.equal (Z.to_poly m r2) (P.subst (poly "x5*x6 + x6") ~target:6 ~by:(poly "x0 + 1")))
+
+let mono_gen = QCheck.Gen.(map Anf.Monomial.of_vars (list_size (int_bound 4) (int_bound 7)))
+let poly_gen = QCheck.Gen.(map P.of_monomials (list_size (int_bound 8) mono_gen))
+let arb_poly = QCheck.make ~print:P.to_string poly_gen
+
+let prop_zdd_add_matches_poly =
+  QCheck.Test.make ~name:"zdd add = poly add" ~count:300 QCheck.(pair arb_poly arb_poly)
+    (fun (a, b) ->
+      let m = Z.create_manager () in
+      P.equal (P.add a b) (Z.to_poly m (Z.add m (Z.of_poly m a) (Z.of_poly m b))))
+
+let prop_zdd_mul_matches_poly =
+  QCheck.Test.make ~name:"zdd mul = poly mul" ~count:300 QCheck.(pair arb_poly arb_poly)
+    (fun (a, b) ->
+      let m = Z.create_manager () in
+      P.equal (P.mul a b) (Z.to_poly m (Z.mul m (Z.of_poly m a) (Z.of_poly m b))))
+
+let prop_zdd_subst_matches_poly =
+  QCheck.Test.make ~name:"zdd subst = poly subst" ~count:300
+    QCheck.(pair arb_poly arb_poly)
+    (fun (p, by) ->
+      let m = Z.create_manager () in
+      let target = 3 in
+      P.equal
+        (P.subst p ~target ~by)
+        (Z.to_poly m (Z.subst m (Z.of_poly m p) ~target ~by:(Z.of_poly m by))))
+
+let prop_zdd_terms_match =
+  QCheck.Test.make ~name:"zdd n_terms = poly n_terms" ~count:300 arb_poly (fun p ->
+      let m = Z.create_manager () in
+      Z.n_terms m (Z.of_poly m p) = P.n_terms p)
+
+let suite =
+  [
+    ( "anf.zdd",
+      [
+        Alcotest.test_case "terminals" `Quick test_terminals;
+        Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+        Alcotest.test_case "hash-consing equality" `Quick test_hash_consing_equality;
+        Alcotest.test_case "GF(2) cancellation" `Quick test_add_cancellation;
+        Alcotest.test_case "Boolean-ring idempotence" `Quick test_mul_idempotent;
+        Alcotest.test_case "sharing compactness (2^16 terms)" `Quick test_sharing_compactness;
+        Alcotest.test_case "substitution" `Quick test_subst;
+        QCheck_alcotest.to_alcotest prop_zdd_add_matches_poly;
+        QCheck_alcotest.to_alcotest prop_zdd_mul_matches_poly;
+        QCheck_alcotest.to_alcotest prop_zdd_subst_matches_poly;
+        QCheck_alcotest.to_alcotest prop_zdd_terms_match;
+      ] );
+  ]
