@@ -68,7 +68,57 @@ let final_solve profile_name budget cnf =
       | None -> ());
       Ok ()
 
-let run_main input format_opt out_anf out_cnf solver budget no_learning config =
+(* --lint: run the audit layer's structural linter over the input file and
+   every pipeline-produced artifact; errors make the run fail. *)
+let run_lint format input_path outcome =
+  let input_diags =
+    match format with
+    | Cnf_format -> (
+        match
+          let ic = open_in input_path in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        with
+        | text -> Audit.Lint.lint_dimacs_text text
+        | exception Sys_error _ -> [])
+    | Anf_format -> []
+  in
+  let diags =
+    input_diags
+    @ Audit.Lint.lint_anf outcome.Bosphorus.Driver.anf
+    @ Audit.Lint.lint_cnf outcome.Bosphorus.Driver.cnf
+    @ Audit.Lint.lint_facts outcome.Bosphorus.Driver.facts
+  in
+  List.iter (fun d -> Format.printf "%a@." Audit.Diagnostic.pp d) diags;
+  Format.printf "lint: %a@." Audit.Diagnostic.pp_summary diags;
+  match Audit.Diagnostic.n_errors diags with
+  | 0 -> Ok ()
+  | n -> Error (`Msg (Printf.sprintf "lint found %d error(s)" n))
+
+(* --audit: independently certify every learnt fact and run the registered
+   cross-layer invariant checks. *)
+let run_audit outcome =
+  let r = Audit.Certify.certify outcome in
+  let inv_errors =
+    List.filter Audit.Diagnostic.is_error (Audit.Invariant.check_outcome outcome)
+  in
+  List.iter (fun d -> Format.printf "%a@." Audit.Diagnostic.pp d) inv_errors;
+  if Audit.Certify.all_certified r && inv_errors = [] then begin
+    Format.printf "audit: PASS (%d/%d facts certified)@." r.Audit.Certify.n_certified
+      r.Audit.Certify.n_facts;
+    Ok ()
+  end
+  else begin
+    Format.printf "audit: FAIL@.%a@." Audit.Certify.pp r;
+    Error (`Msg "audit failed")
+  end
+
+let run_main input format_opt out_anf out_cnf solver budget no_learning lint audit
+    config =
+  let config =
+    if audit then { config with Bosphorus.Config.audit_trail = true } else config
+  in
   let* format =
     match format_opt with
     | Some "anf" -> Ok Anf_format
@@ -90,6 +140,7 @@ let run_main input format_opt out_anf out_cnf solver budget no_learning config =
             facts = Bosphorus.Facts.create ();
             iterations = 0;
             sat_calls = 0;
+            trail = None;
           }
         else Bosphorus.Driver.run ~config polys
     | `Cnf (f, xors) ->
@@ -101,6 +152,7 @@ let run_main input format_opt out_anf out_cnf solver budget no_learning config =
             facts = Bosphorus.Facts.create ();
             iterations = 0;
             sat_calls = 0;
+            trail = None;
           }
         else
           let outcome = Bosphorus.Driver.run_cnf ~config ~xors f in
@@ -109,6 +161,8 @@ let run_main input format_opt out_anf out_cnf solver budget no_learning config =
           { outcome with Bosphorus.Driver.cnf = Bosphorus.Driver.augmented_cnf f outcome }
   in
   report outcome;
+  let* () = if lint then run_lint format input outcome else Ok () in
+  let* () = if audit then run_audit outcome else Ok () in
   Option.iter (fun path -> Anf.Anf_io.write_file path outcome.Bosphorus.Driver.anf) out_anf;
   Option.iter (fun path -> Cnf.Dimacs.write_file path outcome.Bosphorus.Driver.cnf) out_cnf;
   match solver with
@@ -144,6 +198,20 @@ let budget_arg =
 let no_learning_arg =
   Arg.(value & flag & info [ "no-learning" ] ~doc:"Skip the learning loop; only convert formats.")
 
+let lint_arg =
+  Arg.(value & flag
+       & info [ "lint" ]
+           ~doc:"Lint the input and every produced artifact (ANF canonical form, \
+                 CNF structure, fact store); exit nonzero on lint errors.")
+
+let audit_arg =
+  Arg.(value & flag
+       & info [ "audit" ]
+           ~doc:"Record an audit trail and independently certify every learnt \
+                 fact (GF(2) row-space membership or RUP replay), plus run the \
+                 registered invariant checks; exit nonzero unless all facts \
+                 certify.")
+
 let config_term =
   let open Bosphorus.Config in
   let m = Arg.(value & opt int default.xl_sample_bits & info [ "M" ] ~doc:"XL/ElimLin subsample bits (linearised size ~2^M).") in
@@ -176,7 +244,7 @@ let cmd =
   let term =
     Term.(
       const run_main $ input_arg $ format_arg $ out_anf_arg $ out_cnf_arg $ solver_arg
-      $ budget_arg $ no_learning_arg $ config_term)
+      $ budget_arg $ no_learning_arg $ lint_arg $ audit_arg $ config_term)
   in
   Cmd.v (Cmd.info "bosphorus" ~doc) Term.(term_result term)
 

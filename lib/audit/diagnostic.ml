@@ -1,0 +1,45 @@
+type severity = Error | Warning | Info
+
+type location =
+  | Anf_equation of int
+  | Cnf_clause of int
+  | Fact of int
+  | Artifact of string
+
+type t = {
+  severity : severity;
+  location : location;
+  code : string;
+  message : string;
+}
+
+let make severity location code fmt =
+  Format.kasprintf (fun message -> { severity; location; code; message }) fmt
+
+let error location code fmt = make Error location code fmt
+let warning location code fmt = make Warning location code fmt
+let info location code fmt = make Info location code fmt
+let is_error d = d.severity = Error
+
+let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
+let n_errors ds = count Error ds
+let n_warnings ds = count Warning ds
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let pp_location ppf = function
+  | Anf_equation i -> Format.fprintf ppf "anf[%d]" i
+  | Cnf_clause i -> Format.fprintf ppf "cnf[%d]" i
+  | Fact i -> Format.fprintf ppf "fact[%d]" i
+  | Artifact s -> Format.pp_print_string ppf s
+
+let pp ppf d =
+  Format.fprintf ppf "%s: %a: %s: %s" (severity_name d.severity) pp_location
+    d.location d.code d.message
+
+let pp_summary ppf ds =
+  Format.fprintf ppf "%d error(s), %d warning(s), %d info" (n_errors ds)
+    (n_warnings ds) (count Info ds)

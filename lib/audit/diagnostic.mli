@@ -1,0 +1,36 @@
+(** Typed lint diagnostics.
+
+    The linter ({!Lint}) returns these instead of printing, so callers
+    (CLI, CI, tests) decide severity thresholds and presentation. *)
+
+type severity = Error | Warning | Info
+
+type location =
+  | Anf_equation of int  (** index into the ANF system, in list order *)
+  | Cnf_clause of int  (** index into [Cnf.Formula.clauses] *)
+  | Fact of int  (** index into [Facts.to_list] *)
+  | Artifact of string  (** a whole artifact, e.g. ["cnf"] or a file name *)
+
+type t = {
+  severity : severity;
+  location : location;
+  code : string;  (** stable machine-matchable identifier, e.g. ["monomial-order"] *)
+  message : string;
+}
+
+(** [error loc code fmt ...] formats a diagnostic ({!warning} and {!info}
+    likewise). *)
+val error : location -> string -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val warning : location -> string -> ('a, Format.formatter, unit, t) format4 -> 'a
+val info : location -> string -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val is_error : t -> bool
+val n_errors : t list -> int
+val n_warnings : t list -> int
+
+(** ["severity: location: code: message"] on one line. *)
+val pp : Format.formatter -> t -> unit
+
+(** ["E error(s), W warning(s), I info"]. *)
+val pp_summary : Format.formatter -> t list -> unit

@@ -1,0 +1,239 @@
+module P = Anf.Poly
+module M = Anf.Monomial
+module D = Diagnostic
+
+(* ---------------- ANF systems ---------------- *)
+
+(* The checks mirror the representation invariants lib/anf promises
+   (canonical descending monomial order, strictly increasing variable lists,
+   x^2 = x applied); violating values cannot be built through the public
+   API, so an Error here means memory corruption or a Poly bug — exactly
+   what a trust anchor is for. *)
+let lint_poly i p =
+  let ds = ref [] in
+  let push d = ds := d :: !ds in
+  let loc = D.Anf_equation i in
+  if P.is_zero p then push (D.warning loc "zero-poly" "trivial equation 0 = 0")
+  else if P.is_one p then
+    push
+      (D.warning loc "contains-contradiction"
+         "equation 1 = 0: the system is unsatisfiable");
+  let rec mono_pairs = function
+    | m1 :: (m2 :: _ as rest) ->
+        let c = M.compare m1 m2 in
+        if c = 0 then
+          push
+            (D.error loc "duplicate-monomial" "monomial %s appears twice"
+               (M.to_string m1))
+        else if c > 0 then
+          push
+            (D.error loc "monomial-order" "%s sorted after %s" (M.to_string m1)
+               (M.to_string m2));
+        mono_pairs rest
+    | [ _ ] | [] -> ()
+  in
+  mono_pairs (P.monomials p);
+  List.iter
+    (fun m ->
+      let rec var_pairs = function
+        | x :: (y :: _ as rest) ->
+            if x = y then
+              push
+                (D.error loc "idempotence" "variable x%d repeated in %s (x^2 = x)"
+                   x (M.to_string m))
+            else if x > y then
+              push
+                (D.error loc "variable-order" "x%d after x%d in %s" x y
+                   (M.to_string m));
+            var_pairs rest
+        | [ x ] ->
+            if x < 0 then push (D.error loc "variable-range" "negative variable x%d" x)
+        | [] -> ()
+      in
+      (match M.vars m with
+      | x :: _ when x < 0 -> push (D.error loc "variable-range" "negative variable x%d" x)
+      | _ -> ());
+      var_pairs (M.vars m))
+    (P.monomials p);
+  List.rev !ds
+
+let degree_profile polys =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      let d = P.degree p in
+      Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d)))
+    polys;
+  Hashtbl.fold (fun d n acc -> (d, n) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let lint_anf polys =
+  let per_poly = List.concat (List.mapi lint_poly polys) in
+  let module PS = Set.Make (struct
+    type t = P.t
+
+    let compare = P.compare
+  end) in
+  let _, dups =
+    List.fold_left
+      (fun (seen, ds) (i, p) ->
+        if (not (P.is_zero p)) && PS.mem p seen then
+          ( seen,
+            D.warning (D.Anf_equation i) "duplicate-equation"
+              "equation %s already present" (P.to_string p)
+            :: ds )
+        else (PS.add p seen, ds))
+      (PS.empty, [])
+      (List.mapi (fun i p -> (i, p)) polys)
+  in
+  let nvars = List.fold_left (fun acc p -> max acc (P.max_var p + 1)) 0 polys in
+  let profile = degree_profile polys in
+  let stats =
+    D.info (D.Artifact "anf") "degree-profile" "%d equations, %d variables, degrees [%s]"
+      (List.length polys) nvars
+      (String.concat "; "
+         (List.map (fun (d, n) -> Printf.sprintf "%d: %d" d n) profile))
+  in
+  per_poly @ List.rev dups @ [ stats ]
+
+(* ---------------- CNF formulas ---------------- *)
+
+(* Clause groups sharing a variable set of size n that contain all 2^(n-1)
+   sign patterns of one parity are a plain-CNF XOR encoding — the pattern
+   cnf_to_anf recovers (Section III-C).  n is capped: beyond ~8 variables
+   no sane encoder emits the exponential expansion. *)
+let xor_groups clauses =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+      let vars = Cnf.Clause.vars c in
+      let n = List.length vars in
+      if n = Cnf.Clause.length c && n >= 2 && n <= 8 then
+        let key = String.concat "," (List.map string_of_int vars) in
+        Hashtbl.replace tbl key
+          (c :: Option.value ~default:[] (Hashtbl.find_opt tbl key)))
+    clauses;
+  Hashtbl.fold
+    (fun _ cs acc ->
+      let cs = List.sort_uniq Cnf.Clause.compare cs in
+      match cs with
+      | [] -> acc
+      | c :: _ ->
+          let n = List.length (Cnf.Clause.vars c) in
+          let parity c = (Cnf.Clause.length c - Cnf.Clause.n_positive c) land 1 in
+          let p0 = parity c in
+          if
+            List.length cs = 1 lsl (n - 1)
+            && List.for_all (fun c -> parity c = p0) cs
+          then (n, List.length cs) :: acc
+          else acc)
+    tbl []
+
+let lint_clauses ?declared_nvars ~nvars clauses =
+  let ds = ref [] in
+  let push d = ds := d :: !ds in
+  let used = Array.make (max nvars 1) false in
+  let range_bound = match declared_nvars with Some v -> v | None -> nvars in
+  List.iteri
+    (fun i c ->
+      let loc = D.Cnf_clause i in
+      if Cnf.Clause.is_empty c then
+        push (D.warning loc "empty-clause" "empty clause: formula is unsatisfiable")
+      else if Cnf.Clause.is_tautology c then
+        push (D.warning loc "tautology" "clause contains l and ~l");
+      let rec lit_pairs = function
+        | l1 :: (l2 :: _ as rest) ->
+            let c' = Cnf.Lit.compare l1 l2 in
+            if c' = 0 then
+              push
+                (D.error loc "duplicate-literal" "literal %s repeated"
+                   (Format.asprintf "%a" Cnf.Lit.pp l1))
+            else if c' > 0 then
+              push
+                (D.error loc "literal-order" "%s sorted after %s"
+                   (Format.asprintf "%a" Cnf.Lit.pp l1)
+                   (Format.asprintf "%a" Cnf.Lit.pp l2));
+            lit_pairs rest
+        | [ _ ] | [] -> ()
+      in
+      lit_pairs (Cnf.Clause.to_list c);
+      List.iter
+        (fun l ->
+          let v = Cnf.Lit.var l in
+          if v >= range_bound then
+            push
+              (D.error loc "literal-range" "variable %d out of range (%d declared)"
+                 (v + 1) range_bound)
+          else if v < nvars then used.(v) <- true)
+        (Cnf.Clause.to_list c))
+    clauses;
+  let module CS = Set.Make (Cnf.Clause) in
+  let _ =
+    List.fold_left
+      (fun (seen, i) c ->
+        if CS.mem c seen then begin
+          push
+            (D.warning (D.Cnf_clause i) "duplicate-clause" "clause %a repeated"
+               Cnf.Clause.pp c);
+          (seen, i + 1)
+        end
+        else (CS.add c seen, i + 1))
+      (CS.empty, 0) clauses
+  in
+  let unused = ref [] in
+  for v = nvars - 1 downto 0 do
+    if not used.(v) then unused := v :: !unused
+  done;
+  if !unused <> [] then
+    push
+      (D.info (D.Artifact "cnf") "unused-variables" "%d of %d variables unused"
+         (List.length !unused) nvars);
+  let xors = xor_groups clauses in
+  let n_clauses = List.length clauses in
+  let xor_clauses = List.fold_left (fun acc (_, k) -> acc + k) 0 xors in
+  push
+    (D.info (D.Artifact "cnf") "xor-density"
+       "%d clauses, %d variables; %d recovered XOR group(s) covering %d clauses (%.1f%%)"
+       n_clauses nvars (List.length xors) xor_clauses
+       (if n_clauses = 0 then 0.0
+        else 100.0 *. float_of_int xor_clauses /. float_of_int n_clauses));
+  List.rev !ds
+
+let lint_cnf ?declared_nvars f =
+  lint_clauses ?declared_nvars ~nvars:(Cnf.Formula.nvars f) (Cnf.Formula.clauses f)
+
+(* The parser is lenient about a missing [p cnf] header (the variable count
+   is then inferred); the linter is where that leniency is surfaced. *)
+let lint_dimacs_text text =
+  let has_header =
+    List.exists
+      (fun line -> String.length (String.trim line) > 0 && (String.trim line).[0] = 'p')
+      (String.split_on_char '\n' text)
+  in
+  if has_header then []
+  else
+    [
+      D.warning (D.Artifact "dimacs") "missing-header"
+        "no 'p cnf' header: variable count inferred from the literals";
+    ]
+
+(* ---------------- fact stores ---------------- *)
+
+let lint_facts facts =
+  List.concat
+    (List.mapi
+       (fun i (origin, p) ->
+         let loc = D.Fact i in
+         let structural =
+           List.map
+             (fun d -> { d with D.location = loc })
+             (lint_poly i p)
+         in
+         let extra =
+           if P.is_zero p then
+             [ D.error loc "zero-fact" "the zero polynomial is not a fact" ]
+           else []
+         in
+         ignore origin;
+         structural @ extra)
+       (Bosphorus.Facts.to_list facts))

@@ -1,0 +1,34 @@
+(** Structural linter over the pipeline's artifacts.
+
+    Checks are defensive re-verifications of invariants the constructing
+    code promises: an [Error] means a representation invariant is broken
+    (canonical monomial/variable/literal order, x^2 = x, distinctness, a
+    literal beyond the declared variable count); a [Warning] flags legal
+    but suspicious content (trivial equations, duplicate equations or
+    clauses, tautologies, a 1 = 0 contradiction); [Info] carries statistics
+    (degree profile, unused variables, XOR density). *)
+
+(** [lint_anf polys] checks each polynomial's canonical form plus
+    system-level duplicates, and appends a degree-profile [Info]. *)
+val lint_anf : Anf.Poly.t list -> Diagnostic.t list
+
+(** [lint_clauses ?declared_nvars ~nvars clauses] checks clause canonical
+    form, range ([declared_nvars] — e.g. a DIMACS header count — overrides
+    [nvars] as the bound), duplicates, plus unused-variable and XOR-density
+    [Info] lines.  XOR density counts groups of [2^(n-1)] same-parity
+    clauses over a shared n-variable set (n <= 8) — the plain-CNF XOR
+    encoding that [Cnf_to_anf] recovers. *)
+val lint_clauses :
+  ?declared_nvars:int -> nvars:int -> Cnf.Clause.t list -> Diagnostic.t list
+
+val lint_cnf : ?declared_nvars:int -> Cnf.Formula.t -> Diagnostic.t list
+
+(** [lint_dimacs_text text] checks raw DIMACS text for parser leniencies
+    the typed formula no longer shows — currently a missing [p cnf] header
+    (a [Warning]; out-of-range literals against a present header raise
+    [Cnf.Dimacs.Parse_error] at parse time instead). *)
+val lint_dimacs_text : string -> Diagnostic.t list
+
+(** [lint_facts facts] lints every fact polynomial (locations are
+    {!Diagnostic.location.Fact} indices into [Facts.to_list]). *)
+val lint_facts : Bosphorus.Facts.t -> Diagnostic.t list

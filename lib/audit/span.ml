@@ -1,0 +1,30 @@
+module P = Anf.Poly
+module Mtbl = Hashtbl.Make (Anf.Monomial)
+
+type t = { rows : P.t Mtbl.t }
+
+let create () = { rows = Mtbl.create 1024 }
+
+(* Gaussian reduction against the stored basis: each step cancels the
+   leading monomial with the basis row owning it, so the leading monomial
+   strictly decreases in the term order and the loop terminates. *)
+let reduce t p =
+  let rec go p =
+    if P.is_zero p then p
+    else
+      match Mtbl.find_opt t.rows (P.leading p) with
+      | Some q -> go (P.add p q)
+      | None -> p
+  in
+  go p
+
+let insert t p =
+  let r = reduce t p in
+  if P.is_zero r then false
+  else begin
+    Mtbl.replace t.rows (P.leading r) r;
+    true
+  end
+
+let mem t p = P.is_zero (reduce t p)
+let size t = Mtbl.length t.rows

@@ -1,0 +1,22 @@
+(** Incremental GF(2) row space over the monomial basis.
+
+    A sparse, growable alternative to {!Gf2.Matrix.in_row_space}: one
+    reduced row is stored per distinct leading monomial (a row-echelon
+    basis over whatever monomials actually occur), so membership queries
+    never materialise the full linearised matrix.  This is the engine of
+    {!Certify}: a polynomial is in the span iff it reduces to zero. *)
+
+type t
+
+val create : unit -> t
+
+(** [insert t p] reduces [p] against the basis and stores the remainder;
+    [false] iff [p] was already in the span (nothing added). *)
+val insert : t -> Anf.Poly.t -> bool
+
+(** [mem t p] is [true] iff [p] is a GF(2) linear combination of the
+    inserted polynomials. *)
+val mem : t -> Anf.Poly.t -> bool
+
+(** Number of basis rows (the rank of everything inserted). *)
+val size : t -> int

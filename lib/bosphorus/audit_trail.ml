@@ -1,0 +1,14 @@
+type sat_stage = { formula : Cnf.Formula.t; proof : Cnf.Lit.t list list }
+
+type t = {
+  input : Anf.Poly.t list;
+  mutable sat_stages_rev : sat_stage list;
+}
+
+let create ~input = { input; sat_stages_rev = [] }
+
+let record_sat_stage t ~formula ~proof =
+  t.sat_stages_rev <- { formula; proof } :: t.sat_stages_rev
+
+let input t = t.input
+let sat_stages t = List.rev t.sat_stages_rev

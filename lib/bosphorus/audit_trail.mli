@@ -1,0 +1,29 @@
+(** Passive record of the evidence a run leaves behind, for post-hoc
+    certification by the audit layer ([lib/audit]).
+
+    The driver cannot call the audit library (that would be a dependency
+    cycle), so when {!Config.t.audit_trail} is set it records the raw
+    materials instead: the input ANF system as given, and for every SAT
+    stage the CNF that was handed to the solver together with the solver's
+    DRUP-style derivation log.  [Audit.Certify] later replays the logs with
+    [Proof.is_rup] and re-derives algebraic facts by GF(2) row-space
+    membership over products of the input polynomials. *)
+
+type sat_stage = {
+  formula : Cnf.Formula.t;  (** CNF given to the solver for this stage *)
+  proof : Cnf.Lit.t list list;
+      (** learnt-clause derivation log, in order (see [Sat.Proof]) *)
+}
+
+type t
+
+(** [create ~input] starts a trail for a run over the given master ANF. *)
+val create : input:Anf.Poly.t list -> t
+
+val record_sat_stage : t -> formula:Cnf.Formula.t -> proof:Cnf.Lit.t list list -> unit
+
+(** The input system, exactly as passed to [Driver.run]. *)
+val input : t -> Anf.Poly.t list
+
+(** Recorded SAT stages, in run order. *)
+val sat_stages : t -> sat_stage list

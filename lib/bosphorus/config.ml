@@ -14,6 +14,7 @@ type t = {
   stage_time_s : float;
   sat_probe_vars : int;
   seed : int;
+  audit_trail : bool;
 }
 
 let paper =
@@ -33,6 +34,7 @@ let paper =
     stage_time_s = 200.0;
     sat_probe_vars = 0;
     seed = 0;
+    audit_trail = false;
   }
 
 (* Laptop-scale defaults: same semantics, smaller linearised systems and

@@ -34,6 +34,12 @@ type t = {
           harvest forced values and equivalences from unit propagation
           (0 disables; off by default for fidelity) *)
   seed : int;  (** RNG seed for XL/ElimLin subsampling *)
+  audit_trail : bool;
+      (** record an {!Audit_trail.t} in the outcome — the input system plus,
+          per SAT stage, the emitted CNF and the solver's DRUP-style proof
+          log — so the audit layer ([lib/audit]) can independently certify
+          every learnt fact after the run.  Off by default: proof logging
+          retains every learnt clause. *)
 }
 
 val default : t

@@ -13,6 +13,7 @@ type outcome = {
   facts : Facts.t;
   iterations : int;
   sat_calls : int;
+  trail : Audit_trail.t option;
 }
 
 type stages = {
@@ -116,6 +117,10 @@ let run_with_stages ?(config = Config.default) ~stages polys =
   let rng = Random.State.make [| config.Config.seed |] in
   let orig_nvars = List.fold_left (fun acc p -> max acc (P.max_var p + 1)) 0 polys in
   let master = S.create polys in
+  let trail =
+    if config.Config.audit_trail then Some (Audit_trail.create ~input:polys)
+    else None
+  in
   let state = Anf_prop.create () in
   let facts = Facts.create () in
   let sat_calls = ref 0 in
@@ -181,31 +186,43 @@ let run_with_stages ?(config = Config.default) ~stages polys =
     let conv = Anf_to_cnf.convert ~config snapshot in
     let solver = Sat.Solver.create ~nvars:(Cnf.Formula.nvars conv.Anf_to_cnf.formula) () in
     incr sat_calls;
-    if not (Sat.Solver.add_formula solver conv.Anf_to_cnf.formula) then begin
-      ignore (add_facts Facts.Sat_solver [ P.one ]);
-      unsat := true;
-      0
-    end
-    else begin
-      let result = Sat.Solver.solve ~conflict_budget:!sat_budget solver in
-      let probed =
-        if config.Config.sat_probe_vars > 0 && Sat.Solver.okay solver then
-          probe_facts ~config ~conv solver
-        else []
-      in
-      let learnt = sat_facts ~config ~conv solver @ probed in
-      match result with
-      | Sat.Types.Unsat ->
-          (* the learnt fact is the contradictory equation 1 = 0 *)
-          unsat := true;
-          add_facts Facts.Sat_solver (P.one :: learnt)
-      | Sat.Types.Sat model ->
-          let candidate = reconstruct_solution model in
-          let lookup x = List.assoc x candidate in
-          if Anf.Eval.satisfies lookup polys then solution := Some candidate;
-          add_facts Facts.Sat_solver learnt
-      | Sat.Types.Undecided -> add_facts Facts.Sat_solver learnt
-    end
+    if trail <> None then Sat.Solver.enable_proof solver;
+    let record () =
+      match trail with
+      | Some tr ->
+          Audit_trail.record_sat_stage tr ~formula:conv.Anf_to_cnf.formula
+            ~proof:(Sat.Solver.proof solver)
+      | None -> ()
+    in
+    let added =
+      if not (Sat.Solver.add_formula solver conv.Anf_to_cnf.formula) then begin
+        ignore (add_facts Facts.Sat_solver [ P.one ]);
+        unsat := true;
+        0
+      end
+      else begin
+        let result = Sat.Solver.solve ~conflict_budget:!sat_budget solver in
+        let probed =
+          if config.Config.sat_probe_vars > 0 && Sat.Solver.okay solver then
+            probe_facts ~config ~conv solver
+          else []
+        in
+        let learnt = sat_facts ~config ~conv solver @ probed in
+        match result with
+        | Sat.Types.Unsat ->
+            (* the learnt fact is the contradictory equation 1 = 0 *)
+            unsat := true;
+            add_facts Facts.Sat_solver (P.one :: learnt)
+        | Sat.Types.Sat model ->
+            let candidate = reconstruct_solution model in
+            let lookup x = List.assoc x candidate in
+            if Anf.Eval.satisfies lookup polys then solution := Some candidate;
+            add_facts Facts.Sat_solver learnt
+        | Sat.Types.Undecided -> add_facts Facts.Sat_solver learnt
+      end
+    in
+    record ();
+    added
   in
   propagate_and_record ();
   (try
@@ -249,7 +266,8 @@ let run_with_stages ?(config = Config.default) ~stages polys =
     else S.to_list master @ Anf_prop.fact_polys state
   in
   let cnf = (Anf_to_cnf.convert ~config ~nvars:orig_nvars processed_anf).Anf_to_cnf.formula in
-  { status; anf = processed_anf; cnf; facts; iterations = !iterations; sat_calls = !sat_calls }
+  { status; anf = processed_anf; cnf; facts; iterations = !iterations;
+    sat_calls = !sat_calls; trail }
 
 let run ?config polys = run_with_stages ?config ~stages:all_stages polys
 

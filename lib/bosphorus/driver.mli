@@ -25,6 +25,9 @@ type outcome = {
   facts : Facts.t;
   iterations : int;  (** loop iterations executed *)
   sat_calls : int;
+  trail : Audit_trail.t option;
+      (** evidence for post-hoc fact certification, recorded when
+          {!Config.t.audit_trail} is set (see {!Audit_trail}) *)
 }
 
 (** [run ?config polys] preprocesses the ANF system [polys]. *)

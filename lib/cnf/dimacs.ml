@@ -6,6 +6,8 @@ let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
    starting with 'x' asserting the XOR of their literals. *)
 let parse_general ~allow_xor s =
   let nvars = ref 0 in
+  let declared = ref None in
+  let max_lit = ref 0 in
   let clauses = ref [] in
   let xors = ref [] in
   let current = ref [] in
@@ -29,7 +31,14 @@ let parse_general ~allow_xor s =
       current := [];
       in_xor := false
     end
-    else current := Lit.of_dimacs i :: !current
+    else begin
+      max_lit := max !max_lit (abs i);
+      (match !declared with
+      | Some v when abs i > v ->
+          fail "literal %d out of range: header declares %d variables" i v
+      | Some _ | None -> ());
+      current := Lit.of_dimacs i :: !current
+    end
   in
   let handle_token tok =
     match int_of_string_opt tok with
@@ -43,7 +52,12 @@ let parse_general ~allow_xor s =
       match String.split_on_char ' ' line |> List.filter (fun t -> t <> "") with
       | [ "p"; "cnf"; v; _c ] -> (
           match int_of_string_opt v with
-          | Some v when v >= 0 -> nvars := v
+          | Some v when v >= 0 ->
+              nvars := v;
+              declared := Some v;
+              if !max_lit > v then
+                fail "literal %d out of range: header declares %d variables"
+                  !max_lit v
           | Some _ | None -> fail "bad header %S" line)
       | _ -> fail "bad header %S" line
     end

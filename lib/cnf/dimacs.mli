@@ -3,8 +3,12 @@
 exception Parse_error of string
 
 (** [parse_string s] parses DIMACS text.  The [p cnf V C] header is
-    optional-lenient: if present, [V] seeds the variable count; the clause
-    count is not enforced (real competition files frequently disagree). *)
+    optional: when present, [V] seeds the variable count and any literal
+    whose variable index exceeds [V] raises {!Parse_error} (wherever it
+    appears relative to the header); the clause count is not enforced (real
+    competition files frequently disagree).  Without a header the variable
+    count is inferred from the literals — the audit layer's linter reports
+    the missing header instead ({!Audit.Lint} in [lib/audit]). *)
 val parse_string : string -> Formula.t
 
 val parse_file : string -> Formula.t

@@ -29,7 +29,9 @@ let lowest_bit_index_int w =
   let rec go w i = if w land 1 = 1 then i else go (w lsr 1) (i + 1) in
   go w 0
 
-let check_row m i = if i < 0 || i >= m.nrows then invalid_arg "Matrix: row out of range"
+let check_row m i =
+  if i < 0 || i >= m.nrows then
+    invalid_arg (Printf.sprintf "Matrix: row %d out of range (nrows %d)" i m.nrows)
 
 let get m i j =
   check_row m i;
@@ -57,6 +59,51 @@ let xor_rows m ~src ~dst =
   check_row m dst;
   Bitvec.xor_into ~src:m.data.(src) ~dst:m.data.(dst)
 
+(* Structural RREF validity: pivot columns strictly increase, zero rows sit
+   at the bottom, and every pivot column is zero outside its pivot row. *)
+let is_rref m =
+  let ok = ref true in
+  let last_pivot = ref (-1) in
+  let seen_zero = ref false in
+  for i = 0 to m.nrows - 1 do
+    match Bitvec.first_set m.data.(i) with
+    | None -> seen_zero := true
+    | Some c ->
+        if !seen_zero || c <= !last_pivot then ok := false;
+        last_pivot := c;
+        for r = 0 to m.nrows - 1 do
+          if r <> i && Bitvec.get m.data.(r) c then ok := false
+        done
+  done;
+  !ok
+
+(* Reduce [v] by the pivot rows of an echelonised matrix; zero remainder
+   means membership in the row space. *)
+let in_row_space m v =
+  if Bitvec.length v <> m.ncols then
+    invalid_arg
+      (Printf.sprintf "Matrix.in_row_space: vector length %d, matrix has %d columns"
+         (Bitvec.length v) m.ncols);
+  let v = Bitvec.copy v in
+  for i = 0 to m.nrows - 1 do
+    match Bitvec.first_set m.data.(i) with
+    | Some c when Bitvec.get v c -> Bitvec.xor_into ~src:m.data.(i) ~dst:v
+    | Some _ | None -> ()
+  done;
+  Bitvec.is_zero v
+
+(* Self-checking hook of the audit layer (see lib/audit): when the
+   environment opts in, every elimination verifies its own output. *)
+let audit_hooks =
+  lazy
+    (match Sys.getenv_opt "BOSPHORUS_AUDIT" with
+    | Some ("1" | "true" | "yes") -> true
+    | Some _ | None -> false)
+
+let audit_rref_result name m =
+  if Lazy.force audit_hooks && not (is_rref m) then
+    failwith (name ^ ": result is not in reduced row echelon form")
+
 (* Gauss-Jordan: for each column left to right, find a pivot row at or below
    the current pivot rank, swap it up, then clear that column in every other
    row.  O(rows * cols * words-per-row). *)
@@ -81,6 +128,7 @@ let rref m =
         incr pivot_row);
     incr col
   done;
+  audit_rref_result "Matrix.rref" m;
   !pivot_row
 
 (* Method of the Four Russians.  Per block of <= k columns: find pivot
@@ -158,6 +206,7 @@ let rref_m4rm ?(k = 6) m =
       col := block_end
     end
   done;
+  audit_rref_result "Matrix.rref_m4rm" m;
   !pivot_row
 
 let rank m = rref (copy m)

@@ -53,6 +53,20 @@ val rref_m4rm : ?k:int -> t -> int
 (** [rank m] is the GF(2) rank (computed on a copy; [m] is unchanged). *)
 val rank : t -> int
 
+(** [is_rref m] checks the structural reduced-row-echelon-form invariant:
+    pivot columns strictly increase top to bottom, zero rows are at the
+    bottom, and each pivot column is zero outside its pivot row.  Used by
+    the audit layer's invariant checks; with the environment variable
+    [BOSPHORUS_AUDIT] set, {!rref} and {!rref_m4rm} also verify their own
+    output against it. *)
+val is_rref : t -> bool
+
+(** [in_row_space m v] is [true] iff [v] is a GF(2) linear combination of
+    the rows of [m].  [m] must be in (reduced) row echelon form — reduce it
+    with {!rref} or {!rref_m4rm} first.  Raises [Invalid_argument] if the
+    vector length differs from the column count. *)
+val in_row_space : t -> Bitvec.t -> bool
+
 (** [nonzero_rows m] lists (copies of) the rows that are not identically
     zero, top to bottom. *)
 val nonzero_rows : t -> Bitvec.t list

@@ -735,9 +735,91 @@ let search t ~restart_limit ~budget_left ~deadline =
   done;
   Option.get !outcome
 
+(* ---------------- audit: internal consistency ---------------- *)
+
+(* Structural invariants of the watching scheme and the trail, checked from
+   the outside by the audit layer (lib/audit) and, when the BOSPHORUS_AUDIT
+   environment variable opts in, by [solve] itself before searching. *)
+let invariant_violations t =
+  let out = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
+  let watched (c : clause) p =
+    let found = ref false in
+    Vec.iter (fun (w : watcher) -> if w.wclause == c then found := true) t.watches.(lit_neg p);
+    !found
+  in
+  let check_clause tag i (c : clause) =
+    Array.iter
+      (fun p ->
+        if lit_var p < 0 || lit_var p >= t.nvars then
+          err "%s clause %d: literal %d outside the %d-variable range" tag i p t.nvars)
+      c.lits;
+    if Array.length c.lits >= 2 then begin
+      if not (watched c c.lits.(0)) then
+        err "%s clause %d: not on the watch list of its first literal %d" tag i c.lits.(0);
+      if not (watched c c.lits.(1)) then
+        err "%s clause %d: not on the watch list of its second literal %d" tag i c.lits.(1)
+    end
+  in
+  let idx = ref 0 in
+  Vec.iter (fun c -> check_clause "problem" !idx c; incr idx) t.clauses;
+  idx := 0;
+  Vec.iter (fun c -> check_clause "learnt" !idx c; incr idx) t.learnts;
+  for l = 0 to (2 * t.nvars) - 1 do
+    Vec.iter
+      (fun (w : watcher) ->
+        let c = w.wclause in
+        if Array.length c.lits < 2 then
+          err "watch list of literal %d: clause with %d literals" l (Array.length c.lits)
+        else begin
+          if c.lits.(0) <> lit_neg l && c.lits.(1) <> lit_neg l then
+            err "watch list of literal %d: clause does not watch that literal" l;
+          if not (Array.exists (fun p -> p = w.blocker) c.lits) then
+            err "watch list of literal %d: blocker %d not in the clause" l w.blocker
+        end)
+      t.watches.(l)
+  done;
+  if t.qhead > t.trail_size then
+    err "propagation head %d beyond the trail size %d" t.qhead t.trail_size;
+  let seen_vars = Hashtbl.create 64 in
+  for i = 0 to t.trail_size - 1 do
+    let p = t.trail.(i) in
+    let v = lit_var p in
+    if Hashtbl.mem seen_vars v then err "variable %d appears twice on the trail" v;
+    Hashtbl.replace seen_vars v ();
+    let expected = if lit_negated p then False else True in
+    if not (lbool_equal t.assigns.(v) expected) then
+      err "trail literal %d disagrees with the assignment of variable %d" p v
+  done;
+  Array.iteri
+    (fun v rows ->
+      List.iter
+        (fun (row : xor_row) ->
+          let n = Array.length row.vars in
+          if row.w0 < 0 || row.w0 >= n || row.w1 < 0 || row.w1 >= n || row.w0 = row.w1
+          then err "xor row watched on invalid positions (%d, %d)" row.w0 row.w1
+          else if row.vars.(row.w0) <> v && row.vars.(row.w1) <> v then
+            err "xor row on the watch list of variable %d watches neither position on it" v)
+        rows)
+    t.xor_watches;
+  List.rev !out
+
+let audit_hooks =
+  lazy
+    (match Sys.getenv_opt "BOSPHORUS_AUDIT" with
+    | Some ("1" | "true" | "yes") -> true
+    | Some _ | None -> false)
+
+let self_check t =
+  if Lazy.force audit_hooks then
+    match invariant_violations t with
+    | [] -> ()
+    | v :: _ -> failwith ("Solver invariant violated: " ^ v)
+
 let solve ?conflict_budget ?time_budget_s t =
   if not t.ok then Unsat
   else begin
+    self_check t;
     cancel_until t 0;
     t.max_learnts <-
       Float.max 1000.0
@@ -822,3 +904,4 @@ let learnt_clauses t =
 
 let value t v = if v < 0 || v >= t.nvars then Unknown else var_value t v
 let stats t = t.stats
+

@@ -93,3 +93,12 @@ val proof : t -> Cnf.Lit.t list list
 val value : t -> int -> Types.lbool
 
 val stats : t -> Types.stats
+
+(** [invariant_violations t] checks internal consistency — watch lists
+    (every clause watched on its first two literals, every watcher
+    well-formed), trail/assignment agreement, queue-head bounds, and XOR
+    watch sanity — returning a human-readable description per violation
+    (empty list when healthy).  This is the solver-side primitive behind
+    the audit layer's invariant registry; with the environment variable
+    [BOSPHORUS_AUDIT] set, {!solve} runs it on entry and fails fast. *)
+val invariant_violations : t -> string list

@@ -13,7 +13,9 @@ let push v x =
   v.data.(v.size) <- x;
   v.size <- v.size + 1
 
-let check v i = if i < 0 || i >= v.size then invalid_arg "Vec: index out of range"
+let check v i =
+  if i < 0 || i >= v.size then
+    invalid_arg (Printf.sprintf "Vec: index %d out of range (size %d)" i v.size)
 
 let get v i =
   check v i;

@@ -35,3 +35,25 @@ CNF preprocessing (a tiny pigeonhole instance):
   wrote 22 clauses to php.cnf
   $ bosphorus php.cnf | head -1
   status: UNSATISFIABLE
+
+The audit layer: --lint checks artifacts, --audit certifies every fact:
+
+  $ bosphorus example.anf --lint | grep -o "lint: 0 error(s), 0 warning(s).*"
+  lint: 0 error(s), 0 warning(s), 3 info
+  $ bosphorus example.anf --audit | grep -o "audit: PASS.*"
+  audit: PASS (10/10 facts certified)
+  $ bosphorus php.cnf --lint --audit | grep -o "audit: PASS.*"
+  audit: PASS (13/13 facts certified)
+
+A DIMACS literal beyond the header's variable count is a parse error:
+
+  $ printf 'p cnf 2 1\n1 5 0\n' > bad.cnf
+  $ bosphorus bad.cnf
+  bosphorus: DIMACS parse error: literal 5 out of range: header declares 2 variables
+  [124]
+
+Without a header the count is inferred, and --lint points it out:
+
+  $ printf '1 -2 0\n2 0\n' > nohdr.cnf
+  $ bosphorus nohdr.cnf --lint | grep -o "missing-header.*"
+  missing-header: no 'p cnf' header: variable count inferred from the literals

@@ -1,0 +1,241 @@
+(* Tests for the audit layer: linter, fact certifier, invariant registry. *)
+
+module P = Anf.Poly
+module D = Audit.Diagnostic
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let poly = Anf.Anf_io.poly_of_string
+
+let quickstart =
+  List.map poly
+    [
+      "x1*x2 + x3 + x4 + 1";
+      "x1*x2*x3 + x1 + x3 + 1";
+      "x1*x3 + x3*x4*x5 + x3";
+      "x2*x3 + x3*x5 + 1";
+      "x2*x3 + x5 + 1";
+    ]
+
+let audit_config =
+  {
+    Bosphorus.Config.default with
+    sat_budget_start = 200;
+    sat_budget_max = 1_000;
+    sat_budget_step = 200;
+    max_iterations = 4;
+    xl_sample_bits = 14;
+    audit_trail = true;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Linter                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_lint_anf_clean () =
+  let ds = Audit.Lint.lint_anf quickstart in
+  check_int "no errors" 0 (D.n_errors ds);
+  check_int "no warnings" 0 (D.n_warnings ds);
+  (* the degree-profile info line is always present *)
+  check "has info" true (List.exists (fun d -> d.D.code = "degree-profile") ds)
+
+let test_lint_anf_flags_suspicious () =
+  let ds = Audit.Lint.lint_anf [ P.zero; P.one; poly "x1 + x2"; poly "x1 + x2" ] in
+  let has code = List.exists (fun d -> d.D.code = code) ds in
+  check "zero poly" true (has "zero-poly");
+  check "contradiction" true (has "contains-contradiction");
+  check "duplicate equation" true (has "duplicate-equation");
+  check_int "all warnings, no errors" 0 (D.n_errors ds)
+
+let clause lits = Cnf.Clause.of_list (List.map Cnf.Lit.of_dimacs lits)
+
+let test_lint_clauses_flags () =
+  let cs = [ clause [ 1; -1 ]; clause [ 1; 2 ]; clause [ 1; 2 ]; clause [] ] in
+  let ds = Audit.Lint.lint_clauses ~nvars:2 cs in
+  let has code = List.exists (fun d -> d.D.code = code) ds in
+  check "tautology" true (has "tautology");
+  check "duplicate clause" true (has "duplicate-clause");
+  check "empty clause" true (has "empty-clause");
+  check_int "no errors" 0 (D.n_errors ds)
+
+let test_lint_clauses_range () =
+  (* variable 5 against a declared count of 3 is an error *)
+  let ds = Audit.Lint.lint_clauses ~declared_nvars:3 ~nvars:6 [ clause [ 1; 5 ] ] in
+  check "literal out of range" true
+    (List.exists (fun d -> d.D.code = "literal-range" && D.is_error d) ds)
+
+let test_lint_xor_density () =
+  (* the 4-clause CNF encoding of x0 (+) x1 (+) x2 = 1 *)
+  let xor_cnf =
+    [
+      clause [ 1; 2; 3 ];
+      clause [ -1; -2; 3 ];
+      clause [ -1; 2; -3 ];
+      clause [ 1; -2; -3 ];
+    ]
+  in
+  let ds = Audit.Lint.lint_clauses ~nvars:3 (xor_cnf @ [ clause [ 1; 2 ] ]) in
+  let density = List.find (fun d -> d.D.code = "xor-density") ds in
+  check "one xor group of four clauses" true
+    (let msg = density.D.message in
+     (* "1 recovered XOR group(s) covering 4 clauses" *)
+     String.length msg > 0
+     && List.exists
+          (fun sub ->
+            let rec find i =
+              i + String.length sub <= String.length msg
+              && (String.sub msg i (String.length sub) = sub || find (i + 1))
+            in
+            find 0)
+          [ "1 recovered XOR group(s) covering 4 clauses" ])
+
+let test_lint_dimacs_header () =
+  check_int "with header: clean" 0
+    (List.length (Audit.Lint.lint_dimacs_text "p cnf 2 1\n1 2 0\n"));
+  let ds = Audit.Lint.lint_dimacs_text "1 2 0\n" in
+  check "missing header warned" true
+    (List.exists (fun d -> d.D.code = "missing-header") ds)
+
+let test_lint_pipeline_artifacts () =
+  (* everything the driver produces lints without errors *)
+  let outcome = Bosphorus.Driver.run ~config:audit_config quickstart in
+  let ds =
+    Audit.Lint.lint_anf outcome.Bosphorus.Driver.anf
+    @ Audit.Lint.lint_cnf outcome.Bosphorus.Driver.cnf
+    @ Audit.Lint.lint_facts outcome.Bosphorus.Driver.facts
+  in
+  check_int "no errors on pipeline artifacts" 0 (D.n_errors ds)
+
+(* ------------------------------------------------------------------ *)
+(* Span                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_membership () =
+  let s = Audit.Span.create () in
+  check "insert p1" true (Audit.Span.insert s (poly "x1*x2 + x3"));
+  check "insert p2" true (Audit.Span.insert s (poly "x3 + x4"));
+  check_int "two rows" 2 (Audit.Span.size s);
+  (* the GF(2) sum of the two is in the span, a fresh variable is not *)
+  check "sum is member" true (Audit.Span.mem s (poly "x1*x2 + x4"));
+  check "fresh var not member" false (Audit.Span.mem s (poly "x5"));
+  check "zero always member" true (Audit.Span.mem s P.zero);
+  (* re-inserting a dependent polynomial adds nothing *)
+  check "dependent insert" false (Audit.Span.insert s (poly "x1*x2 + x4"));
+  check_int "still two rows" 2 (Audit.Span.size s)
+
+(* ------------------------------------------------------------------ *)
+(* Certifier                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_certify_quickstart () =
+  let outcome = Bosphorus.Driver.run ~config:audit_config quickstart in
+  check "solved" true
+    (match outcome.Bosphorus.Driver.status with
+    | Bosphorus.Driver.Solved_sat _ -> true
+    | _ -> false);
+  let r = Audit.Certify.certify outcome in
+  check "all facts certified" true (Audit.Certify.all_certified r);
+  check "facts were learnt" true (r.Audit.Certify.n_facts > 0);
+  check_int "none refuted" 0 r.Audit.Certify.n_refuted
+
+let test_certify_refutes_corrupt_fact () =
+  let outcome = Bosphorus.Driver.run ~config:audit_config quickstart in
+  (* flip the constant term of a learnt fact: now inconsistent with the
+     unique solution of the system *)
+  (match Bosphorus.Facts.to_list outcome.Bosphorus.Driver.facts with
+  | (_, p) :: _ ->
+      ignore
+        (Bosphorus.Facts.add outcome.Bosphorus.Driver.facts Bosphorus.Facts.Xl
+           (P.add p P.one))
+  | [] -> Alcotest.fail "expected learnt facts");
+  let r = Audit.Certify.certify outcome in
+  check "not all certified" false (Audit.Certify.all_certified r);
+  check_int "exactly one refuted" 1 r.Audit.Certify.n_refuted;
+  match List.rev r.Audit.Certify.facts with
+  | last :: _ -> (
+      match last.Audit.Certify.verdict with
+      | Audit.Certify.Refuted _ -> ()
+      | _ -> Alcotest.fail "corrupt fact not refuted")
+  | [] -> Alcotest.fail "empty report"
+
+let test_certify_simon () =
+  let rng = Random.State.make [| 2026 |] in
+  let inst = Ciphers.Simon.instance ~rounds:2 ~n_plaintexts:1 ~rng () in
+  let outcome =
+    Bosphorus.Driver.run ~config:audit_config inst.Ciphers.Simon.equations
+  in
+  let r = Audit.Certify.certify outcome in
+  check "simon facts certified" true (Audit.Certify.all_certified r);
+  check "facts were learnt" true (r.Audit.Certify.n_facts > 0)
+
+let test_certify_unsat_parity () =
+  let rng = Random.State.make [| 7 |] in
+  let f = Problems.Generators.parity_chain ~vertices:10 ~satisfiable:false ~rng in
+  let outcome = Bosphorus.Driver.run_cnf ~config:audit_config f in
+  check "unsat" true (outcome.Bosphorus.Driver.status = Bosphorus.Driver.Solved_unsat);
+  let r = Audit.Certify.certify outcome in
+  check "unsat facts certified" true (Audit.Certify.all_certified r)
+
+let test_certify_without_trail () =
+  let config = { audit_config with audit_trail = false } in
+  let outcome = Bosphorus.Driver.run ~config quickstart in
+  check "no trail recorded" true (outcome.Bosphorus.Driver.trail = None);
+  let r = Audit.Certify.certify outcome in
+  check_int "nothing certified" 0 r.Audit.Certify.n_certified;
+  check "all unknown" true (r.Audit.Certify.n_unknown = r.Audit.Certify.n_facts);
+  (* passing the input explicitly recovers certification *)
+  let r = Audit.Certify.certify ~input:quickstart outcome in
+  check "certified via ~input" true (Audit.Certify.all_certified r)
+
+(* ------------------------------------------------------------------ *)
+(* Invariants                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_invariant_defaults_clean () =
+  check "default checks registered" true (List.length (Audit.Invariant.names ()) >= 3);
+  let outcome = Bosphorus.Driver.run ~config:audit_config quickstart in
+  let ds = Audit.Invariant.check_outcome outcome in
+  check_int "no invariant errors" 0 (D.n_errors ds)
+
+let test_invariant_custom_check () =
+  Audit.Invariant.register ~name:"test-always-warns" (fun ctx ->
+      [
+        D.warning (D.Artifact "anf") "ping" "%d equations seen"
+          (List.length ctx.Audit.Invariant.anf);
+      ]);
+  let ds =
+    Audit.Invariant.run_all
+      { Audit.Invariant.anf = quickstart; cnf = Cnf.Formula.empty ~nvars:1 }
+  in
+  (* codes come back prefixed with the check name *)
+  check "custom check ran" true
+    (List.exists (fun d -> d.D.code = "test-always-warns/ping") ds)
+
+let suite =
+  [
+    ( "audit.lint",
+      [
+        Alcotest.test_case "clean ANF" `Quick test_lint_anf_clean;
+        Alcotest.test_case "suspicious ANF" `Quick test_lint_anf_flags_suspicious;
+        Alcotest.test_case "clause flags" `Quick test_lint_clauses_flags;
+        Alcotest.test_case "literal range" `Quick test_lint_clauses_range;
+        Alcotest.test_case "xor density" `Quick test_lint_xor_density;
+        Alcotest.test_case "dimacs header" `Quick test_lint_dimacs_header;
+        Alcotest.test_case "pipeline artifacts" `Quick test_lint_pipeline_artifacts;
+      ] );
+    ( "audit.span",
+      [ Alcotest.test_case "membership" `Quick test_span_membership ] );
+    ( "audit.certify",
+      [
+        Alcotest.test_case "quickstart certifies" `Quick test_certify_quickstart;
+        Alcotest.test_case "corrupt fact refuted" `Quick test_certify_refutes_corrupt_fact;
+        Alcotest.test_case "simon certifies" `Quick test_certify_simon;
+        Alcotest.test_case "unsat parity certifies" `Quick test_certify_unsat_parity;
+        Alcotest.test_case "no trail" `Quick test_certify_without_trail;
+      ] );
+    ( "audit.invariant",
+      [
+        Alcotest.test_case "defaults clean" `Quick test_invariant_defaults_clean;
+        Alcotest.test_case "custom check" `Quick test_invariant_custom_check;
+      ] );
+  ]

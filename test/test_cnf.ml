@@ -97,6 +97,29 @@ let test_dimacs_errors () =
   (* unterminated *)
   expect_fail "1 two 0\n"
 
+let test_dimacs_header_range () =
+  let expect_fail s =
+    match Cnf.Dimacs.parse_string s with
+    | exception Cnf.Dimacs.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error on %S" s
+  in
+  (* a literal beyond the declared variable count is an error ... *)
+  expect_fail "p cnf 2 1\n1 3 0\n";
+  expect_fail "p cnf 2 1\n-5 0\n";
+  (* ... wherever it sits relative to the header *)
+  expect_fail "1 3 0\np cnf 2 1\n";
+  (* the same goes for xor lines in the extended dialect *)
+  (match Cnf.Dimacs.parse_string_extended "p cnf 2 1\nx1 3 0\n" with
+  | exception Cnf.Dimacs.Parse_error _ -> ()
+  | _ -> Alcotest.fail "extended parser accepted out-of-range xor literal");
+  (* without a header the count is inferred: lenient path *)
+  let f = Cnf.Dimacs.parse_string "1 3 0\n-2 0\n" in
+  check_int "inferred nvars" 3 (F.nvars f);
+  check_int "lenient clauses" 2 (F.n_clauses f);
+  (* literals exactly at the declared bound are fine *)
+  let f = Cnf.Dimacs.parse_string "p cnf 3 1\n1 -3 0\n" in
+  check_int "at bound" 3 (F.nvars f)
+
 let test_dimacs_xor_lines () =
   let text = "p cnf 4 1\n1 2 0\nx1 -2 3 0\nx-3 4 0\n" in
   let f, xors = Cnf.Dimacs.parse_string_extended text in
@@ -156,6 +179,7 @@ let suite =
         Alcotest.test_case "dimacs roundtrip" `Quick test_dimacs_roundtrip;
         Alcotest.test_case "multiline clause" `Quick test_dimacs_multiline_clause;
         Alcotest.test_case "dimacs errors" `Quick test_dimacs_errors;
+        Alcotest.test_case "dimacs header range" `Quick test_dimacs_header_range;
         Alcotest.test_case "xor lines" `Quick test_dimacs_xor_lines;
         Alcotest.test_case "xor roundtrip" `Quick test_dimacs_xor_roundtrip;
         Alcotest.test_case "xor literal cancellation" `Quick test_dimacs_xor_literal_cancellation;

@@ -165,6 +165,46 @@ let test_matrix_of_rows_mismatch () =
     (fun () ->
       ignore (Gf2.Matrix.of_rows ~cols:3 [ Gf2.Bitvec.create 4 ]))
 
+let test_matrix_row_bounds_message () =
+  let m = Gf2.Matrix.create ~rows:2 ~cols:3 in
+  Alcotest.check_raises "row oob"
+    (Invalid_argument "Matrix: row 5 out of range (nrows 2)") (fun () ->
+      ignore (Gf2.Matrix.row m 5));
+  Alcotest.check_raises "negative row"
+    (Invalid_argument "Matrix: row -1 out of range (nrows 2)") (fun () ->
+      ignore (Gf2.Matrix.get m (-1) 0))
+
+let test_matrix_is_rref () =
+  let m = matrix_of_lists ~cols:4 [ [ 0; 1 ]; [ 1; 2 ]; [ 0; 2 ] ] in
+  check "not yet reduced" false (Gf2.Matrix.is_rref m);
+  ignore (Gf2.Matrix.rref m);
+  check "reduced" true (Gf2.Matrix.is_rref m);
+  (* zero rows must sit at the bottom *)
+  let z = matrix_of_lists ~cols:3 [ []; [ 0 ] ] in
+  check "zero row above pivot row" false (Gf2.Matrix.is_rref z);
+  (* pivot column dirty outside its pivot row *)
+  let d = matrix_of_lists ~cols:3 [ [ 0; 1 ]; [ 1 ] ] in
+  check "dirty pivot column" false (Gf2.Matrix.is_rref d);
+  (* the empty/zero matrix is trivially in RREF *)
+  check "all-zero" true (Gf2.Matrix.is_rref (Gf2.Matrix.create ~rows:2 ~cols:3))
+
+let test_matrix_in_row_space () =
+  let m = matrix_of_lists ~cols:4 [ [ 0; 1 ]; [ 1; 2 ]; [ 0; 2 ] ] in
+  ignore (Gf2.Matrix.rref m);
+  let vec bits =
+    let v = Gf2.Bitvec.create 4 in
+    List.iter (fun i -> Gf2.Bitvec.set v i true) bits;
+    v
+  in
+  check "member: row sum" true (Gf2.Matrix.in_row_space m (vec [ 0; 2 ]));
+  check "member: basis row" true (Gf2.Matrix.in_row_space m (vec [ 0; 1 ]));
+  check "member: zero vector" true (Gf2.Matrix.in_row_space m (vec []));
+  check "non-member" false (Gf2.Matrix.in_row_space m (vec [ 0 ]));
+  check "non-member with fresh column" false (Gf2.Matrix.in_row_space m (vec [ 3 ]));
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Matrix.in_row_space: vector length 3, matrix has 4 columns")
+    (fun () -> ignore (Gf2.Matrix.in_row_space m (Gf2.Bitvec.create 3)))
+
 (* ------------------------------------------------------------------ *)
 (* Property tests                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -300,6 +340,9 @@ let suite =
         Alcotest.test_case "rank does not mutate" `Quick test_matrix_rank_no_mutation;
         Alcotest.test_case "Table I worked example" `Quick test_matrix_table1_example;
         Alcotest.test_case "of_rows length mismatch" `Quick test_matrix_of_rows_mismatch;
+        Alcotest.test_case "row bounds message" `Quick test_matrix_row_bounds_message;
+        Alcotest.test_case "is_rref" `Quick test_matrix_is_rref;
+        Alcotest.test_case "in_row_space" `Quick test_matrix_in_row_space;
         Alcotest.test_case "four russians RREF" `Quick test_m4rm_matches_rref;
       ] );
     ("gf2.properties", qcheck_cases);

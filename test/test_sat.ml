@@ -456,6 +456,43 @@ let test_proof_is_rup_direct () =
   (* tautological step is trivially fine *)
   check "tautology" true (Sat.Proof.is_rup ~clauses [ L.pos 2; L.neg_of 2 ])
 
+let test_proof_is_rup_edge_cases () =
+  (* empty clause list: nothing propagates, nothing conflicts *)
+  check "empty formula, unit step" false (Sat.Proof.is_rup ~clauses:[] [ L.pos 0 ]);
+  check "empty formula, empty step" false (Sat.Proof.is_rup ~clauses:[] []);
+  (* contradictory units make the empty clause RUP *)
+  let contradictory = [ [ L.pos 0 ]; [ L.neg_of 0 ] ] in
+  check "empty step vs x & ~x" true (Sat.Proof.is_rup ~clauses:contradictory []);
+  (* unit-clause steps chain through propagation: x0, x0->x1, x1->x2 *)
+  let chain = [ [ L.pos 0 ]; [ L.neg_of 0; L.pos 1 ]; [ L.neg_of 1; L.pos 2 ] ] in
+  check "unit step x1" true (Sat.Proof.is_rup ~clauses:chain [ L.pos 1 ]);
+  check "unit step x2" true (Sat.Proof.is_rup ~clauses:chain [ L.pos 2 ]);
+  (* a deliberately non-RUP step: x3 is unconstrained *)
+  check "non-rup step" false (Sat.Proof.is_rup ~clauses:chain [ L.pos 3 ]);
+  check "non-rup negated unit" false (Sat.Proof.is_rup ~clauses:chain [ L.neg_of 2 ])
+
+let test_proof_check_requires_empty_clause () =
+  (* a valid derivation that never reaches the empty clause is not a
+     refutation certificate *)
+  let f =
+    Cnf.Formula.create ~nvars:2
+      [
+        Cnf.Clause.of_list [ L.pos 0; L.pos 1 ];
+        Cnf.Clause.of_list [ L.neg_of 0; L.pos 1 ];
+      ]
+  in
+  check "rup steps but no empty clause" false (Sat.Proof.check f [ [ L.pos 1 ] ]);
+  check "empty proof" false (Sat.Proof.check f [])
+
+let test_invariant_violations_healthy () =
+  let s =
+    solver_of_dimacs_clauses ~nvars:4
+      [ [ 1; 2 ]; [ -1; 3 ]; [ -2; -3; 4 ]; [ 1; -4 ] ]
+  in
+  Alcotest.(check (list string)) "fresh solver" [] (S.invariant_violations s);
+  ignore (S.solve s);
+  Alcotest.(check (list string)) "after solve" [] (S.invariant_violations s)
+
 let prop_unsat_proofs_verify =
   QCheck.Test.make ~name:"every UNSAT run yields a verifiable certificate" ~count:300
     arb_cnf
@@ -647,6 +684,11 @@ let proof_suite =
         Alcotest.test_case "pigeonhole certificates" `Quick test_proof_pigeonhole;
         Alcotest.test_case "bogus certificates rejected" `Quick test_proof_rejects_bogus;
         Alcotest.test_case "is_rup" `Quick test_proof_is_rup_direct;
+        Alcotest.test_case "is_rup edge cases" `Quick test_proof_is_rup_edge_cases;
+        Alcotest.test_case "check requires empty clause" `Quick
+          test_proof_check_requires_empty_clause;
+        Alcotest.test_case "invariant_violations healthy" `Quick
+          test_invariant_violations_healthy;
         QCheck_alcotest.to_alcotest prop_unsat_proofs_verify;
       ] );
   ]

@@ -25,9 +25,11 @@ let test_vec_push_get () =
 
 let test_vec_bounds () =
   let v = V.of_list ~dummy:0 [ 1; 2; 3 ] in
-  Alcotest.check_raises "get oob" (Invalid_argument "Vec: index out of range") (fun () ->
+  Alcotest.check_raises "get oob"
+    (Invalid_argument "Vec: index 3 out of range (size 3)") (fun () ->
       ignore (V.get v 3));
-  Alcotest.check_raises "set negative" (Invalid_argument "Vec: index out of range") (fun () ->
+  Alcotest.check_raises "set negative"
+    (Invalid_argument "Vec: index -1 out of range (size 3)") (fun () ->
       V.set v (-1) 0);
   Alcotest.check_raises "bad shrink" (Invalid_argument "Vec.shrink") (fun () -> V.shrink v 4)
 
