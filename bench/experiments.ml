@@ -89,12 +89,13 @@ let fig2 () =
 (* E5-E8: Table II — PAR-2 with and without Bosphorus, three solvers    *)
 (* ------------------------------------------------------------------ *)
 
-let table2 ?(quick = false) ?family_filter () =
+let table2 ?(quick = false) ?family_filter ?(jobs = 1) ?json () =
   header
     (Printf.sprintf
        "Table II: PAR-2 (seconds; lower is better) and solved counts; timeout %.0fs, \
-        conflict budget %d"
-       Runners.nominal_timeout_s Runners.final_conflict_budget);
+        conflict budget %d, jobs %d"
+       Runners.nominal_timeout_s Runners.final_conflict_budget jobs);
+  let pool = Runtime.Pool.get ~jobs in
   let families = Families.table2_families ~quick in
   let families =
     match family_filter with
@@ -117,20 +118,47 @@ let table2 ?(quick = false) ?family_filter () =
   List.iter
     (fun family ->
       let n = List.length family.Families.instances in
-      (* without Bosphorus *)
-      let wo_runs =
-        List.map
-          (fun profile ->
-            List.map
-              (fun inst -> Runners.solve_without profile inst.Families.problem)
+      (* one batch task per instance: the without-Bosphorus solves, the
+         (shared) preprocessing run, and the with-Bosphorus solves.  Each
+         solver instance lives entirely inside its task's domain, so the
+         pool runs whole instances in parallel; timing is collected
+         centrally (wall + process CPU) rather than inside workers. *)
+      let per_instance, fam_wall, fam_cpu =
+        Harness.Timing.time_cpu (fun () ->
+            Runtime.Pool.map_list pool
+              (fun inst ->
+                let wo =
+                  List.map
+                    (fun profile -> Runners.solve_without profile inst.Families.problem)
+                    Sat.Profiles.all
+                in
+                let pre = Runners.preprocess inst.Families.problem in
+                let w = List.map (fun profile -> Runners.solve_with profile pre) Sat.Profiles.all in
+                (wo, pre, w))
               family.Families.instances)
-          Sat.Profiles.all
       in
-      (* with Bosphorus: preprocess once per instance *)
-      let pres = List.map (fun inst -> Runners.preprocess inst.Families.problem) family.Families.instances in
+      (* transpose instance-major results back to profile-major *)
+      let nprof = List.length Sat.Profiles.all in
+      let wo_runs =
+        List.init nprof (fun p -> List.map (fun (wo, _, _) -> List.nth wo p) per_instance)
+      in
       let w_runs =
-        List.map (fun profile -> List.map (Runners.solve_with profile) pres) Sat.Profiles.all
+        List.init nprof (fun p -> List.map (fun (_, _, w) -> List.nth w p) per_instance)
       in
+      (match json with
+      | None -> ()
+      | Some j ->
+          let facts =
+            List.fold_left
+              (fun acc (_, pre, _) ->
+                acc + Bosphorus.Facts.size pre.Runners.outcome.Bosphorus.Driver.facts)
+              0 per_instance
+          in
+          Json_out.add j ~experiment:"table2" ~family:family.Families.label ~wall_s:fam_wall
+            ~facts ~jobs ());
+      if jobs > 1 then
+        Format.printf "  [%s: wall %.2fs, process CPU %.2fs across %d jobs]@."
+          family.Families.label fam_wall fam_cpu jobs;
       let cells runs =
         List.map (Harness.Par2.cell ~timeout_s:Runners.nominal_timeout_s) runs
       in

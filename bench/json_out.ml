@@ -1,0 +1,54 @@
+(* Machine-readable bench results: a collector of per-run records written
+   as one JSON document, so the repo can accumulate BENCH_*.json
+   trajectory files across PRs.  Hand-rolled serialisation — the record
+   shape is flat and fixed, and no JSON library is vendored. *)
+
+type record = {
+  experiment : string;
+  family : string;
+  wall_s : float;
+  facts : int option; (* facts learnt; None when not applicable *)
+  rank : int option; (* GF(2) rank; None when not applicable *)
+  jobs : int;
+}
+
+type t = { mutable records : record list (* newest first *) }
+
+let create () = { records = [] }
+let records t = t.records
+
+let add t ~experiment ~family ~wall_s ?facts ?rank ~jobs () =
+  t.records <- { experiment; family; wall_s; facts; rank; jobs } :: t.records
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let opt_int = function None -> "null" | Some n -> string_of_int n
+
+let record_to_json r =
+  Printf.sprintf
+    "    {\"experiment\": \"%s\", \"family\": \"%s\", \"wall_s\": %.6f, \"facts\": %s, \
+     \"rank\": %s, \"jobs\": %d}"
+    (escape r.experiment) (escape r.family) r.wall_s (opt_int r.facts) (opt_int r.rank)
+    r.jobs
+
+let write t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n  \"host_domains\": %d,\n  \"records\": [\n%s\n  ]\n}\n"
+        (Domain.recommended_domain_count ())
+        (String.concat ",\n" (List.rev_map record_to_json t.records)))

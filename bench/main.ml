@@ -5,6 +5,7 @@
      dune exec bench/main.exe                 run everything
      dune exec bench/main.exe -- table2       one experiment
      dune exec bench/main.exe -- table2 --family simon --quick
+     dune exec bench/main.exe -- micro --quick --jobs 4 --json BENCH.json
    Experiments: table1 example fig2 table2 ablation encoding-sweep
    representations micro *)
 
@@ -12,39 +13,70 @@ let usage () =
   print_endline
     "usage: main.exe \
      [table1|example|fig2|table2|ablation|encoding-sweep|representations|micro]*\n\
-    \       [--quick] [--family aes|simon|speck|bitcoin|sat]";
+    \       [--quick] [--family aes|simon|speck|bitcoin|sat] [--jobs N] [--json FILE]";
   exit 1
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "--quick" args in
-  let family_filter =
+  let find_opt_arg key =
     let rec find = function
-      | "--family" :: f :: _ -> Some f
+      | k :: v :: _ when k = key -> Some v
       | _ :: rest -> find rest
       | [] -> None
     in
     find args
   in
+  let family_filter = find_opt_arg "--family" in
+  let jobs =
+    match find_opt_arg "--jobs" with
+    | None -> 1
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n when n >= 1 -> n
+        | Some _ | None ->
+            Printf.eprintf "--jobs expects a positive integer, got %S\n" s;
+            usage ())
+  in
+  let json_path = find_opt_arg "--json" in
+  let json = Option.map (fun _ -> Json_out.create ()) json_path in
+  let option_values =
+    List.filteri
+      (fun i _ ->
+        i > 0
+        && List.mem (List.nth args (i - 1)) [ "--family"; "--jobs"; "--json" ])
+      args
+  in
   let selected =
     List.filter
-      (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--"))
-      (List.filter (fun a -> family_filter <> Some a) args)
+      (fun a ->
+        (not (String.length a >= 2 && String.sub a 0 2 = "--"))
+        && not (List.mem a option_values))
+      args
   in
   let all = [ "table1"; "example"; "fig2"; "table2"; "ablation"; "encoding-sweep"; "representations"; "micro" ] in
   let selected = if selected = [] then all else selected in
-  List.iter
-    (fun name ->
-      match name with
-      | "table1" -> Experiments.table1 ()
-      | "example" -> Experiments.example ()
-      | "fig2" -> Experiments.fig2 ()
-      | "table2" -> Experiments.table2 ~quick ?family_filter ()
-      | "ablation" -> Experiments.ablation ()
-      | "encoding-sweep" -> Experiments.encoding_sweep ()
-      | "representations" -> Experiments.representations ()
-      | "micro" -> Micro.run ()
-      | other ->
-          Printf.eprintf "unknown experiment %S\n" other;
-          usage ())
-    selected
+  let (), wall_s, cpu_s =
+    Harness.Timing.time_cpu (fun () ->
+        List.iter
+          (fun name ->
+            match name with
+            | "table1" -> Experiments.table1 ()
+            | "example" -> Experiments.example ()
+            | "fig2" -> Experiments.fig2 ()
+            | "table2" -> Experiments.table2 ~quick ?family_filter ~jobs ?json ()
+            | "ablation" -> Experiments.ablation ()
+            | "encoding-sweep" -> Experiments.encoding_sweep ()
+            | "representations" -> Experiments.representations ()
+            | "micro" -> Micro.run ~quick ~jobs ?json ()
+            | other ->
+                Printf.eprintf "unknown experiment %S\n" other;
+                usage ())
+          selected)
+  in
+  Printf.printf "\ntotal: wall %.2fs, process CPU %.2fs (jobs=%d)\n" wall_s cpu_s jobs;
+  match (json, json_path) with
+  | Some j, Some path ->
+      Json_out.write j path;
+      Printf.printf "wrote %s (%d records)\n" path (List.length (Json_out.records j))
+  | _ -> ()

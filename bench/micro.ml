@@ -67,14 +67,111 @@ let xl_pass =
     (Staged.stage (fun () ->
          Bosphorus.Xl.run ~config:Bosphorus.Config.default ~rng:(Random.State.make [| 1 |]) eqs))
 
-let run () =
+(* ------------------------------------------------------------------ *)
+(* Parallel kernels: domain-pool speedup of M4RM elimination and XL     *)
+(* expansion, measured jobs=1 vs jobs=N with result-equality checks.    *)
+(* ------------------------------------------------------------------ *)
+
+let best_of ~reps f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to reps do
+    let x, w = Harness.Timing.time f in
+    if w < !best then best := w;
+    result := Some x
+  done;
+  (Option.get !result, !best)
+
+let random_polys ~n_polys ~n_vars ~terms rng =
+  List.init n_polys (fun _ ->
+      Anf.Poly.of_monomials
+        (List.init terms (fun _ ->
+             Anf.Monomial.of_vars
+               (List.init 2 (fun _ -> Random.State.int rng n_vars)))))
+
+let parallel_kernels ~quick ~jobs ?json () =
+  Format.printf "@.=== Parallel kernels (domain pool, jobs=1 vs jobs=%d) ===@.@." jobs;
+  let reps = if quick then 3 else 5 in
+  let record family wall rank facts =
+    match json with
+    | None -> ()
+    | Some j -> Json_out.add j ~experiment:"micro" ~family ~wall_s:wall ?facts ?rank ~jobs:1 ()
+  in
+  let record_j family wall rank facts =
+    match json with
+    | None -> ()
+    | Some j -> Json_out.add j ~experiment:"micro" ~family ~wall_s:wall ?facts ?rank ~jobs ()
+  in
+  let rows = ref [] in
+  (* M4RM panel update *)
+  let n = if quick then 512 else 1024 in
+  let m = random_matrix n in
+  let (rank1, m1), w1 =
+    best_of ~reps (fun () ->
+        let c = Gf2.Matrix.copy m in
+        (Gf2.Matrix.rref_m4rm ~jobs:1 c, c))
+  in
+  let (rankn, mn), wn =
+    best_of ~reps (fun () ->
+        let c = Gf2.Matrix.copy m in
+        (Gf2.Matrix.rref_m4rm ~jobs c, c))
+  in
+  let identical =
+    rank1 = rankn
+    && Format.asprintf "%a" Gf2.Matrix.pp m1 = Format.asprintf "%a" Gf2.Matrix.pp mn
+  in
+  if not identical then failwith "micro: parallel M4RM diverged from sequential";
+  let name = Printf.sprintf "m4rm_%d" n in
+  record (name ^ "_jobs1") w1 (Some rank1) None;
+  record_j (Printf.sprintf "%s_jobs%d" name jobs) wn (Some rankn) None;
+  rows := [ name; Printf.sprintf "%.4f" w1; Printf.sprintf "%.4f" wn;
+            Printf.sprintf "%.2fx" (w1 /. wn); "bit-identical" ] :: !rows;
+  (* XL expansion *)
+  let rng = Random.State.make [| 41 |] in
+  let n_polys = if quick then 150 else 400 in
+  let n_vars = if quick then 48 else 64 in
+  let polys = random_polys ~n_polys ~n_vars ~terms:8 rng in
+  let mults =
+    Bosphorus.Xl.multipliers ~vars:(List.init n_vars (fun i -> i)) ~degree:1
+  in
+  let e1, we1 = best_of ~reps (fun () -> Bosphorus.Xl.expand ~jobs:1 ~multipliers:mults polys) in
+  let en, wen = best_of ~reps (fun () -> Bosphorus.Xl.expand ~jobs ~multipliers:mults polys) in
+  if not (List.length e1 = List.length en && List.for_all2 Anf.Poly.equal e1 en) then
+    failwith "micro: parallel XL expansion diverged from sequential";
+  let name = Printf.sprintf "xl_expand_%dx%d" n_polys (List.length mults) in
+  record (name ^ "_jobs1") we1 None (Some (List.length e1));
+  record_j (Printf.sprintf "%s_jobs%d" name jobs) wen None (Some (List.length en));
+  rows := [ name; Printf.sprintf "%.4f" we1; Printf.sprintf "%.4f" wen;
+            Printf.sprintf "%.2fx" (we1 /. wen); "list-identical" ] :: !rows;
+  (* Linearize.build column hashing *)
+  let (lin1, mat1), wl1 = best_of ~reps (fun () -> Bosphorus.Linearize.build ~jobs:1 e1) in
+  let (linn, matn), wln = best_of ~reps (fun () -> Bosphorus.Linearize.build ~jobs e1) in
+  if
+    not
+      (Bosphorus.Linearize.n_columns lin1 = Bosphorus.Linearize.n_columns linn
+      && Format.asprintf "%a" Gf2.Matrix.pp mat1 = Format.asprintf "%a" Gf2.Matrix.pp matn)
+  then failwith "micro: parallel linearization diverged from sequential";
+  let name = Printf.sprintf "linearize_%dx%d" (List.length e1) (Bosphorus.Linearize.n_columns lin1) in
+  record (name ^ "_jobs1") wl1 None None;
+  record_j (Printf.sprintf "%s_jobs%d" name jobs) wln None None;
+  rows := [ name; Printf.sprintf "%.4f" wl1; Printf.sprintf "%.4f" wln;
+            Printf.sprintf "%.2fx" (wl1 /. wln); "matrix-identical" ] :: !rows;
+  Format.printf "%s@."
+    (Harness.Table.render
+       ~title:(Printf.sprintf "parallel kernels (best of %d, %d host domains)" reps
+                 (Domain.recommended_domain_count ()))
+       ~headers:[ "kernel"; "jobs=1 (s)"; Printf.sprintf "jobs=%d (s)" jobs; "speedup"; "equality" ]
+       (List.rev !rows))
+
+let run ?(quick = false) ?(jobs = 1) ?json () =
   Format.printf "@.=== Micro-benchmarks (Bechamel, monotonic clock) ===@.@.";
   let tests = [ bitvec_xor; matrix_rref; matrix_rref_m4rm; zdd_product; poly_mul; espresso; cdcl_php; xl_pass ] in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let quota = if quick then Time.second 0.1 else Time.second 0.5 in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota () in
   let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"kernels" tests) in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = ref [] in
@@ -94,4 +191,5 @@ let run () =
     results;
   let rows = List.sort compare !rows in
   Format.printf "%s@."
-    (Harness.Table.render ~title:"kernel timings" ~headers:[ "kernel"; "ns/run"; "r²" ] rows)
+    (Harness.Table.render ~title:"kernel timings" ~headers:[ "kernel"; "ns/run"; "r²" ] rows);
+  parallel_kernels ~quick ~jobs:(max 2 jobs) ?json ()

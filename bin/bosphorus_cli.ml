@@ -223,7 +223,15 @@ let config_term =
   let c0 = Arg.(value & opt int default.sat_budget_start & info [ "C" ] ~doc:"Initial SAT conflict budget.") in
   let iters = Arg.(value & opt int default.max_iterations & info [ "max-iterations" ] ~doc:"Learning loop bound.") in
   let seed = Arg.(value & opt int default.seed & info [ "seed" ] ~doc:"Subsampling RNG seed.") in
-  let build m dm d k l l' c0 iters seed =
+  let jobs =
+    Arg.(value & opt int default.jobs
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Domain-pool width for the parallel kernels (GF(2) \
+                   elimination panels, XL expansion, linearizer hashing).  \
+                   1 runs sequentially; 0 picks the machine's recommended \
+                   domain count.  Results are identical for every value.")
+  in
+  let build m dm d k l l' c0 iters seed jobs =
     {
       default with
       xl_sample_bits = m;
@@ -235,9 +243,10 @@ let config_term =
       sat_budget_start = c0;
       max_iterations = iters;
       seed;
+      jobs = (if jobs <= 0 then Runtime.Pool.default_jobs () else jobs);
     }
   in
-  Term.(const build $ m $ dm $ d $ k $ l $ l' $ c0 $ iters $ seed)
+  Term.(const build $ m $ dm $ d $ k $ l $ l' $ c0 $ iters $ seed $ jobs)
 
 let cmd =
   let doc = "bridge ANF and CNF solvers by iterative fact learning" in

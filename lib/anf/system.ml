@@ -13,6 +13,7 @@ type t = {
   mutable slots : Poly.t option array; (* id -> live polynomial *)
   mutable next_id : int;
   occ : (int, Iset.t) Hashtbl.t; (* variable -> ids of polys containing it *)
+  occ_n : (int, int) Hashtbl.t; (* variable -> |occ|, maintained for O(1) counts *)
   present : id Ptbl.t; (* live polynomial -> its id *)
   mutable next_var : int; (* lowest never-used variable index *)
 }
@@ -27,14 +28,24 @@ let grow t needed =
 
 let occ_add t x id =
   let s = Option.value (Hashtbl.find_opt t.occ x) ~default:Iset.empty in
-  Hashtbl.replace t.occ x (Iset.add id s)
+  let s' = Iset.add id s in
+  if s' != s then begin
+    Hashtbl.replace t.occ x s';
+    Hashtbl.replace t.occ_n x
+      (1 + Option.value (Hashtbl.find_opt t.occ_n x) ~default:0)
+  end
 
 let occ_remove t x id =
   match Hashtbl.find_opt t.occ x with
   | None -> ()
   | Some s ->
-      let s = Iset.remove id s in
-      if Iset.is_empty s then Hashtbl.remove t.occ x else Hashtbl.replace t.occ x s
+      let s' = Iset.remove id s in
+      if s' != s then begin
+        (if Iset.is_empty s' then Hashtbl.remove t.occ x
+         else Hashtbl.replace t.occ x s');
+        let n = Option.value (Hashtbl.find_opt t.occ_n x) ~default:1 - 1 in
+        if n <= 0 then Hashtbl.remove t.occ_n x else Hashtbl.replace t.occ_n x n
+      end
 
 let add t p =
   if Poly.is_zero p then None
@@ -56,6 +67,7 @@ let create polys =
       slots = Array.make 16 None;
       next_id = 0;
       occ = Hashtbl.create 64;
+      occ_n = Hashtbl.create 64;
       present = Ptbl.create 64;
       next_var = 0;
     }
@@ -68,6 +80,7 @@ let copy t =
     slots = Array.copy t.slots;
     next_id = t.next_id;
     occ = Hashtbl.copy t.occ;
+    occ_n = Hashtbl.copy t.occ_n;
     present = Ptbl.copy t.present;
     next_var = t.next_var;
   }
@@ -101,6 +114,9 @@ let find t id = if id >= 0 && id < t.next_id then t.slots.(id) else None
 
 let occurrences t x =
   match Hashtbl.find_opt t.occ x with None -> [] | Some s -> Iset.elements s
+
+let occurrence_count t x =
+  Option.value (Hashtbl.find_opt t.occ_n x) ~default:0
 
 let iter t f =
   for id = 0 to t.next_id - 1 do

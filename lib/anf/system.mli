@@ -50,6 +50,12 @@ val find : t -> id -> Poly.t option
 (** [occurrences t x] lists ids of live polynomials containing variable [x]. *)
 val occurrences : t -> int -> id list
 
+(** [occurrence_count t x] is [List.length (occurrences t x)] in O(1): the
+    count is maintained incrementally so variable-selection heuristics
+    (ElimLin's least-occurring-variable rule) need not materialise the
+    occurrence list per candidate. *)
+val occurrence_count : t -> int -> int
+
 (** [iter t f] applies [f id poly] to every live polynomial. *)
 val iter : t -> (id -> Poly.t -> unit) -> unit
 

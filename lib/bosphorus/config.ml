@@ -15,6 +15,7 @@ type t = {
   sat_probe_vars : int;
   seed : int;
   audit_trail : bool;
+  jobs : int;
 }
 
 let paper =
@@ -35,6 +36,7 @@ let paper =
     sat_probe_vars = 0;
     seed = 0;
     audit_trail = false;
+    jobs = 1;
   }
 
 (* Laptop-scale defaults: same semantics, smaller linearised systems and

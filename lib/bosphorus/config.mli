@@ -40,6 +40,13 @@ type t = {
           log — so the audit layer ([lib/audit]) can independently certify
           every learnt fact after the run.  Off by default: proof logging
           retains every learnt clause. *)
+  jobs : int;
+      (** domain-pool width for the parallel kernels: GF(2) elimination
+          panel updates, XL expansion and linearizer column hashing all
+          fan out over [jobs] domains of the shared {!Runtime.Pool}.
+          1 (the default) runs everything sequentially on the calling
+          domain.  Results are identical for every value — see DESIGN.md,
+          "Parallel runtime". *)
 }
 
 val default : t

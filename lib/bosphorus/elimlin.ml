@@ -3,9 +3,9 @@ module S = Anf.System
 
 type report = { facts : P.t list; rounds : int; final_size : int }
 
-let gje polys =
-  let lin, matrix = Linearize.build polys in
-  ignore (Gf2.Matrix.rref_m4rm matrix);
+let gje ?(jobs = 1) polys =
+  let lin, matrix = Linearize.build ~jobs polys in
+  ignore (Gf2.Matrix.rref_m4rm ~jobs matrix);
   List.map (Linearize.poly_of_row lin) (Gf2.Matrix.nonzero_rows matrix)
 
 exception Contradiction_found of P.t list
@@ -16,7 +16,7 @@ exception Out_of_time
    eliminating a variable only touches the equations it occurs in.
    [deadline] (absolute seconds) bounds the pass; dense cipher systems can
    otherwise grind through enormous substitution rounds. *)
-let eliminate ?deadline polys =
+let eliminate ?deadline ?(jobs = 1) polys =
   let facts = ref [] in
   let rounds = ref 0 in
   let past_deadline () =
@@ -26,7 +26,7 @@ let eliminate ?deadline polys =
     incr rounds;
     if !rounds > 200 || past_deadline () then polys
     else begin
-      let reduced = gje polys in
+      let reduced = gje ~jobs polys in
       let linear, nonlinear = List.partition P.is_linear reduced in
       let linear = List.filter (fun p -> not (P.is_zero p)) linear in
       if linear = [] then reduced
@@ -44,8 +44,11 @@ let eliminate ?deadline polys =
             if not (P.is_zero l) then begin
               facts := l :: !facts;
               if P.degree l = 1 then begin
-                (* pick the variable of l occurring least in the system *)
-                let count x = List.length (S.occurrences system x) in
+                (* pick the variable of l occurring least in the system;
+                   the count is O(1) via the system's occurrence-count
+                   table rather than materialising occurrence lists per
+                   candidate variable *)
+                let count x = S.occurrence_count system x in
                 let vars = P.vars l in
                 let x =
                   List.fold_left
@@ -77,8 +80,8 @@ let eliminate ?deadline polys =
   | exception Contradiction_found fs -> (List.rev fs, !rounds, [ P.one ])
   | exception Out_of_time -> (List.rev !facts, !rounds, [])
 
-let run_full polys =
-  let facts, rounds, final = eliminate polys in
+let run_full ?(jobs = 1) polys =
+  let facts, rounds, final = eliminate ~jobs polys in
   { facts; rounds; final_size = List.length final }
 
 let run ~config ~rng polys =
@@ -87,5 +90,5 @@ let run ~config ~rng polys =
   (* like XL, ElimLin runs on a ~2^M-cell subsample (Section II-C) *)
   let sample = Xl.subsample ~rng ~cell_budget polys in
   let deadline = Unix.gettimeofday () +. config.stage_time_s in
-  let facts, rounds, final = eliminate ~deadline sample in
+  let facts, rounds, final = eliminate ~deadline ~jobs:config.jobs sample in
   { facts; rounds; final_size = List.length final }

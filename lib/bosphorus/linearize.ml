@@ -9,29 +9,52 @@ end)
 
 type t = { columns : M.t array; index : int Mtbl.t }
 
-let column_basis polys =
+let chunk_keys polys =
   let seen = Mtbl.create 64 in
   List.iter
     (fun p -> List.iter (fun m -> Mtbl.replace seen m ()) (Anf.Poly.monomials p))
     polys;
+  seen
+
+let column_basis ?(jobs = 1) polys =
+  let seen =
+    if jobs <= 1 then chunk_keys polys
+    else begin
+      (* hash each chunk's monomials into a local table in parallel, then
+         merge; the final sort makes the basis order chunking-independent *)
+      let pool = Runtime.Pool.get ~jobs in
+      let locals =
+        Runtime.Pool.run pool
+          (List.map
+             (fun chunk () -> chunk_keys chunk)
+             (Runtime.Pool.chunk_list ~chunks:jobs polys))
+      in
+      let seen = Mtbl.create 64 in
+      List.iter (fun local -> Mtbl.iter (fun m () -> Mtbl.replace seen m ()) local) locals;
+      seen
+    end
+  in
   let cols = Mtbl.fold (fun m () acc -> m :: acc) seen [] in
   Array.of_list (List.sort M.compare cols)
 
-let build polys =
-  let columns = column_basis polys in
+let build ?(jobs = 1) polys =
+  let columns = column_basis ~jobs polys in
   let index = Mtbl.create (Array.length columns) in
   Array.iteri (fun i m -> Mtbl.replace index m i) columns;
   let t = { columns; index } in
   let ncols = Array.length columns in
+  (* one row per polynomial; [index] is frozen by now, so concurrent reads
+     from the pool's domains are safe *)
+  let row_of p =
+    let row = Gf2.Bitvec.create ncols in
+    List.iter
+      (fun m -> Gf2.Bitvec.set row (Mtbl.find index m) true)
+      (Anf.Poly.monomials p);
+    row
+  in
   let rows =
-    List.map
-      (fun p ->
-        let row = Gf2.Bitvec.create ncols in
-        List.iter
-          (fun m -> Gf2.Bitvec.set row (Mtbl.find index m) true)
-          (Anf.Poly.monomials p);
-        row)
-      polys
+    if jobs <= 1 then List.map row_of polys
+    else Runtime.Pool.map_list (Runtime.Pool.get ~jobs) row_of polys
   in
   (t, Gf2.Matrix.of_rows ~cols:ncols rows)
 

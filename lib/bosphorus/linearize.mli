@@ -6,9 +6,12 @@
 
 type t
 
-(** [build polys] computes the column basis and the coefficient matrix of
-    the system (one row per polynomial, in the given order). *)
-val build : Anf.Poly.t list -> t * Gf2.Matrix.t
+(** [build ?jobs polys] computes the column basis and the coefficient
+    matrix of the system (one row per polynomial, in the given order).
+    With [jobs > 1] the monomial columns are hashed and the rows built in
+    parallel over the shared {!Runtime.Pool}; the basis is sorted after
+    the merge, so the result is identical for every [jobs]. *)
+val build : ?jobs:int -> Anf.Poly.t list -> t * Gf2.Matrix.t
 
 (** Number of monomial columns. *)
 val n_columns : t -> int

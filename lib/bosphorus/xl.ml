@@ -31,7 +31,9 @@ module Ptbl = Hashtbl.Make (struct
   let hash = P.hash
 end)
 
-let expand ~multipliers polys =
+(* Expand one chunk of the polynomial list into a locally-deduplicated
+   batch, preserving first-occurrence order. *)
+let expand_chunk multipliers chunk =
   let seen = Ptbl.create 64 in
   let out = ref [] in
   let push p =
@@ -44,8 +46,34 @@ let expand ~multipliers polys =
     (fun p ->
       push p;
       List.iter (fun m -> push (P.mul_monomial p m)) multipliers)
-    polys;
+    chunk;
   List.rev !out
+
+let expand ?(jobs = 1) ~multipliers polys =
+  if jobs <= 1 then expand_chunk multipliers polys
+  else begin
+    (* each domain expands a contiguous chunk into a local batch; the
+       batches are merged through one table in chunk order.  Both the local
+       and the global dedup keep first occurrences, and chunks are
+       contiguous, so the result list is identical to the sequential one. *)
+    let pool = Runtime.Pool.get ~jobs in
+    let batches =
+      Runtime.Pool.run pool
+        (List.map
+           (fun chunk () -> expand_chunk multipliers chunk)
+           (Runtime.Pool.chunk_list ~chunks:jobs polys))
+    in
+    let seen = Ptbl.create 64 in
+    let out = ref [] in
+    List.iter
+      (List.iter (fun p ->
+           if not (Ptbl.mem seen p) then begin
+             Ptbl.replace seen p ();
+             out := p :: !out
+           end))
+      batches;
+    List.rev !out
+  end
 
 let retain_facts polys =
   List.filter
@@ -139,8 +167,8 @@ let run ~config ~rng polys =
        by_degree
    with Exit -> ());
   let expanded = List.rev !rows in
-  let lin, matrix = Linearize.build expanded in
-  let rank = Gf2.Matrix.rref_m4rm matrix in
+  let lin, matrix = Linearize.build ~jobs:config.jobs expanded in
+  let rank = Gf2.Matrix.rref_m4rm ~jobs:config.jobs matrix in
   let reduced = Gf2.Matrix.nonzero_rows matrix in
   let row_polys = List.map (Linearize.poly_of_row lin) reduced in
   {

@@ -24,10 +24,14 @@ val run : config:Config.t -> rng:Random.State.t -> Anf.Poly.t list -> report
     equation itself covers the degree-0 multiplier). *)
 val multipliers : vars:int list -> degree:int -> Anf.Monomial.t list
 
-(** [expand ~multipliers polys] is the full (unsampled) XL expansion:
-    every polynomial times every multiplier, originals included, without
-    duplicates.  Exposed for the Table I reproduction and tests. *)
-val expand : multipliers:Anf.Monomial.t list -> Anf.Poly.t list -> Anf.Poly.t list
+(** [expand ?jobs ~multipliers polys] is the full (unsampled) XL
+    expansion: every polynomial times every multiplier, originals
+    included, without duplicates.  With [jobs > 1] the polynomial list is
+    partitioned across domains, each producing a locally-deduplicated
+    batch that is merged in chunk order — the output list is identical to
+    the sequential one.  Exposed for the Table I reproduction and tests. *)
+val expand :
+  ?jobs:int -> multipliers:Anf.Monomial.t list -> Anf.Poly.t list -> Anf.Poly.t list
 
 (** [retain_facts polys] filters to the fact shapes Bosphorus keeps. *)
 val retain_facts : Anf.Poly.t list -> Anf.Poly.t list

@@ -17,14 +17,6 @@ let of_rows ~cols rows_list =
 let rows m = m.nrows
 let cols m = m.ncols
 
-(* index of column [pc] within the block's pivot-column list *)
-let index_of_col pc pivot_cols =
-  let rec go i = function
-    | [] -> invalid_arg "Matrix: pivot column not found"
-    | c :: rest -> if c = pc then i else go (i + 1) rest
-  in
-  go 0 pivot_cols
-
 let lowest_bit_index_int w =
   let rec go w i = if w land 1 = 1 then i else go (w lsr 1) (i + 1) in
   go w 0
@@ -93,15 +85,16 @@ let in_row_space m v =
   Bitvec.is_zero v
 
 (* Self-checking hook of the audit layer (see lib/audit): when the
-   environment opts in, every elimination verifies its own output. *)
+   environment opts in, every elimination verifies its own output.  Read
+   eagerly, not lazily: eliminations run concurrently under the domain
+   pool, and Lazy.force from several domains races (Lazy.RacyLazy). *)
 let audit_hooks =
-  lazy
-    (match Sys.getenv_opt "BOSPHORUS_AUDIT" with
-    | Some ("1" | "true" | "yes") -> true
-    | Some _ | None -> false)
+  match Sys.getenv_opt "BOSPHORUS_AUDIT" with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
 
 let audit_rref_result name m =
-  if Lazy.force audit_hooks && not (is_rref m) then
+  if audit_hooks && not (is_rref m) then
     failwith (name ^ ": result is not in reduced row echelon form")
 
 (* Gauss-Jordan: for each column left to right, find a pivot row at or below
@@ -135,15 +128,25 @@ let rref m =
    rows (reducing each candidate row by the block's previous pivots only),
    normalise the pivot rows to identity on the pivot columns, tabulate all
    2^b combinations of them in gray-code order, then clear the block's
-   pivot columns from every other row with one lookup + one XOR. *)
-let rref_m4rm ?(k = 6) m =
+   pivot columns from every other row with one lookup + one XOR.
+
+   With [jobs > 1] the trailing update (phase C, the bulk of the work) is
+   partitioned row-wise across the domain pool.  Pivot selection and table
+   construction stay sequential, and the per-row updates are pure functions
+   of the read-only table, so the resulting RREF is bit-identical to the
+   sequential one whatever [jobs] is. *)
+let rref_m4rm ?(k = 6) ?(jobs = 1) m =
   if k < 1 || k > 20 then invalid_arg "Matrix.rref_m4rm: k in 1..20";
+  let pool = Runtime.Pool.get ~jobs in
   let pivot_row = ref 0 in
   let col = ref 0 in
+  (* pivots.(t) is the t-th pivot column of the current block, ascending;
+     an int array rather than a list so that phase A's reduction finds a
+     pivot's row offset in O(1) instead of scanning a column list *)
+  let pivots = Array.make k 0 in
   while !pivot_row < m.nrows && !col < m.ncols do
     let block_end = min m.ncols (!col + k) in
     (* phase A: collect pivots for columns [!col, block_end) *)
-    let pivot_cols = ref [] in
     let found = ref 0 in
     let c = ref !col in
     while !c < block_end do
@@ -155,20 +158,17 @@ let rref_m4rm ?(k = 6) m =
           (* reduce the candidate by this block's pivot rows, in pivot
              order: each pivot row is clean on the pivots before it but may
              touch the ones after, so ascending order is required *)
-          List.iter
-            (fun pc ->
-              if Bitvec.get m.data.(i) pc then
-                Bitvec.xor_into
-                  ~src:m.data.(!pivot_row + index_of_col pc !pivot_cols)
-                  ~dst:m.data.(i))
-            !pivot_cols;
+          for t = 0 to !found - 1 do
+            if Bitvec.get m.data.(i) pivots.(t) then
+              Bitvec.xor_into ~src:m.data.(!pivot_row + t) ~dst:m.data.(i)
+          done;
           if Bitvec.get m.data.(i) !c then Some i else search (i + 1)
         end
       in
       (match search (!pivot_row + !found) with
       | Some i ->
           if i <> !pivot_row + !found then swap_rows m i (!pivot_row + !found);
-          pivot_cols := !pivot_cols @ [ !c ];
+          pivots.(!found) <- !c;
           incr found
       | None -> ());
       incr c
@@ -176,12 +176,12 @@ let rref_m4rm ?(k = 6) m =
     let b = !found in
     if b = 0 then col := block_end
     else begin
-      let pivots = Array.of_list !pivot_cols in
+      let pr = !pivot_row in
       (* normalise the pivot rows to identity on the pivot columns *)
       for i = 0 to b - 1 do
         for j = 0 to b - 1 do
-          if i <> j && Bitvec.get m.data.(!pivot_row + i) pivots.(j) then
-            Bitvec.xor_into ~src:m.data.(!pivot_row + j) ~dst:m.data.(!pivot_row + i)
+          if i <> j && Bitvec.get m.data.(pr + i) pivots.(j) then
+            Bitvec.xor_into ~src:m.data.(pr + j) ~dst:m.data.(pr + i)
         done
       done;
       (* gray-code table of the 2^b combinations *)
@@ -189,20 +189,25 @@ let rref_m4rm ?(k = 6) m =
       for g = 1 to (1 lsl b) - 1 do
         let low = lowest_bit_index_int g in
         let v = Bitvec.copy table.(g land (g - 1)) in
-        Bitvec.xor_into ~src:m.data.(!pivot_row + low) ~dst:v;
+        Bitvec.xor_into ~src:m.data.(pr + low) ~dst:v;
         table.(g) <- v
       done;
-      (* clear the pivot columns everywhere else with one XOR per row *)
-      for r = 0 to m.nrows - 1 do
-        if r < !pivot_row || r >= !pivot_row + b then begin
-          let idx = ref 0 in
-          for j = 0 to b - 1 do
-            if Bitvec.get m.data.(r) pivots.(j) then idx := !idx lor (1 lsl j)
-          done;
-          if !idx <> 0 then Bitvec.xor_into ~src:table.(!idx) ~dst:m.data.(r)
-        end
-      done;
-      pivot_row := !pivot_row + b;
+      (* phase C: clear the pivot columns everywhere else with one XOR per
+         row.  Rows are touched only by their own range's task; the table
+         and pivots are read-only here. *)
+      let update_rows lo hi =
+        for r = lo to hi - 1 do
+          if r < pr || r >= pr + b then begin
+            let idx = ref 0 in
+            for j = 0 to b - 1 do
+              if Bitvec.get m.data.(r) pivots.(j) then idx := !idx lor (1 lsl j)
+            done;
+            if !idx <> 0 then Bitvec.xor_into ~src:table.(!idx) ~dst:m.data.(r)
+          end
+        done
+      in
+      Runtime.Pool.parallel_for pool ~lo:0 ~hi:m.nrows update_rows;
+      pivot_row := pr + b;
       col := block_end
     end
   done;

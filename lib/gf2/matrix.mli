@@ -41,14 +41,19 @@ val xor_rows : t -> src:int -> dst:int -> unit
     columns, as in Table I of the paper. *)
 val rref : t -> int
 
-(** [rref_m4rm ?k m] is {!rref} by the Method of the Four Russians (the
-    algorithm M4RI is named after): pivots are found in blocks of up to
-    [k] columns (default 6), the 2^b combinations of a block's pivot rows
-    are tabulated gray-code style, and every other row is cleared with a
-    single table lookup and XOR instead of up to [b] row operations.
+(** [rref_m4rm ?k ?jobs m] is {!rref} by the Method of the Four Russians
+    (the algorithm M4RI is named after): pivots are found in blocks of up
+    to [k] columns (default 6), the 2^b combinations of a block's pivot
+    rows are tabulated gray-code style, and every other row is cleared with
+    a single table lookup and XOR instead of up to [b] row operations.
     Produces the same reduced row echelon form as {!rref} (RREF is
-    canonical), roughly [k] times faster on large dense matrices. *)
-val rref_m4rm : ?k:int -> t -> int
+    canonical), roughly [k] times faster on large dense matrices.
+
+    With [jobs > 1] (default 1) each block's trailing row update is
+    partitioned across [jobs] domains of the shared {!Runtime.Pool}.
+    Pivot selection stays sequential and the update rows are disjoint, so
+    the result is bit-identical to the sequential elimination. *)
+val rref_m4rm : ?k:int -> ?jobs:int -> t -> int
 
 (** [rank m] is the GF(2) rank (computed on a copy; [m] is unchanged). *)
 val rank : t -> int

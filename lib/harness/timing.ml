@@ -2,3 +2,13 @@ let time f =
   let t0 = Unix.gettimeofday () in
   let x = f () in
   (x, Unix.gettimeofday () -. t0)
+
+let process_cpu () =
+  let t = Unix.times () in
+  t.Unix.tms_utime +. t.Unix.tms_stime
+
+let time_cpu f =
+  let w0 = Unix.gettimeofday () in
+  let c0 = process_cpu () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. w0, process_cpu () -. c0)

@@ -1,0 +1,234 @@
+(* A work queue shared by a fixed set of worker domains, plus futures
+   joined in submission order.  The calling domain helps execute queued
+   tasks while it waits, which both uses the caller as the jobs-th worker
+   and makes nested [run] calls deadlock-free. *)
+
+type 'a state = Pending | Done of 'a | Failed of exn
+
+type 'a future = {
+  fm : Mutex.t;
+  fc : Condition.t;
+  mutable state : 'a state;
+}
+
+type shared = {
+  qm : Mutex.t;
+  qc : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+  mutable n_workers : int;
+}
+
+type t = {
+  shared : shared option; (* None: sequential fallback *)
+  pjobs : int;
+  owned : bool; (* true for pools from [create]: [shutdown] may join them *)
+}
+
+let jobs t = t.pjobs
+
+let rec worker_loop sh =
+  Mutex.lock sh.qm;
+  while Queue.is_empty sh.queue && not sh.closed do
+    Condition.wait sh.qc sh.qm
+  done;
+  if Queue.is_empty sh.queue then Mutex.unlock sh.qm (* closed: exit *)
+  else begin
+    let task = Queue.pop sh.queue in
+    Mutex.unlock sh.qm;
+    task ();
+    worker_loop sh
+  end
+
+let make_shared () =
+  {
+    qm = Mutex.create ();
+    qc = Condition.create ();
+    queue = Queue.create ();
+    closed = false;
+    workers = [];
+    n_workers = 0;
+  }
+
+let spawn_workers sh n =
+  while sh.n_workers < n do
+    sh.workers <- Domain.spawn (fun () -> worker_loop sh) :: sh.workers;
+    sh.n_workers <- sh.n_workers + 1
+  done
+
+let shutdown_shared sh =
+  Mutex.lock sh.qm;
+  sh.closed <- true;
+  Condition.broadcast sh.qc;
+  Mutex.unlock sh.qm;
+  List.iter Domain.join sh.workers;
+  sh.workers <- [];
+  sh.n_workers <- 0
+
+let sequential = { shared = None; pjobs = 1; owned = false }
+
+let create ~jobs =
+  if jobs <= 1 then sequential
+  else begin
+    let sh = make_shared () in
+    spawn_workers sh (jobs - 1);
+    { shared = Some sh; pjobs = jobs; owned = true }
+  end
+
+(* One process-global worker set, grown on demand and reaped at exit so
+   idle workers blocked on the condition variable cannot outlive main. *)
+let global : shared option ref = ref None
+let global_m = Mutex.create ()
+
+let get ~jobs =
+  if jobs <= 1 then sequential
+  else begin
+    Mutex.lock global_m;
+    let sh =
+      match !global with
+      | Some sh -> sh
+      | None ->
+          let sh = make_shared () in
+          global := Some sh;
+          Stdlib.at_exit (fun () -> shutdown_shared sh);
+          sh
+    in
+    spawn_workers sh (jobs - 1);
+    Mutex.unlock global_m;
+    { shared = Some sh; pjobs = jobs; owned = false }
+  end
+
+let shutdown t =
+  match t.shared with Some sh when t.owned -> shutdown_shared sh | _ -> ()
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let submit sh fut f =
+  let task () =
+    let r = try Done (f ()) with e -> Failed e in
+    Mutex.lock fut.fm;
+    fut.state <- r;
+    Condition.broadcast fut.fc;
+    Mutex.unlock fut.fm
+  in
+  Mutex.lock sh.qm;
+  Queue.push task sh.queue;
+  Condition.signal sh.qc;
+  Mutex.unlock sh.qm
+
+let try_pop sh =
+  Mutex.lock sh.qm;
+  let task = if Queue.is_empty sh.queue then None else Some (Queue.pop sh.queue) in
+  Mutex.unlock sh.qm;
+  task
+
+(* Wait for [fut], executing other queued tasks meanwhile. *)
+let rec await sh fut =
+  Mutex.lock fut.fm;
+  match fut.state with
+  | Done v ->
+      Mutex.unlock fut.fm;
+      Ok v
+  | Failed e ->
+      Mutex.unlock fut.fm;
+      Error e
+  | Pending -> (
+      Mutex.unlock fut.fm;
+      match try_pop sh with
+      | Some task ->
+          task ();
+          await sh fut
+      | None ->
+          (* the queue is empty, so [fut]'s task is running on some domain
+             (possibly popped between our two checks): block until done *)
+          Mutex.lock fut.fm;
+          let rec wait () =
+            match fut.state with
+            | Pending ->
+                Condition.wait fut.fc fut.fm;
+                wait ()
+            | Done v -> Ok v
+            | Failed e -> Error e
+          in
+          let r = wait () in
+          Mutex.unlock fut.fm;
+          r)
+
+let run t thunks =
+  match (t.shared, thunks) with
+  | None, _ -> List.map (fun f -> f ()) thunks
+  | Some _, [] -> []
+  | Some _, [ f ] -> [ f () ]
+  | Some sh, _ ->
+      let futs =
+        List.map
+          (fun f ->
+            let fut = { fm = Mutex.create (); fc = Condition.create (); state = Pending } in
+            submit sh fut f;
+            fut)
+          thunks
+      in
+      (* join everything before raising, so no task is still mutating
+         caller-owned state when control returns *)
+      let results = List.map (await sh) futs in
+      List.map (function Ok v -> v | Error e -> raise e) results
+
+let chunk_ranges ~chunks ~lo ~hi =
+  let n = hi - lo in
+  if n <= 0 then []
+  else begin
+    let c = max 1 (min chunks n) in
+    let base = n / c and extra = n mod c in
+    List.init c (fun i ->
+        let start = lo + (i * base) + min i extra in
+        let len = base + if i < extra then 1 else 0 in
+        (start, start + len))
+  end
+
+let chunk_list ~chunks xs =
+  match xs with
+  | [] -> []
+  | _ ->
+      let arr = Array.of_list xs in
+      List.map
+        (fun (lo, hi) -> Array.to_list (Array.sub arr lo (hi - lo)))
+        (chunk_ranges ~chunks ~lo:0 ~hi:(Array.length arr))
+
+let parallel_for t ~lo ~hi f =
+  match t.shared with
+  | None -> if hi > lo then f lo hi
+  | Some _ ->
+      ignore
+        (run t
+           (List.map
+              (fun (lo', hi') () -> f lo' hi')
+              (chunk_ranges ~chunks:t.pjobs ~lo ~hi)))
+
+let map_list t f xs =
+  match t.shared with
+  | None -> List.map f xs
+  | Some _ ->
+      List.concat
+        (run t
+           (List.map (fun chunk () -> List.map f chunk) (chunk_list ~chunks:t.pjobs xs)))
+
+let map_array t f xs =
+  match t.shared with
+  | None -> Array.map f xs
+  | Some _ ->
+      Array.concat
+        (run t
+           (List.map
+              (fun (lo, hi) () -> Array.init (hi - lo) (fun i -> f xs.(lo + i)))
+              (chunk_ranges ~chunks:t.pjobs ~lo:0 ~hi:(Array.length xs))))
+
+let default_jobs () =
+  match Sys.getenv_opt "BOSPHORUS_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()

@@ -1,0 +1,83 @@
+(** Fixed-size OCaml 5 domain pool with a shared work queue and futures.
+
+    The pool is the repository's single parallel-execution substrate: the
+    GF(2) elimination panel update, the XL expansion, the linearizer's
+    column hashing and the bench driver's multi-instance batching all run
+    through it.  Design constraints, in order:
+
+    - {b Determinism.}  Every splitting helper ([chunk_ranges],
+      [chunk_list], [map_list], [map_array], [parallel_for]) partitions its
+      input into contiguous chunks whose boundaries depend only on the
+      pool's [jobs] value, and [run] joins futures in submission order.
+      Tasks that write disjoint state therefore produce results independent
+      of worker scheduling: same [jobs], same output — and for tasks whose
+      output is scheduling-independent (e.g. RREF), any [jobs] gives the
+      same output.
+    - {b Graceful sequential fallback.}  A pool with [jobs <= 1] spawns no
+      domains and runs everything inline on the caller; all combinators
+      behave exactly like their [List]/[Array] counterparts.
+    - {b Reuse.}  [get ~jobs] hands out views onto one process-global
+      worker set (grown on demand, reaped at exit), so hot kernels can
+      request parallelism per call without paying a domain spawn.
+
+    The caller participates: while awaiting its futures it pops and runs
+    queued tasks, so nested [run] calls from inside tasks cannot deadlock
+    and a [jobs]-way pool reaches [jobs]-way parallelism with only
+    [jobs - 1] spawned domains. *)
+
+type t
+
+(** [create ~jobs] spawns a private pool with [max 0 (jobs - 1)] worker
+    domains ([jobs <= 1] gives the sequential pool).  Shut it down with
+    {!shutdown} (private pools are not reaped automatically). *)
+val create : jobs:int -> t
+
+(** [get ~jobs] is a view with parallel width [jobs] onto the shared
+    process-global worker set, growing it if it has fewer than [jobs - 1]
+    workers.  The global set is shut down via [at_exit].  [jobs <= 1]
+    returns the sequential pool. *)
+val get : jobs:int -> t
+
+(** The parallel width this pool was requested with (>= 1).  All chunking
+    combinators cut their input into at most this many pieces. *)
+val jobs : t -> int
+
+(** [shutdown t] drains and joins a pool created with {!create}; no-op on
+    sequential pools and on views from {!get}. *)
+val shutdown : t -> unit
+
+(** [with_pool ~jobs f] runs [f] on a private pool and shuts it down
+    afterwards, exceptions included. *)
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+
+(** [run t thunks] executes the thunks (on workers plus the calling
+    domain) and returns their results in submission order.  All thunks are
+    run to completion even when some fail; the first failure in submission
+    order is then re-raised.  With a sequential pool this is
+    [List.map (fun f -> f ()) thunks]. *)
+val run : t -> (unit -> 'a) list -> 'a list
+
+(** [map_list t f xs] maps [f] over [xs] with chunk-level parallelism,
+    preserving order: equal to [List.map f xs] whenever [f] is pure. *)
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [map_array t f xs] is the array analogue of {!map_list}. *)
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [parallel_for t ~lo ~hi f] calls [f lo' hi'] on contiguous sub-ranges
+    partitioning [\[lo, hi)], in parallel.  [f] must write only state owned
+    by its range. *)
+val parallel_for : t -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+
+(** [chunk_ranges ~chunks ~lo ~hi] is the deterministic partition of
+    [\[lo, hi)] into at most [chunks] contiguous, near-equal, in-order
+    ranges [(lo', hi')].  Exposed for tests. *)
+val chunk_ranges : chunks:int -> lo:int -> hi:int -> (int * int) list
+
+(** [chunk_list ~chunks xs] cuts [xs] into at most [chunks] contiguous
+    chunks in order; concatenating them restores [xs]. *)
+val chunk_list : chunks:int -> 'a list -> 'a list list
+
+(** Default parallel width: the [BOSPHORUS_JOBS] environment variable if
+    set to a positive integer, else [Domain.recommended_domain_count ()]. *)
+val default_jobs : unit -> int

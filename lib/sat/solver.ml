@@ -804,14 +804,19 @@ let invariant_violations t =
     t.xor_watches;
   List.rev !out
 
+(* Domain-safety note: a solver instance is confined to the domain that
+   uses it — all search state lives in [t]; this module keeps no mutable
+   globals, so independent instances may run on concurrent domains (the
+   bench driver's --jobs batching relies on this).  The audit flag is read
+   eagerly rather than via [lazy]: Lazy.force from several domains races
+   (Lazy.RacyLazy). *)
 let audit_hooks =
-  lazy
-    (match Sys.getenv_opt "BOSPHORUS_AUDIT" with
-    | Some ("1" | "true" | "yes") -> true
-    | Some _ | None -> false)
+  match Sys.getenv_opt "BOSPHORUS_AUDIT" with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
 
 let self_check t =
-  if Lazy.force audit_hooks then
+  if audit_hooks then
     match invariant_violations t with
     | [] -> ()
     | v :: _ -> failwith ("Solver invariant violated: " ^ v)

@@ -305,6 +305,38 @@ let prop_m4rm_equals_rref =
       r1 = r2
       && Format.asprintf "%a" Gf2.Matrix.pp plain = Format.asprintf "%a" Gf2.Matrix.pp four)
 
+(* The parallel panel update must be bit-identical for every jobs count:
+   pivot selection stays sequential and row updates are disjoint. *)
+let prop_m4rm_parallel_equals_sequential =
+  QCheck.Test.make ~name:"four russians RREF: jobs=k = jobs=1 = plain RREF" ~count:200
+    QCheck.(triple (make matrix_gen) (int_range 1 8) (int_range 2 4))
+    (fun (m, k, jobs) ->
+      let plain = Gf2.Matrix.copy m
+      and seq = Gf2.Matrix.copy m
+      and par = Gf2.Matrix.copy m in
+      let r0 = Gf2.Matrix.rref plain in
+      let r1 = Gf2.Matrix.rref_m4rm ~k ~jobs:1 seq in
+      let r2 = Gf2.Matrix.rref_m4rm ~k ~jobs par in
+      let show = Format.asprintf "%a" Gf2.Matrix.pp in
+      r0 = r1 && r1 = r2 && show plain = show seq && show seq = show par)
+
+let test_m4rm_parallel_large () =
+  let n = 200 in
+  let rng = Random.State.make [| 77 |] in
+  let m = Gf2.Matrix.create ~rows:n ~cols:n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if Random.State.bool rng then Gf2.Matrix.set m i j true
+    done
+  done;
+  let seq = Gf2.Matrix.copy m and par = Gf2.Matrix.copy m in
+  let r1 = Gf2.Matrix.rref_m4rm ~jobs:1 seq in
+  let r2 = Gf2.Matrix.rref_m4rm ~jobs:4 par in
+  check_int "same rank" r1 r2;
+  Alcotest.(check string) "bit-identical RREF"
+    (Format.asprintf "%a" Gf2.Matrix.pp seq)
+    (Format.asprintf "%a" Gf2.Matrix.pp par)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -315,6 +347,7 @@ let qcheck_cases =
       prop_rank_bounded;
       prop_rref_preserves_row_space;
       prop_m4rm_equals_rref;
+      prop_m4rm_parallel_equals_sequential;
     ]
 
 let suite =
@@ -344,6 +377,7 @@ let suite =
         Alcotest.test_case "is_rref" `Quick test_matrix_is_rref;
         Alcotest.test_case "in_row_space" `Quick test_matrix_in_row_space;
         Alcotest.test_case "four russians RREF" `Quick test_m4rm_matches_rref;
+        Alcotest.test_case "parallel M4RM on 200x200" `Quick test_m4rm_parallel_large;
       ] );
     ("gf2.properties", qcheck_cases);
   ]

@@ -693,4 +693,46 @@ let proof_suite =
       ] );
   ]
 
-let suite = main_suite @ probe_suite @ enumerate_suite @ proof_suite
+(* ------------------------------------------------------------------ *)
+(* Domain safety: solver instances share no mutable module state, so     *)
+(* distinct instances may run on distinct domains concurrently (the      *)
+(* bench driver's --jobs batching relies on this).                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_concurrent_solver_instances () =
+  let rng () = Random.State.make [| 5 |] in
+  let formulas =
+    [
+      Problems.Generators.pigeonhole ~holes:4;
+      Problems.Generators.parity_chain ~vertices:12 ~satisfiable:true ~rng:(rng ());
+      Problems.Generators.parity_chain ~vertices:12 ~satisfiable:false ~rng:(rng ());
+      Problems.Generators.random_ksat ~nvars:30 ~n_clauses:100 ~k:3 ~rng:(rng ());
+      Problems.Generators.pigeonhole ~holes:3;
+      Problems.Generators.random_ksat ~nvars:20 ~n_clauses:60 ~k:3 ~rng:(rng ());
+    ]
+  in
+  let solve f =
+    let s = S.create ~nvars:(Cnf.Formula.nvars f) () in
+    ignore (S.add_formula s f);
+    match S.solve s with
+    | Sat.Types.Sat _ -> `Sat
+    | Sat.Types.Unsat -> `Unsat
+    | Sat.Types.Undecided -> `Undecided
+  in
+  let sequential = List.map solve formulas in
+  Runtime.Pool.with_pool ~jobs:4 (fun pool ->
+      (* several rounds so every worker domain touches several instances *)
+      for round = 1 to 3 do
+        let parallel = Runtime.Pool.map_list pool solve formulas in
+        check (Printf.sprintf "round %d matches sequential" round) true
+          (List.for_all2 ( = ) sequential parallel)
+      done)
+
+let concurrency_suite =
+  [
+    ( "sat.concurrency",
+      [ Alcotest.test_case "4-way concurrent solver instances" `Quick
+          test_concurrent_solver_instances ] );
+  ]
+
+let suite = main_suite @ probe_suite @ enumerate_suite @ proof_suite @ concurrency_suite
