@@ -237,6 +237,112 @@ let ablation () =
        rows)
 
 (* ------------------------------------------------------------------ *)
+(* Incremental SAT rounds: per-round re-encoding and search counters    *)
+(* ------------------------------------------------------------------ *)
+
+let incremental ?(quick = false) ?json () =
+  header
+    "Incremental SAT rounds: persistent solver + delta encoding vs a fresh \
+     solver per round";
+  let inst =
+    Ciphers.Simon.instance ~rounds:(if quick then 4 else 6) ~n_plaintexts:2
+      ~rng:(Random.State.make [| 77 |]) ()
+  in
+  let eqs = inst.Ciphers.Simon.equations in
+  (* several loop iterations, no early exit on solution: the point is the
+     multi-round behaviour *)
+  let base =
+    {
+      Runners.bosphorus_config with
+      Bosphorus.Config.max_iterations = (if quick then 3 else 5);
+      stop_on_solution = false;
+    }
+  in
+  let run_mode label incremental_sat =
+    let config = { base with Bosphorus.Config.incremental_sat } in
+    let outcome, perf =
+      Harness.Perf.measure (fun () -> Bosphorus.Driver.run ~config eqs)
+    in
+    (label, outcome, perf)
+  in
+  let modes = [ run_mode "incremental" true; run_mode "fresh" false ] in
+  let is_incremental label = label = "incremental" in
+  List.iter
+    (fun (label, outcome, _) ->
+      let rows =
+        List.mapi
+          (fun i (r : Bosphorus.Driver.round_info) ->
+            [ string_of_int (i + 1);
+              string_of_int r.Bosphorus.Driver.round_encoded;
+              string_of_int r.Bosphorus.Driver.round_reused;
+              string_of_int r.Bosphorus.Driver.round_delta_clauses;
+              string_of_int r.Bosphorus.Driver.round_propagations;
+              string_of_int r.Bosphorus.Driver.round_conflicts ])
+          outcome.Bosphorus.Driver.sat_rounds
+      in
+      Format.printf "%s@."
+        (Harness.Table.render
+           ~title:(Printf.sprintf "%s: per-round counters" label)
+           ~headers:
+             [ "round"; "polys encoded"; "polys reused"; "delta clauses";
+               "propagations"; "conflicts" ]
+           rows))
+    modes;
+  let totals ~incremental (outcome : Bosphorus.Driver.outcome) =
+    (* clauses reused in round k = clauses already in the solver when the
+       round starts (none are re-encoded); a fresh solver per round reuses
+       nothing *)
+    let _, reused_clauses =
+      List.fold_left
+        (fun (cum, reused) (r : Bosphorus.Driver.round_info) ->
+          ( cum + r.Bosphorus.Driver.round_delta_clauses,
+            if incremental then reused + cum else reused ))
+        (0, 0) outcome.Bosphorus.Driver.sat_rounds
+    in
+    let sum f = List.fold_left (fun a r -> a + f r) 0 outcome.Bosphorus.Driver.sat_rounds in
+    ( reused_clauses,
+      sum (fun r -> r.Bosphorus.Driver.round_reused),
+      sum (fun r -> r.Bosphorus.Driver.round_propagations),
+      sum (fun r -> r.Bosphorus.Driver.round_conflicts) )
+  in
+  let summary =
+    List.map
+      (fun (label, outcome, perf) ->
+        let reused_clauses, reused_polys, props, conflicts =
+          totals ~incremental:(is_incremental label) outcome
+        in
+        (match json with
+        | None -> ()
+        | Some j ->
+            Json_out.add j ~experiment:"incremental" ~family:("simon_" ^ label)
+              ~wall_s:perf.Harness.Perf.wall_s
+              ~facts:(Bosphorus.Facts.size outcome.Bosphorus.Driver.facts)
+              ~jobs:1
+              ~extras:
+                [ ("rounds", float_of_int (List.length outcome.Bosphorus.Driver.sat_rounds));
+                  ("reused_clauses", float_of_int reused_clauses);
+                  ("reused_polys", float_of_int reused_polys);
+                  ("propagations", float_of_int props);
+                  ("conflicts", float_of_int conflicts);
+                  ("gc_minor_words", perf.Harness.Perf.minor_words);
+                  ("gc_major_words", perf.Harness.Perf.major_words) ]
+              ());
+        [ label;
+          string_of_int (List.length outcome.Bosphorus.Driver.sat_rounds);
+          string_of_int (Bosphorus.Facts.size outcome.Bosphorus.Driver.facts);
+          string_of_int reused_clauses; string_of_int props;
+          Printf.sprintf "%.2f" perf.Harness.Perf.wall_s;
+          Printf.sprintf "%.0fk" (perf.Harness.Perf.minor_words /. 1000.) ])
+      modes
+  in
+  Format.printf "%s@."
+    (Harness.Table.render ~title:"incremental vs fresh (same fact set expected)"
+       ~headers:
+         [ "mode"; "rounds"; "facts"; "clauses reused"; "propagations"; "wall (s)";
+           "minor alloc" ]
+       summary)
+
+(* ------------------------------------------------------------------ *)
 (* A3: polynomial representations — expanded lists vs PolyBoRi-style ZDDs *)
 (* ------------------------------------------------------------------ *)
 

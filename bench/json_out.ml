@@ -10,6 +10,9 @@ type record = {
   facts : int option; (* facts learnt; None when not applicable *)
   rank : int option; (* GF(2) rank; None when not applicable *)
   jobs : int;
+  extras : (string * float) list;
+      (* free-form named counters (propagations/sec, reused clauses, GC
+         words, ...) serialised as additional numeric fields *)
 }
 
 type t = { mutable records : record list (* newest first *) }
@@ -17,8 +20,8 @@ type t = { mutable records : record list (* newest first *) }
 let create () = { records = [] }
 let records t = t.records
 
-let add t ~experiment ~family ~wall_s ?facts ?rank ~jobs () =
-  t.records <- { experiment; family; wall_s; facts; rank; jobs } :: t.records
+let add t ~experiment ~family ~wall_s ?facts ?rank ?(extras = []) ~jobs () =
+  t.records <- { experiment; family; wall_s; facts; rank; jobs; extras } :: t.records
 
 let escape s =
   let b = Buffer.create (String.length s + 2) in
@@ -36,12 +39,25 @@ let escape s =
 
 let opt_int = function None -> "null" | Some n -> string_of_int n
 
+(* JSON has no infinities/NaN; clamp defensively *)
+let float_to_json x =
+  if Float.is_nan x then "0"
+  else if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.6f" x
+
 let record_to_json r =
+  let extras =
+    String.concat ""
+      (List.map
+         (fun (k, v) -> Printf.sprintf ", \"%s\": %s" (escape k) (float_to_json v))
+         r.extras)
+  in
   Printf.sprintf
     "    {\"experiment\": \"%s\", \"family\": \"%s\", \"wall_s\": %.6f, \"facts\": %s, \
-     \"rank\": %s, \"jobs\": %d}"
+     \"rank\": %s, \"jobs\": %d%s}"
     (escape r.experiment) (escape r.family) r.wall_s (opt_int r.facts) (opt_int r.rank)
-    r.jobs
+    r.jobs extras
 
 let write t path =
   let oc = open_out path in

@@ -7,12 +7,12 @@
      dune exec bench/main.exe -- table2 --family simon --quick
      dune exec bench/main.exe -- micro --quick --jobs 4 --json BENCH.json
    Experiments: table1 example fig2 table2 ablation encoding-sweep
-   representations micro *)
+   representations incremental micro *)
 
 let usage () =
   print_endline
     "usage: main.exe \
-     [table1|example|fig2|table2|ablation|encoding-sweep|representations|micro]*\n\
+     [table1|example|fig2|table2|ablation|encoding-sweep|representations|incremental|micro]*\n\
     \       [--quick] [--family aes|simon|speck|bitcoin|sat] [--jobs N] [--json FILE]";
   exit 1
 
@@ -54,7 +54,7 @@ let () =
         && not (List.mem a option_values))
       args
   in
-  let all = [ "table1"; "example"; "fig2"; "table2"; "ablation"; "encoding-sweep"; "representations"; "micro" ] in
+  let all = [ "table1"; "example"; "fig2"; "table2"; "ablation"; "encoding-sweep"; "representations"; "incremental"; "micro" ] in
   let selected = if selected = [] then all else selected in
   let (), wall_s, cpu_s =
     Harness.Timing.time_cpu (fun () ->
@@ -68,6 +68,7 @@ let () =
             | "ablation" -> Experiments.ablation ()
             | "encoding-sweep" -> Experiments.encoding_sweep ()
             | "representations" -> Experiments.representations ()
+            | "incremental" -> Experiments.incremental ~quick ?json ()
             | "micro" -> Micro.run ~quick ~jobs ?json ()
             | other ->
                 Printf.eprintf "unknown experiment %S\n" other;

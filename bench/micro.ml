@@ -163,6 +163,177 @@ let parallel_kernels ~quick ~jobs ?json () =
        ~headers:[ "kernel"; "jobs=1 (s)"; Printf.sprintf "jobs=%d (s)" jobs; "speedup"; "equality" ]
        (List.rev !rows))
 
+(* ------------------------------------------------------------------ *)
+(* BCP throughput: propagations/sec of the arena solver over the       *)
+(* generated CNF suite, with GC-allocation and arena counters.         *)
+(* ------------------------------------------------------------------ *)
+
+(* The pre-arena solver (boxed clause records, eager watch detach) on this
+   exact suite and budgets, measured before the arena rewrite landed:
+   2,672,226 propagations in 4.8901 s end-to-end = 546,460 props/s.  Kept
+   as a constant so BENCH_*.json trajectories record the speedup. *)
+let prearena_props_per_sec = 546_460.0
+
+let bcp_suite ~quick =
+  let rng n = Random.State.make [| n |] in
+  if quick then
+    [ ("php5", Problems.Generators.pigeonhole ~holes:5, 20_000);
+      ( "parity_unsat_26",
+        Problems.Generators.parity_chain ~vertices:26 ~satisfiable:false ~rng:(rng 1),
+        20_000 );
+      ( "ksat_150",
+        Problems.Generators.random_ksat ~nvars:150 ~n_clauses:638 ~k:3 ~rng:(rng 3),
+        20_000 ) ]
+  else
+    [ ("php7", Problems.Generators.pigeonhole ~holes:7, 200_000);
+      ( "parity_unsat_26",
+        Problems.Generators.parity_chain ~vertices:26 ~satisfiable:false ~rng:(rng 1),
+        60_000 );
+      ( "parity_sat_26",
+        Problems.Generators.parity_chain ~vertices:26 ~satisfiable:true ~rng:(rng 2),
+        60_000 );
+      ( "ksat_250",
+        Problems.Generators.random_ksat ~nvars:250 ~n_clauses:1062 ~k:3 ~rng:(rng 3),
+        60_000 );
+      ( "coloring",
+        Problems.Generators.coloring ~vertices:40 ~edges:110 ~colors:3 ~rng:(rng 4),
+        60_000 );
+      ( "miter",
+        Problems.Generators.miter ~inputs:10 ~gates:40 ~buggy:false ~rng:(rng 5),
+        60_000 ) ]
+
+let bcp_throughput ~quick ?json () =
+  Format.printf "@.=== BCP throughput (flat clause arena, jobs=1) ===@.@.";
+  let reps = if quick then 2 else 3 in
+  let rows = ref [] in
+  let total_props = ref 0 and total_wall = ref 0.0 in
+  List.iter
+    (fun (name, f, budget) ->
+      (* best-of over solve runs; the returned perf/stats belong to the
+         fastest run *)
+      let best = ref None in
+      for _ = 1 to reps do
+        let s = Sat.Solver.create ~nvars:(Cnf.Formula.nvars f) () in
+        ignore (Sat.Solver.add_formula s f);
+        let (), perf =
+          Harness.Perf.measure (fun () ->
+              ignore (Sat.Solver.solve ~conflict_budget:budget s))
+        in
+        match !best with
+        | Some (_, p, _, _) when p.Harness.Perf.wall_s <= perf.Harness.Perf.wall_s -> ()
+        | Some _ | None ->
+            best := Some (name, perf, Sat.Solver.stats s, Sat.Solver.arena_bytes s)
+      done;
+      let _, perf, stats, arena_bytes = Option.get !best in
+      let props = stats.Sat.Types.propagations in
+      let pps = Harness.Perf.rate props perf in
+      total_props := !total_props + props;
+      total_wall := !total_wall +. perf.Harness.Perf.wall_s;
+      (match json with
+      | None -> ()
+      | Some j ->
+          Json_out.add j ~experiment:"micro" ~family:("bcp_" ^ name)
+            ~wall_s:perf.Harness.Perf.wall_s ~jobs:1
+            ~extras:
+              [ ("props_per_sec", pps);
+                ("propagations", float_of_int props);
+                ("conflicts", float_of_int stats.Sat.Types.conflicts);
+                ("arena_bytes", float_of_int arena_bytes);
+                ("lazy_detach_drops", float_of_int stats.Sat.Types.lazy_detach_drops);
+                ("arena_gcs", float_of_int stats.Sat.Types.arena_gcs);
+                ("gc_minor_words", perf.Harness.Perf.minor_words);
+                ("gc_major_words", perf.Harness.Perf.major_words) ]
+            ());
+      rows :=
+        [ name; string_of_int props; Printf.sprintf "%.4f" perf.Harness.Perf.wall_s;
+          Printf.sprintf "%.0f" pps; string_of_int stats.Sat.Types.conflicts;
+          Printf.sprintf "%dk" (arena_bytes / 1024);
+          string_of_int stats.Sat.Types.lazy_detach_drops;
+          string_of_int stats.Sat.Types.arena_gcs;
+          Printf.sprintf "%.0fk" (perf.Harness.Perf.minor_words /. 1000.) ]
+        :: !rows)
+    (bcp_suite ~quick);
+  let total_pps =
+    if !total_wall > 0.0 then float_of_int !total_props /. !total_wall else 0.0
+  in
+  (match json with
+  | None -> ()
+  | Some j ->
+      Json_out.add j ~experiment:"micro" ~family:"bcp_total" ~wall_s:!total_wall ~jobs:1
+        ~extras:
+          [ ("props_per_sec", total_pps);
+            ("propagations", float_of_int !total_props);
+            ( "speedup_vs_prearena",
+              if quick then 0.0 else total_pps /. prearena_props_per_sec ) ]
+        ());
+  Format.printf "%s@."
+    (Harness.Table.render
+       ~title:(Printf.sprintf "BCP throughput (best of %d)" reps)
+       ~headers:
+         [ "instance"; "props"; "wall (s)"; "props/s"; "conflicts"; "arena";
+           "lazy drops"; "gcs"; "minor alloc" ]
+       (List.rev !rows));
+  Format.printf "total: %d propagations in %.4fs = %.0f props/s%s@." !total_props
+    !total_wall total_pps
+    (if quick then ""
+     else
+       Printf.sprintf " (%.2fx the pre-arena %.0f props/s on this suite)"
+         (total_pps /. prearena_props_per_sec)
+         prearena_props_per_sec)
+
+(* ------------------------------------------------------------------ *)
+(* DIMACS load: throughput of the buffered zero-allocation tokenizer.  *)
+(* ------------------------------------------------------------------ *)
+
+let dimacs_load ~quick ?json () =
+  Format.printf "@.=== DIMACS load (buffered tokenizer) ===@.@.";
+  let nvars = if quick then 2_000 else 6_000 in
+  let n_clauses = nvars * 425 / 100 in
+  let f =
+    Problems.Generators.random_ksat ~nvars ~n_clauses ~k:3
+      ~rng:(Random.State.make [| 7 |])
+  in
+  let text = Cnf.Dimacs.write_string f in
+  let bytes = String.length text in
+  let reps = if quick then 3 else 5 in
+  let parsed, wall = best_of ~reps (fun () -> Cnf.Dimacs.parse_string text) in
+  if Cnf.Formula.n_clauses parsed <> n_clauses then
+    failwith "micro: dimacs round-trip lost clauses";
+  (* and through the streaming file reader *)
+  let path = Filename.temp_file "bosphorus_bench" ".cnf" in
+  let file_wall =
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        Cnf.Dimacs.write_file path f;
+        snd (best_of ~reps (fun () -> Cnf.Dimacs.parse_file path)))
+  in
+  let mbps w = float_of_int bytes /. w /. 1048576.0 in
+  (match json with
+  | None -> ()
+  | Some j ->
+      Json_out.add j ~experiment:"micro" ~family:"dimacs_parse_string" ~wall_s:wall
+        ~jobs:1
+        ~extras:
+          [ ("mb_per_sec", mbps wall);
+            ("bytes", float_of_int bytes);
+            ("clauses", float_of_int n_clauses) ]
+        ();
+      Json_out.add j ~experiment:"micro" ~family:"dimacs_parse_file" ~wall_s:file_wall
+        ~jobs:1
+        ~extras:[ ("mb_per_sec", mbps file_wall); ("bytes", float_of_int bytes) ]
+        ());
+  Format.printf "%s@."
+    (Harness.Table.render
+       ~title:
+         (Printf.sprintf "DIMACS load, %d clauses / %.1f MiB (best of %d)" n_clauses
+            (float_of_int bytes /. 1048576.0)
+            reps)
+       ~headers:[ "path"; "wall (s)"; "MiB/s" ]
+       [ [ "parse_string"; Printf.sprintf "%.4f" wall; Printf.sprintf "%.1f" (mbps wall) ];
+         [ "parse_file"; Printf.sprintf "%.4f" file_wall;
+           Printf.sprintf "%.1f" (mbps file_wall) ] ])
+
 let run ?(quick = false) ?(jobs = 1) ?json () =
   Format.printf "@.=== Micro-benchmarks (Bechamel, monotonic clock) ===@.@.";
   let tests = [ bitvec_xor; matrix_rref; matrix_rref_m4rm; zdd_product; poly_mul; espresso; cdcl_php; xl_pass ] in
@@ -192,4 +363,6 @@ let run ?(quick = false) ?(jobs = 1) ?json () =
   let rows = List.sort compare !rows in
   Format.printf "%s@."
     (Harness.Table.render ~title:"kernel timings" ~headers:[ "kernel"; "ns/run"; "r²" ] rows);
+  bcp_throughput ~quick ?json ();
+  dimacs_load ~quick ?json ();
   parallel_kernels ~quick ~jobs:(max 2 jobs) ?json ()

@@ -140,6 +140,7 @@ let run_main input format_opt out_anf out_cnf solver budget no_learning lint aud
             facts = Bosphorus.Facts.create ();
             iterations = 0;
             sat_calls = 0;
+            sat_rounds = [];
             trail = None;
           }
         else Bosphorus.Driver.run ~config polys
@@ -152,6 +153,7 @@ let run_main input format_opt out_anf out_cnf solver budget no_learning lint aud
             facts = Bosphorus.Facts.create ();
             iterations = 0;
             sat_calls = 0;
+            sat_rounds = [];
             trail = None;
           }
         else

@@ -213,3 +213,89 @@ let convert_poly_clauses ~config p =
   let st = make_state ~config ~anf_nvars:(P.max_var p + 1) in
   convert_polynomial st p;
   List.rev st.clauses
+
+(* ---------------- incremental conversion ---------------- *)
+
+module Ptbl = Hashtbl.Make (struct
+  type t = P.t
+
+  let equal = P.equal
+  let hash = P.hash
+end)
+
+(* Persistent conversion state across driver rounds: polynomials already
+   encoded (keyed on the canonical polynomial itself — [P.hash]/[P.equal]
+   are structural) are skipped, and the monomial-auxiliary map persists so
+   a monomial reused by a later polynomial reuses its variable and
+   definition clauses.  Clauses are never retracted: every polynomial ever
+   encoded is a GF(2) consequence of the original system (XL, ElimLin and
+   SAT facts only derive consequences), so stale clauses stay sound even
+   when linear compression replaces the polynomial list wholesale. *)
+type incremental = {
+  inc_state : state;
+  seen : unit Ptbl.t;
+  inc_anf_nvars : int;
+  mutable inc_rounds : int;
+}
+
+type delta = {
+  delta_clauses : Cnf.Clause.t list;  (** clauses new in this round, in order *)
+  n_encoded : int;
+  n_reused : int;
+  cnf_nvars : int;
+}
+
+let create_incremental ~config ~anf_nvars =
+  {
+    inc_state = make_state ~config ~anf_nvars;
+    seen = Ptbl.create 256;
+    inc_anf_nvars = anf_nvars;
+    inc_rounds = 0;
+  }
+
+(* New clauses are the physical prefix of the (reversed) clause list added
+   since the snapshot. *)
+let clauses_since stop l =
+  let rec go acc l = if l == stop then acc else go (List.hd l :: acc) (List.tl l) in
+  go [] l
+
+let encode_round inc polys =
+  let st = inc.inc_state in
+  let before = st.clauses in
+  let n_encoded = ref 0 and n_reused = ref 0 in
+  List.iter
+    (fun p ->
+      if P.max_var p >= inc.inc_anf_nvars then
+        invalid_arg
+          "Anf_to_cnf.encode_round: polynomial over variables beyond the \
+           declared ANF range";
+      if Ptbl.mem inc.seen p then incr n_reused
+      else begin
+        Ptbl.replace inc.seen p ();
+        convert_polynomial st p;
+        incr n_encoded
+      end)
+    polys;
+  inc.inc_rounds <- inc.inc_rounds + 1;
+  {
+    delta_clauses = clauses_since before st.clauses;
+    n_encoded = !n_encoded;
+    n_reused = !n_reused;
+    cnf_nvars = st.next_var;
+  }
+
+(* Cumulative view of everything encoded so far, in the same shape as
+   one-shot {!convert} — this is what the audit trail records per round. *)
+let snapshot inc =
+  let st = inc.inc_state in
+  {
+    formula = Cnf.Formula.create ~nvars:st.next_var (List.rev st.clauses);
+    anf_nvars = inc.inc_anf_nvars;
+    mono_of_var = st.mono_of_var;
+    n_monomial_aux = st.n_monomial_aux;
+    n_cut_aux = st.n_cut_aux;
+    n_karnaugh = st.n_karnaugh;
+    n_tseitin = st.n_tseitin;
+  }
+
+let n_rounds inc = inc.inc_rounds

@@ -32,3 +32,39 @@ val convert : ?nvars:int -> config:Config.t -> Anf.Poly.t list -> conversion
     polynomial's own); a convenience for tests and the Fig. 2
     reproduction. *)
 val convert_poly_clauses : config:Config.t -> Anf.Poly.t -> Cnf.Clause.t list
+
+(** {1 Incremental conversion}
+
+    Persistent conversion state across driver rounds: each round encodes
+    only the polynomials not seen before (keyed on the canonical
+    polynomial), reusing the monomial-auxiliary variable map, and returns
+    the delta clauses to feed an already-running solver.  Clauses are
+    never retracted — sound because every encoded polynomial is a GF(2)
+    consequence of the original system. *)
+
+type incremental
+
+(** Result of one {!encode_round}. *)
+type delta = {
+  delta_clauses : Cnf.Clause.t list;  (** clauses new in this round, in order *)
+  n_encoded : int;  (** polynomials encoded this round *)
+  n_reused : int;  (** polynomials skipped as already encoded *)
+  cnf_nvars : int;  (** total CNF variables after this round *)
+}
+
+(** [create_incremental ~config ~anf_nvars] fixes the ANF variable range
+    [0..anf_nvars-1] up front; auxiliary variables are allocated beyond
+    it.  Polynomials in later rounds must stay within that range. *)
+val create_incremental : config:Config.t -> anf_nvars:int -> incremental
+
+(** [encode_round inc polys] encodes the not-yet-seen polynomials of
+    [polys] and returns the delta.  Raises [Invalid_argument] if a
+    polynomial mentions a variable at or beyond [anf_nvars]. *)
+val encode_round : incremental -> Anf.Poly.t list -> delta
+
+(** Cumulative view of everything encoded so far, in the same shape as
+    one-shot {!convert}; what the audit trail records per round. *)
+val snapshot : incremental -> conversion
+
+(** Rounds encoded so far. *)
+val n_rounds : incremental -> int

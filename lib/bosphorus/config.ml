@@ -16,6 +16,7 @@ type t = {
   seed : int;
   audit_trail : bool;
   jobs : int;
+  incremental_sat : bool;
 }
 
 let paper =
@@ -37,6 +38,7 @@ let paper =
     seed = 0;
     audit_trail = false;
     jobs = 1;
+    incremental_sat = true;
   }
 
 (* Laptop-scale defaults: same semantics, smaller linearised systems and

@@ -47,6 +47,14 @@ type t = {
           1 (the default) runs everything sequentially on the calling
           domain.  Results are identical for every value — see DESIGN.md,
           "Parallel runtime". *)
+  incremental_sat : bool;
+      (** keep one SAT solver and one ANF-to-CNF conversion state alive
+          across loop iterations: each round encodes only the
+          not-yet-seen polynomials and feeds the delta clauses to the
+          running solver, which keeps its learnt clauses, VSIDS
+          activities and saved phases.  Semantics-preserving (the final
+          fact set matches the from-scratch driver); on by default.
+          See DESIGN.md, "Clause arena & incremental SAT rounds". *)
 }
 
 val default : t

@@ -6,6 +6,14 @@ type status =
   | Solved_unsat
   | Processed
 
+type round_info = {
+  round_encoded : int;
+  round_reused : int;
+  round_delta_clauses : int;
+  round_propagations : int;
+  round_conflicts : int;
+}
+
 type outcome = {
   status : status;
   anf : P.t list;
@@ -13,6 +21,7 @@ type outcome = {
   facts : Facts.t;
   iterations : int;
   sat_calls : int;
+  sat_rounds : round_info list;
   trail : Audit_trail.t option;
 }
 
@@ -28,9 +37,15 @@ let all_stages = { use_xl = true; use_elimlin = true; use_sat = true; use_groebn
 (* Extract ANF facts from the SAT solver's learnt units and binaries
    (Section II-D).  Units on ANF variables give value assignments; pairs of
    complementary binary clauses give equivalences.  Units on monomial
-   auxiliary variables are harvested only under the extension flag. *)
-let sat_facts ~config ~(conv : Anf_to_cnf.conversion) solver =
-  let anf_nvars = conv.Anf_to_cnf.anf_nvars in
+   auxiliary variables are harvested only under the extension flag.
+
+   [units] and [candidates] are the units/binaries to harvest — with a
+   persistent solver these are only the ones learnt since the previous
+   round (high-water marks) — while [binaries] is the full binary log, so
+   a new binary still pairs with a complement learnt rounds ago.  The
+   equivalence polynomial is symmetric in the pair, so harvesting both
+   orientations is harmless (facts are deduplicated downstream). *)
+let sat_facts ~config ~anf_nvars ~mono_of_var ~units ~binaries ~candidates =
   let unit_facts =
     List.filter_map
       (fun l ->
@@ -38,16 +53,15 @@ let sat_facts ~config ~(conv : Anf_to_cnf.conversion) solver =
         let value = not (Cnf.Lit.negated l) in
         if v < anf_nvars then Some (P.add (P.var v) (P.constant value))
         else if config.Config.facts_from_monomial_aux then
-          match Hashtbl.find_opt conv.Anf_to_cnf.mono_of_var v with
+          match Hashtbl.find_opt mono_of_var v with
           | Some m ->
               let mp = P.of_monomials [ m ] in
               Some (if value then P.add mp P.one else mp)
           | None -> None
         else None)
-      (Sat.Solver.root_units solver)
+      units
   in
   (* complementary binary pairs over ANF variables yield equivalences *)
-  let binaries = Sat.Solver.learnt_binaries solver in
   let module Pairs = Set.Make (struct
     type t = int * int
 
@@ -66,22 +80,22 @@ let sat_facts ~config ~(conv : Anf_to_cnf.conversion) solver =
         let va = Cnf.Lit.var a and vb = Cnf.Lit.var b in
         if va < anf_nvars && vb < anf_nvars && va <> vb then
           let comp = key (Cnf.Lit.neg a) (Cnf.Lit.neg b) in
-          if Pairs.mem comp present && key a b < comp then
+          if Pairs.mem comp present then
             (* (a|b) and (~a|~b): a = ~b.  In ANF: va + vb + c where
                c = 1 iff the literals have equal signs *)
             let c = Cnf.Lit.negated a = Cnf.Lit.negated b in
             Some (P.add (P.add (P.var va) (P.var vb)) (P.constant c))
           else None
         else None)
-      binaries
+      candidates
   in
   unit_facts @ equiv_facts
 
 (* Failed-literal probing (extension, Config.sat_probe_vars): assume each
    ANF variable both ways; a conflict forces the variable, and literals
    implied under both assumptions with opposite signs are equivalences. *)
-let probe_facts ~config ~(conv : Anf_to_cnf.conversion) solver =
-  let limit = min conv.Anf_to_cnf.anf_nvars config.Config.sat_probe_vars in
+let probe_facts ~config ~anf_nvars solver =
+  let limit = min anf_nvars config.Config.sat_probe_vars in
   let acc = ref [] in
   for v = 0 to limit - 1 do
     match Sat.Solver.probe solver (Cnf.Lit.pos v) with
@@ -100,7 +114,7 @@ let probe_facts ~config ~(conv : Anf_to_cnf.conversion) solver =
               (fun l ->
                 let w = Cnf.Lit.var l in
                 if
-                  w < conv.Anf_to_cnf.anf_nvars
+                  w < anf_nvars
                   && w <> v
                   && Hashtbl.mem neg_set (Cnf.Lit.to_index (Cnf.Lit.neg l))
                 then begin
@@ -181,19 +195,55 @@ let run_with_stages ?(config = Config.default) ~stages polys =
             let base = if root < Array.length model then model.(root) else false in
             (x, base <> parity))
   in
-  let sat_stage () =
+  let record_trail ~formula solver =
+    match trail with
+    | Some tr ->
+        Audit_trail.record_sat_stage tr ~formula ~proof:(Sat.Solver.proof solver)
+    | None -> ()
+  in
+  (* Shared post-solve harvesting: turn the solver's result and its new
+     units/binaries into ANF facts and fold them into the master. *)
+  let harvest ~anf_nvars ~mono_of_var ~solver ~result ~units ~binaries ~candidates =
+    let probed =
+      if config.Config.sat_probe_vars > 0 && Sat.Solver.okay solver then
+        probe_facts ~config ~anf_nvars solver
+      else []
+    in
+    let learnt =
+      sat_facts ~config ~anf_nvars ~mono_of_var ~units ~binaries ~candidates @ probed
+    in
+    match result with
+    | Sat.Types.Unsat ->
+        (* the learnt fact is the contradictory equation 1 = 0 *)
+        unsat := true;
+        add_facts Facts.Sat_solver (P.one :: learnt)
+    | Sat.Types.Sat model ->
+        let candidate = reconstruct_solution model in
+        let lookup x = List.assoc x candidate in
+        if Anf.Eval.satisfies lookup polys then solution := Some candidate;
+        add_facts Facts.Sat_solver learnt
+    | Sat.Types.Undecided -> add_facts Facts.Sat_solver learnt
+  in
+  let sat_rounds = ref [] in
+  let push_round ~encoded ~reused ~delta_clauses ~props ~conflicts =
+    sat_rounds :=
+      {
+        round_encoded = encoded;
+        round_reused = reused;
+        round_delta_clauses = delta_clauses;
+        round_propagations = props;
+        round_conflicts = conflicts;
+      }
+      :: !sat_rounds
+  in
+  (* From-scratch SAT stage: re-encode the whole master and solve in a
+     fresh solver (the reference semantics; Config.incremental_sat=false). *)
+  let sat_stage_fresh () =
     let snapshot = S.to_list master in
     let conv = Anf_to_cnf.convert ~config snapshot in
     let solver = Sat.Solver.create ~nvars:(Cnf.Formula.nvars conv.Anf_to_cnf.formula) () in
     incr sat_calls;
     if trail <> None then Sat.Solver.enable_proof solver;
-    let record () =
-      match trail with
-      | Some tr ->
-          Audit_trail.record_sat_stage tr ~formula:conv.Anf_to_cnf.formula
-            ~proof:(Sat.Solver.proof solver)
-      | None -> ()
-    in
     let added =
       if not (Sat.Solver.add_formula solver conv.Anf_to_cnf.formula) then begin
         ignore (add_facts Facts.Sat_solver [ P.one ]);
@@ -202,27 +252,77 @@ let run_with_stages ?(config = Config.default) ~stages polys =
       end
       else begin
         let result = Sat.Solver.solve ~conflict_budget:!sat_budget solver in
-        let probed =
-          if config.Config.sat_probe_vars > 0 && Sat.Solver.okay solver then
-            probe_facts ~config ~conv solver
-          else []
-        in
-        let learnt = sat_facts ~config ~conv solver @ probed in
-        match result with
-        | Sat.Types.Unsat ->
-            (* the learnt fact is the contradictory equation 1 = 0 *)
-            unsat := true;
-            add_facts Facts.Sat_solver (P.one :: learnt)
-        | Sat.Types.Sat model ->
-            let candidate = reconstruct_solution model in
-            let lookup x = List.assoc x candidate in
-            if Anf.Eval.satisfies lookup polys then solution := Some candidate;
-            add_facts Facts.Sat_solver learnt
-        | Sat.Types.Undecided -> add_facts Facts.Sat_solver learnt
+        let binaries = Sat.Solver.learnt_binaries solver in
+        harvest ~anf_nvars:conv.Anf_to_cnf.anf_nvars
+          ~mono_of_var:conv.Anf_to_cnf.mono_of_var ~solver ~result
+          ~units:(Sat.Solver.root_units solver) ~binaries ~candidates:binaries
       end
     in
-    record ();
+    let st = Sat.Solver.stats solver in
+    push_round ~encoded:(List.length snapshot) ~reused:0
+      ~delta_clauses:(List.length (Cnf.Formula.clauses conv.Anf_to_cnf.formula))
+      ~props:st.Sat.Types.propagations ~conflicts:st.Sat.Types.conflicts;
+    record_trail ~formula:conv.Anf_to_cnf.formula solver;
     added
+  in
+  (* Incremental SAT stage: one conversion state and one solver persist
+     across rounds.  Each round encodes only the not-yet-seen polynomials,
+     feeds the delta clauses to the running solver (learnt clauses, VSIDS
+     activities and saved phases survive), and extracts only the facts
+     found since the previous round via high-water marks. *)
+  let inc_sat = ref None in
+  let units_hwm = ref 0 and bins_hwm = ref 0 in
+  let sat_stage_incremental () =
+    incr sat_calls;
+    let inc, solver =
+      match !inc_sat with
+      | Some pair -> pair
+      | None ->
+          let i = Anf_to_cnf.create_incremental ~config ~anf_nvars:orig_nvars in
+          let s = Sat.Solver.create ~nvars:orig_nvars () in
+          if trail <> None then Sat.Solver.enable_proof s;
+          let pair = (i, s) in
+          inc_sat := Some pair;
+          pair
+    in
+    let delta = Anf_to_cnf.encode_round inc (S.to_list master) in
+    let stats0 = Sat.Solver.stats solver in
+    let props0 = stats0.Sat.Types.propagations
+    and conflicts0 = stats0.Sat.Types.conflicts in
+    let conv = Anf_to_cnf.snapshot inc in
+    let clauses_ok =
+      List.for_all
+        (fun c -> Sat.Solver.add_clause solver (Cnf.Clause.to_list c))
+        delta.Anf_to_cnf.delta_clauses
+    in
+    let added =
+      if not clauses_ok then begin
+        ignore (add_facts Facts.Sat_solver [ P.one ]);
+        unsat := true;
+        0
+      end
+      else begin
+        let result = Sat.Solver.solve ~conflict_budget:!sat_budget solver in
+        let units = Sat.Solver.root_units_from solver !units_hwm in
+        units_hwm := Sat.Solver.n_root_units solver;
+        let candidates = Sat.Solver.learnt_binaries_from solver !bins_hwm in
+        bins_hwm := Sat.Solver.n_learnt_binaries solver;
+        harvest ~anf_nvars:conv.Anf_to_cnf.anf_nvars
+          ~mono_of_var:conv.Anf_to_cnf.mono_of_var ~solver ~result ~units
+          ~binaries:(Sat.Solver.learnt_binaries solver) ~candidates
+      end
+    in
+    let st = Sat.Solver.stats solver in
+    push_round ~encoded:delta.Anf_to_cnf.n_encoded ~reused:delta.Anf_to_cnf.n_reused
+      ~delta_clauses:(List.length delta.Anf_to_cnf.delta_clauses)
+      ~props:(st.Sat.Types.propagations - props0)
+      ~conflicts:(st.Sat.Types.conflicts - conflicts0);
+    record_trail ~formula:conv.Anf_to_cnf.formula solver;
+    added
+  in
+  let sat_stage () =
+    if config.Config.incremental_sat then sat_stage_incremental ()
+    else sat_stage_fresh ()
   in
   propagate_and_record ();
   (try
@@ -267,7 +367,7 @@ let run_with_stages ?(config = Config.default) ~stages polys =
   in
   let cnf = (Anf_to_cnf.convert ~config ~nvars:orig_nvars processed_anf).Anf_to_cnf.formula in
   { status; anf = processed_anf; cnf; facts; iterations = !iterations;
-    sat_calls = !sat_calls; trail }
+    sat_calls = !sat_calls; sat_rounds = List.rev !sat_rounds; trail }
 
 let run ?config polys = run_with_stages ?config ~stages:all_stages polys
 

@@ -16,6 +16,19 @@ type status =
   | Solved_unsat  (** 1 = 0 derived (by ANF techniques or the SAT solver) *)
   | Processed  (** fixed point reached without deciding the instance *)
 
+(** Per-SAT-round encoding and search counters.  Under
+    {!Config.t.incremental_sat}, [round_encoded]/[round_reused] count the
+    polynomials newly encoded vs skipped as already encoded — an
+    iteration that changed nothing shows [round_encoded = 0] — and the
+    propagation/conflict counters are deltas for that round. *)
+type round_info = {
+  round_encoded : int;
+  round_reused : int;
+  round_delta_clauses : int;  (** clauses emitted (and fed to the solver) this round *)
+  round_propagations : int;
+  round_conflicts : int;
+}
+
 type outcome = {
   status : status;
   anf : Anf.Poly.t list;
@@ -25,6 +38,7 @@ type outcome = {
   facts : Facts.t;
   iterations : int;  (** loop iterations executed *)
   sat_calls : int;
+  sat_rounds : round_info list;  (** one entry per SAT stage, in order *)
   trail : Audit_trail.t option;
       (** evidence for post-hoc fact certification, recorded when
           {!Config.t.audit_trail} is set (see {!Audit_trail}) *)

@@ -2,9 +2,56 @@ exception Parse_error of string
 
 let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
 
+(* ---------------- buffered tokenizer ----------------
+
+   The reader scans a refillable byte buffer one character at a time and
+   parses integers by hand — no per-line strings, no per-token strings, no
+   [String.split_on_char] garbage.  Files stream through a fixed 64 KiB
+   buffer; in-memory strings are scanned in place. *)
+
+type source = {
+  buf : Bytes.t;
+  mutable len : int; (* valid bytes in [buf] *)
+  mutable pos : int;
+  refill : Bytes.t -> int; (* 0 at end of input *)
+}
+
+let buf_size = 65536
+
+let source_of_channel ic =
+  {
+    buf = Bytes.create buf_size;
+    len = 0;
+    pos = 0;
+    refill = (fun b -> input ic b 0 (Bytes.length b));
+  }
+
+(* The whole string is the buffer; refill just signals the end. *)
+let source_of_string s =
+  { buf = Bytes.of_string s; len = String.length s; pos = 0; refill = (fun _ -> 0) }
+
+let eof = -1
+
+let rec peek src =
+  if src.pos < src.len then Char.code (Bytes.unsafe_get src.buf src.pos)
+  else begin
+    let n = src.refill src.buf in
+    if n = 0 then eof
+    else begin
+      src.len <- n;
+      src.pos <- 0;
+      peek src
+    end
+  end
+
+let advance src = src.pos <- src.pos + 1
+let is_ws c = c = Char.code ' ' || c = Char.code '\t' || c = Char.code '\r'
+let is_digit c = c >= Char.code '0' && c <= Char.code '9'
+let nl = Char.code '\n'
+
 (* Shared scanner: ordinary clause lines plus, when [allow_xor], lines
    starting with 'x' asserting the XOR of their literals. *)
-let parse_general ~allow_xor s =
+let parse_source ~allow_xor src =
   let nvars = ref 0 in
   let declared = ref None in
   let max_lit = ref 0 in
@@ -40,45 +87,101 @@ let parse_general ~allow_xor s =
       current := Lit.of_dimacs i :: !current
     end
   in
-  let handle_token tok =
-    match int_of_string_opt tok with
-    | Some i -> handle_int i
-    | None -> fail "bad token %S" tok
+  let skip_ws () =
+    while is_ws (peek src) do
+      advance src
+    done
   in
-  let handle_line line =
-    let line = String.trim line in
-    if line = "" || line.[0] = 'c' || line.[0] = '%' then ()
-    else if line.[0] = 'p' then begin
-      match String.split_on_char ' ' line |> List.filter (fun t -> t <> "") with
-      | [ "p"; "cnf"; v; _c ] -> (
-          match int_of_string_opt v with
-          | Some v when v >= 0 ->
-              nvars := v;
-              declared := Some v;
-              if !max_lit > v then
-                fail "literal %d out of range: header declares %d variables"
-                  !max_lit v
-          | Some _ | None -> fail "bad header %S" line)
-      | _ -> fail "bad header %S" line
+  let skip_line () =
+    let c = ref (peek src) in
+    while !c <> eof && !c <> nl do
+      advance src;
+      c := peek src
+    done
+  in
+  (* materialise the rest of the current token only to report it *)
+  let bad_token prefix =
+    let b = Buffer.create 16 in
+    Buffer.add_string b prefix;
+    let c = ref (peek src) in
+    while !c <> eof && !c <> nl && not (is_ws !c) do
+      Buffer.add_char b (Char.chr !c);
+      advance src;
+      c := peek src
+    done;
+    fail "bad token %S" (Buffer.contents b)
+  in
+  let parse_int () =
+    let neg = peek src = Char.code '-' in
+    if neg then advance src;
+    if not (is_digit (peek src)) then bad_token (if neg then "-" else "");
+    let v = ref 0 in
+    while is_digit (peek src) do
+      v := (!v * 10) + (peek src - Char.code '0');
+      advance src
+    done;
+    let c = peek src in
+    if c <> eof && c <> nl && not (is_ws c) then
+      bad_token ((if neg then "-" else "") ^ string_of_int !v);
+    if neg then - !v else !v
+  in
+  let parse_header () =
+    (* 'p' already consumed: expect "cnf", a variable count and a clause
+       count, and nothing else on the line *)
+    skip_ws ();
+    List.iter
+      (fun ch -> if peek src = Char.code ch then advance src else fail "bad header")
+      [ 'c'; 'n'; 'f' ];
+    if not (is_ws (peek src)) then fail "bad header";
+    skip_ws ();
+    if not (is_digit (peek src)) then fail "bad header";
+    let v = parse_int () in
+    skip_ws ();
+    if not (is_digit (peek src)) then fail "bad header";
+    let _c = parse_int () in
+    skip_ws ();
+    if peek src <> nl && peek src <> eof then fail "bad header";
+    nvars := v;
+    declared := Some v;
+    if !max_lit > v then
+      fail "literal %d out of range: header declares %d variables" !max_lit v
+  in
+  let bol = ref true in
+  (* first non-blank character of the line decides its kind *)
+  let rec loop () =
+    skip_ws ();
+    let c = peek src in
+    if c = eof then ()
+    else if c = nl then begin
+      advance src;
+      bol := true;
+      loop ()
+    end
+    else if !bol && (c = Char.code 'c' || c = Char.code '%') then begin
+      skip_line ();
+      loop ()
+    end
+    else if !bol && c = Char.code 'p' then begin
+      advance src;
+      parse_header ();
+      bol := false;
+      loop ()
+    end
+    else if !bol && c = Char.code 'x' then begin
+      if not allow_xor then fail "xor line (use the extended parser)";
+      if !current <> [] then fail "xor line inside an open clause";
+      in_xor := true;
+      advance src;
+      bol := false;
+      loop ()
     end
     else begin
-      let line =
-        if line.[0] = 'x' then
-          if allow_xor then begin
-            if !current <> [] then fail "xor line inside an open clause";
-            in_xor := true;
-            String.sub line 1 (String.length line - 1)
-          end
-          else fail "xor line %S (use the extended parser)" line
-        else line
-      in
-      String.split_on_char ' ' line
-      |> List.concat_map (String.split_on_char '\t')
-      |> List.filter (fun t -> t <> "")
-      |> List.iter handle_token
+      bol := false;
+      handle_int (parse_int ());
+      loop ()
     end
   in
-  List.iter handle_line (String.split_on_char '\n' s);
+  loop ();
   if !current <> [] then fail "clause not terminated by 0";
   let nvars =
     List.fold_left
@@ -87,6 +190,7 @@ let parse_general ~allow_xor s =
   in
   (Formula.create ~nvars (List.rev !clauses), List.rev !xors)
 
+let parse_general ~allow_xor s = parse_source ~allow_xor (source_of_string s)
 let parse_string s = fst (parse_general ~allow_xor:false s)
 let parse_string_extended s = parse_general ~allow_xor:true s
 
@@ -94,7 +198,7 @@ let parse_file path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> parse_string (really_input_string ic (in_channel_length ic)))
+    (fun () -> fst (parse_source ~allow_xor:false (source_of_channel ic)))
 
 let write_string f =
   let buf = Buffer.create 1024 in
@@ -119,7 +223,7 @@ let parse_file_extended path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> parse_string_extended (really_input_string ic (in_channel_length ic)))
+    (fun () -> parse_source ~allow_xor:true (source_of_channel ic))
 
 let write_string_extended f xors =
   let buf = Buffer.create 1024 in

@@ -1,0 +1,22 @@
+(** Wall-clock and GC-allocation counters around a measured section, the
+    harness half of the SAT performance reporting (the solver half is
+    {!Sat.Types.stats}). *)
+
+type counters = {
+  wall_s : float;
+  minor_words : float;  (** words allocated in the minor heap *)
+  major_words : float;  (** words allocated directly in the major heap *)
+  promoted_words : float;  (** words surviving a minor collection *)
+}
+
+(** [measure f] runs [f] and returns its result with the counters
+    consumed by the call. *)
+val measure : (unit -> 'a) -> 'a * counters
+
+(** [rate count c] is events per second, 0 when the wall time is below
+    resolution. *)
+val rate : int -> counters -> float
+
+val add : counters -> counters -> counters
+val zero : counters
+val pp : Format.formatter -> counters -> unit

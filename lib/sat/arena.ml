@@ -1,0 +1,121 @@
+(* Flat clause arena: every clause of the solver lives in one growable
+   [int array], so BCP walks contiguous memory instead of chasing pointers
+   to boxed clause records, and the GC never scans the clause database.
+
+   Layout of a clause at offset (clause reference) [c]:
+
+     data.(c)     header: n_lits lsl 3 | temp lsl 2 | deleted lsl 1 | learnt
+     data.(c+1)   LBD (learnt clauses; 0 otherwise)
+     data.(c+2 .. c+1+n_lits)   the literals (packed 2*var+sign)
+
+   Clause activities live in [act], a parallel unboxed [float array]
+   indexed by the same clause reference.  Deletion is a mark: the words
+   stay in place (and watchers referencing them are dropped lazily during
+   propagation) until {!move}-based compaction copies the live clauses
+   into a fresh arena.  During compaction the old header word is
+   overwritten with a negative forwarding pointer to the clause's new
+   offset, so every structure holding clause references can be remapped
+   with {!forward}. *)
+
+type cref = int
+
+type t = {
+  mutable data : int array;
+  mutable act : float array;
+  mutable size : int; (* next free word *)
+  mutable wasted : int; (* words owned by deleted clauses *)
+}
+
+let none : cref = -1
+
+let create ?(cap = 1024) () =
+  let cap = max 16 cap in
+  { data = Array.make cap 0; act = Array.make cap 0.0; size = 0; wasted = 0 }
+
+let words t = t.size
+let wasted t = t.wasted
+let capacity_bytes t = 8 * (Array.length t.data + Array.length t.act)
+
+let ensure t needed =
+  let cap = Array.length t.data in
+  if t.size + needed > cap then begin
+    let cap' = max (t.size + needed) (2 * cap) in
+    let data = Array.make cap' 0 in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data;
+    let act = Array.make cap' 0.0 in
+    Array.blit t.act 0 act 0 t.size;
+    t.act <- act
+  end
+
+let header t c = Array.unsafe_get t.data c
+let n_lits t c = header t c lsr 3
+let learnt t c = header t c land 1 = 1
+let is_deleted t c = header t c land 2 = 2
+let is_temp t c = header t c land 4 = 4
+let lit t c i = Array.unsafe_get t.data (c + 2 + i)
+let set_lit t c i p = Array.unsafe_set t.data (c + 2 + i) p
+let lbd t c = Array.unsafe_get t.data (c + 1)
+let set_lbd t c x = Array.unsafe_set t.data (c + 1) x
+let activity t c = Array.unsafe_get t.act c
+let set_activity t c a = Array.unsafe_set t.act c a
+
+let clause_words n = n + 2
+
+let alloc t ~learnt ~temp lits =
+  let n = Array.length lits in
+  ensure t (clause_words n);
+  let c = t.size in
+  t.data.(c) <-
+    (n lsl 3) lor (if temp then 4 else 0) lor (if learnt then 1 else 0);
+  t.data.(c + 1) <- 0;
+  Array.blit lits 0 t.data (c + 2) n;
+  t.act.(c) <- 0.0;
+  t.size <- t.size + clause_words n;
+  c
+
+let alloc_list t ~learnt ~temp lits = alloc t ~learnt ~temp (Array.of_list lits)
+
+let mark_deleted t c =
+  if not (is_deleted t c) then begin
+    t.wasted <- t.wasted + clause_words (n_lits t c);
+    t.data.(c) <- header t c lor 2
+  end
+
+let lits_array t c = Array.sub t.data (c + 2) (n_lits t c)
+
+(* ---------------- compaction ---------------- *)
+
+let forwarded t c = t.data.(c) < 0
+let forward t c = -1 - t.data.(c)
+
+(* Copy clause [c] into [into] (clearing the deletion mark — the caller
+   only moves clauses it wants live) and leave a forwarding pointer in the
+   old header.  Repeated moves of the same clause return the same new
+   reference. *)
+let move t ~into c =
+  if forwarded t c then forward t c
+  else begin
+    let n = n_lits t c in
+    ensure into (clause_words n);
+    let c' = into.size in
+    into.data.(c') <- t.data.(c) land lnot 2;
+    into.data.(c' + 1) <- t.data.(c + 1);
+    Array.blit t.data (c + 2) into.data (c' + 2) n;
+    into.act.(c') <- t.act.(c);
+    into.size <- into.size + clause_words n;
+    t.data.(c) <- -1 - c';
+    c'
+  end
+
+(* All clause references in allocation order (live and deleted).  Only
+   valid before any {!move}: forwarding destroys the size information the
+   walk needs. *)
+let crefs t =
+  let acc = ref [] in
+  let c = ref 0 in
+  while !c < t.size do
+    acc := !c :: !acc;
+    c := !c + clause_words (n_lits t !c)
+  done;
+  List.rev !acc

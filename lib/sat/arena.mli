@@ -1,0 +1,65 @@
+(** Flat clause arena.
+
+    All clause literals live in one growable [int array] with a two-word
+    header (size, learnt/deleted/temporary flags, LBD); clause activities
+    live in a parallel unboxed [float array].  Clauses are addressed by
+    their word offset ({!cref}), so watcher lists and reason references
+    are plain ints.  Deletion marks the header; the space is reclaimed by
+    {!move}-based compaction, which leaves forwarding pointers so holders
+    of clause references can remap them with {!forward}. *)
+
+type cref = int
+
+type t
+
+(** The null clause reference (no reason). *)
+val none : cref
+
+val create : ?cap:int -> unit -> t
+
+(** Words allocated (high-water offset). *)
+val words : t -> int
+
+(** Words owned by deleted clauses, reclaimable by compaction. *)
+val wasted : t -> int
+
+(** Backing-store footprint of the arena in bytes. *)
+val capacity_bytes : t -> int
+
+(** [alloc t ~learnt ~temp lits] appends a clause, returning its
+    reference.  [temp] marks transient reason clauses (XOR propagation)
+    that are never attached to watch lists. *)
+val alloc : t -> learnt:bool -> temp:bool -> int array -> cref
+
+val alloc_list : t -> learnt:bool -> temp:bool -> int list -> cref
+val n_lits : t -> cref -> int
+val learnt : t -> cref -> bool
+val is_deleted : t -> cref -> bool
+val is_temp : t -> cref -> bool
+val lit : t -> cref -> int -> int
+val set_lit : t -> cref -> int -> int -> unit
+val lbd : t -> cref -> int
+val set_lbd : t -> cref -> int -> unit
+val activity : t -> cref -> float
+val set_activity : t -> cref -> float -> unit
+
+(** Mark a clause deleted (idempotent); watchers drop it lazily. *)
+val mark_deleted : t -> cref -> unit
+
+(** Fresh copy of the clause's literals. *)
+val lits_array : t -> cref -> int array
+
+(** [move t ~into c] copies clause [c] into arena [into], clearing its
+    deletion mark, and overwrites the old header with a forwarding
+    pointer; moving the same clause again returns the same new
+    reference. *)
+val move : t -> into:t -> cref -> cref
+
+val forwarded : t -> cref -> bool
+
+(** New offset of a clause previously {!move}d out. *)
+val forward : t -> cref -> cref
+
+(** Every clause reference in allocation order; only valid before any
+    {!move}. *)
+val crefs : t -> cref list

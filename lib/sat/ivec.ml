@@ -1,0 +1,79 @@
+(* Growable flat [int array] vector.  Unlike the polymorphic {!Vec}, the
+   payload is unboxed, so watcher lists and clause-reference lists stay in
+   one contiguous block of memory — the point of the clause arena. *)
+
+type t = { mutable data : int array; mutable size : int }
+
+let create ?(cap = 8) () = { data = Array.make (max 1 cap) 0; size = 0 }
+
+let size v = v.size
+
+let grow v needed =
+  let cap = Array.length v.data in
+  if needed > cap then begin
+    let data = Array.make (max needed (2 * cap)) 0 in
+    Array.blit v.data 0 data 0 v.size;
+    v.data <- data
+  end
+
+let push v x =
+  grow v (v.size + 1);
+  Array.unsafe_set v.data v.size x;
+  v.size <- v.size + 1
+
+let push2 v x y =
+  grow v (v.size + 2);
+  Array.unsafe_set v.data v.size x;
+  Array.unsafe_set v.data (v.size + 1) y;
+  v.size <- v.size + 2
+
+let check v i =
+  if i < 0 || i >= v.size then
+    invalid_arg (Printf.sprintf "Ivec: index %d out of range (size %d)" i v.size)
+
+let get v i =
+  check v i;
+  Array.unsafe_get v.data i
+
+let set v i x =
+  check v i;
+  Array.unsafe_set v.data i x
+
+(* Unchecked accessors for the propagation inner loop; callers maintain the
+   bound themselves. *)
+let unsafe_get v i = Array.unsafe_get v.data i
+let unsafe_set v i x = Array.unsafe_set v.data i x
+
+let shrink v n =
+  if n < 0 || n > v.size then invalid_arg "Ivec.shrink";
+  v.size <- n
+
+let clear v = v.size <- 0
+
+let iter f v =
+  for i = 0 to v.size - 1 do
+    f (Array.unsafe_get v.data i)
+  done
+
+let filter_in_place f v =
+  let j = ref 0 in
+  for i = 0 to v.size - 1 do
+    let x = Array.unsafe_get v.data i in
+    if f x then begin
+      Array.unsafe_set v.data !j x;
+      incr j
+    end
+  done;
+  v.size <- !j
+
+let to_list v = List.init v.size (fun i -> v.data.(i))
+
+let of_list xs =
+  let v = create () in
+  List.iter (push v) xs;
+  v
+
+let sort_in_place cmp v =
+  let live = Array.sub v.data 0 v.size in
+  Array.sort cmp live;
+  Array.blit live 0 v.data 0 v.size

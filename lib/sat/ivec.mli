@@ -1,0 +1,26 @@
+(** Growable flat [int] vector (unboxed payload, contiguous storage). *)
+
+type t
+
+val create : ?cap:int -> unit -> t
+val size : t -> int
+val push : t -> int -> unit
+
+(** [push2 v x y] appends two ints with a single capacity check — the shape
+    of a watcher entry (clause reference, blocker literal). *)
+val push2 : t -> int -> int -> unit
+
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+
+(** Unchecked accessors for hot loops; the caller maintains the bound. *)
+val unsafe_get : t -> int -> int
+
+val unsafe_set : t -> int -> int -> unit
+val shrink : t -> int -> unit
+val clear : t -> unit
+val iter : (int -> unit) -> t -> unit
+val filter_in_place : (int -> bool) -> t -> unit
+val to_list : t -> int list
+val of_list : int list -> t
+val sort_in_place : (int -> int -> int) -> t -> unit

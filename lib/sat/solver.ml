@@ -23,22 +23,11 @@ let default_config =
     minimise_learnts = true;
   }
 
-type clause = {
-  mutable lits : int array; (* packed literals, 2*var + sign *)
-  learnt : bool;
-  mutable activity : float;
-  mutable lbd : int;
-}
-
-let dummy_clause = { lits = [||]; learnt = false; activity = 0.0; lbd = 0 }
-
-(* A watcher pairs the clause with a "blocker" literal (some other literal
-   of the clause): if the blocker is already true the clause is satisfied
-   and propagation skips it without touching the clause at all — MiniSat's
-   main propagation constant-factor optimisation. *)
-type watcher = { wclause : clause; blocker : int }
-
-let dummy_watcher = { wclause = dummy_clause; blocker = 0 }
+(* Clauses live in a flat {!Arena} and are addressed by word offsets
+   ([Arena.cref]); watcher lists are flat (cref, blocker) int pairs in
+   {!Ivec}s, and reason references are crefs.  Deleted clauses keep their
+   watchers until propagation visits them (lazy detach) — the arena is
+   compacted, with a full watch rebuild, once a quarter of it is dead. *)
 
 (* Native XOR constraint: vars.(0) (+) ... (+) vars.(n-1) = parity, watched
    on two positions (w0, w1) like clause literals — the in-search XOR
@@ -50,20 +39,30 @@ type xor_row = {
   mutable w1 : int;
 }
 
+(* Variable assignments are stored as int codes so that the value of a
+   literal is one xor away from the value of its variable — no variant
+   matching on the propagation hot path. *)
+let code_true = 0
+
+let code_false = 1
+let code_unknown = 2
+
 type t = {
   config : config;
   mutable nvars : int;
-  clauses : clause Vec.t;
-  learnts : clause Vec.t;
-  mutable watches : watcher Vec.t array; (* indexed by literal *)
-  mutable assigns : lbool array; (* indexed by variable *)
+  mutable arena : Arena.t;
+  clauses : Ivec.t; (* problem clause crefs *)
+  learnts : Ivec.t; (* learnt clause crefs (live only) *)
+  binlog : Ivec.t; (* grow-only log of learnt binaries, packed lit pairs *)
+  mutable watches : Ivec.t array; (* literal -> (cref, blocker) pairs *)
+  mutable assigns : int array; (* variable -> code_true/false/unknown *)
   mutable phase : bool array; (* saved phase per variable *)
   mutable activity : float array;
-  mutable reason : clause option array;
+  mutable reason : int array; (* variable -> cref or Arena.none *)
   mutable level : int array;
   mutable trail : int array;
   mutable trail_size : int;
-  trail_lim : int Vec.t; (* trail index at each decision level *)
+  trail_lim : Ivec.t; (* trail index at each decision level *)
   mutable qhead : int;
   mutable heap : Var_heap.t;
   mutable ok : bool;
@@ -80,7 +79,6 @@ type t = {
 
 let lit_var p = p lsr 1
 let lit_neg p = p lxor 1
-let lit_negated p = p land 1 = 1
 
 let create ?(config = default_config) ~nvars () =
   if nvars < 0 then invalid_arg "Solver.create";
@@ -90,17 +88,19 @@ let create ?(config = default_config) ~nvars () =
     {
       config;
       nvars;
-      clauses = Vec.create ~dummy:dummy_clause;
-      learnts = Vec.create ~dummy:dummy_clause;
-      watches = Array.init (2 * n) (fun _ -> Vec.create ~dummy:dummy_watcher);
-      assigns = Array.make n Unknown;
+      arena = Arena.create ();
+      clauses = Ivec.create ();
+      learnts = Ivec.create ();
+      binlog = Ivec.create ();
+      watches = Array.init (2 * n) (fun _ -> Ivec.create ());
+      assigns = Array.make n code_unknown;
       phase = Array.make n false;
       activity;
-      reason = Array.make n None;
+      reason = Array.make n Arena.none;
       level = Array.make n 0;
       trail = Array.make n 0;
       trail_size = 0;
-      trail_lim = Vec.create ~dummy:0;
+      trail_lim = Ivec.create ();
       qhead = 0;
       heap = Var_heap.create n activity;
       ok = true;
@@ -131,15 +131,17 @@ let grow_arrays t cap =
       blit_src a;
       a
     in
-    t.assigns <- copy_arr (fun n -> Array.make n Unknown) (fun a -> Array.blit t.assigns 0 a 0 old);
+    t.assigns <-
+      copy_arr (fun n -> Array.make n code_unknown) (fun a -> Array.blit t.assigns 0 a 0 old);
     t.phase <- copy_arr (fun n -> Array.make n false) (fun a -> Array.blit t.phase 0 a 0 old);
     t.activity <- copy_arr (fun n -> Array.make n 0.0) (fun a -> Array.blit t.activity 0 a 0 old);
-    t.reason <- copy_arr (fun n -> Array.make n None) (fun a -> Array.blit t.reason 0 a 0 old);
+    t.reason <-
+      copy_arr (fun n -> Array.make n Arena.none) (fun a -> Array.blit t.reason 0 a 0 old);
     t.level <- copy_arr (fun n -> Array.make n 0) (fun a -> Array.blit t.level 0 a 0 old);
     t.trail <- copy_arr (fun n -> Array.make n 0) (fun a -> Array.blit t.trail 0 a 0 old);
     t.seen <- copy_arr (fun n -> Array.make n false) (fun a -> Array.blit t.seen 0 a 0 old);
     let watches = Array.init (2 * n) (fun i ->
-        if i < 2 * old then t.watches.(i) else Vec.create ~dummy:dummy_watcher)
+        if i < 2 * old then t.watches.(i) else Ivec.create ())
     in
     t.watches <- watches;
     let xor_watches = Array.make n [] in
@@ -155,15 +157,16 @@ let new_var t =
   Var_heap.insert t.heap v;
   v
 
-let var_value t v = t.assigns.(v)
+let lbool_of_code c = if c = code_true then True else if c = code_false then False else Unknown
 
-let lit_value t p =
-  match t.assigns.(lit_var p) with
-  | Unknown -> Unknown
-  | True -> if lit_negated p then False else True
-  | False -> if lit_negated p then True else False
+let var_value t v = lbool_of_code t.assigns.(v)
 
-let decision_level t = Vec.size t.trail_lim
+(* 0 = true, 1 = false, 2 = unknown *)
+let lit_code t p =
+  let a = Array.unsafe_get t.assigns (p lsr 1) in
+  if a = code_unknown then code_unknown else a lxor (p land 1)
+
+let decision_level t = Ivec.size t.trail_lim
 
 (* ---------------- proof logging ---------------- *)
 
@@ -196,10 +199,11 @@ let bump_var t v =
 
 let decay_var_activity t = t.var_inc <- t.var_inc /. t.config.var_decay
 
-let bump_clause t (c : clause) =
-  c.activity <- c.activity +. t.cla_inc;
-  if c.activity > 1e20 then begin
-    Vec.iter (fun (c : clause) -> c.activity <- c.activity *. 1e-20) t.learnts;
+let bump_clause t c =
+  let a = t.arena in
+  Arena.set_activity a c (Arena.activity a c +. t.cla_inc);
+  if Arena.activity a c > 1e20 then begin
+    Ivec.iter (fun c -> Arena.set_activity a c (Arena.activity a c *. 1e-20)) t.learnts;
     t.cla_inc <- t.cla_inc *. 1e-20
   end
 
@@ -209,8 +213,9 @@ let decay_clause_activity t = t.cla_inc <- t.cla_inc /. t.config.clause_decay
 
 let enqueue t p reason =
   let v = lit_var p in
-  assert (lbool_equal t.assigns.(v) Unknown);
-  t.assigns.(v) <- (if lit_negated p then False else True);
+  assert (t.assigns.(v) = code_unknown);
+  t.assigns.(v) <- p land 1;
+  (* code_true for a positive literal *)
   t.level.(v) <- decision_level t;
   t.reason.(v) <- reason;
   t.trail.(t.trail_size) <- p;
@@ -218,52 +223,51 @@ let enqueue t p reason =
 
 let cancel_until t lvl =
   if decision_level t > lvl then begin
-    let bound = Vec.get t.trail_lim lvl in
+    let bound = Ivec.get t.trail_lim lvl in
     for i = t.trail_size - 1 downto bound do
       let p = t.trail.(i) in
       let v = lit_var p in
-      t.phase.(v) <- lbool_equal t.assigns.(v) True;
-      t.assigns.(v) <- Unknown;
-      t.reason.(v) <- None;
+      t.phase.(v) <- t.assigns.(v) = code_true;
+      t.assigns.(v) <- code_unknown;
+      let r = t.reason.(v) in
+      if r <> Arena.none && Arena.is_temp t.arena r then
+        (* transient XOR reason clauses die with their assignment *)
+        Arena.mark_deleted t.arena r;
+      t.reason.(v) <- Arena.none;
       Var_heap.insert t.heap v
     done;
     t.trail_size <- bound;
     t.qhead <- bound;
-    Vec.shrink t.trail_lim lvl
+    Ivec.shrink t.trail_lim lvl
   end
 
 (* ---------------- watches / clause attachment ---------------- *)
 
-let attach t (c : clause) =
-  assert (Array.length c.lits >= 2);
+let attach t c =
+  let a = t.arena in
+  assert (Arena.n_lits a c >= 2);
   (* the clause is found when one of its first two literals becomes false,
      i.e. when the negation of that literal is assigned true *)
-  Vec.push t.watches.(lit_neg c.lits.(0)) { wclause = c; blocker = c.lits.(1) };
-  Vec.push t.watches.(lit_neg c.lits.(1)) { wclause = c; blocker = c.lits.(0) }
+  let l0 = Arena.lit a c 0 and l1 = Arena.lit a c 1 in
+  Ivec.push2 t.watches.(lit_neg l0) c l1;
+  Ivec.push2 t.watches.(lit_neg l1) c l0
 
-let detach t (c : clause) =
-  let remove l = Vec.filter_in_place (fun w -> w.wclause != c) t.watches.(l) in
-  remove (lit_neg c.lits.(0));
-  remove (lit_neg c.lits.(1))
-
-let locked t (c : clause) =
-  Array.length c.lits > 0
+let locked t c =
+  let a = t.arena in
+  Arena.n_lits a c > 0
   &&
-  let v = lit_var c.lits.(0) in
-  (match t.reason.(v) with Some r -> r == c | None -> false)
-  && lbool_equal (lit_value t c.lits.(0)) True
-
-let remove_learnt t c =
-  detach t c;
-  t.stats.deleted_clauses <- t.stats.deleted_clauses + 1
+  let p = Arena.lit a c 0 in
+  t.reason.(lit_var p) = c && lit_code t p = code_true
 
 (* ---------------- native XOR constraints ---------------- *)
 
-let var_bool t v = lbool_equal t.assigns.(v) True
+let var_bool t v = t.assigns.(v) = code_true
 
 (* Reason/conflict clause for an XOR row under the current assignment: the
    currently-false literal of every assigned variable, with the implied
-   literal (if any) in front, as conflict analysis expects. *)
+   literal (if any) in front, as conflict analysis expects.  The clause is
+   allocated in the arena as a temporary — never attached, reclaimed when
+   its assignment is undone (or, for conflicts, right after analysis). *)
 let xor_clause t row ~implied =
   let lits = ref [] in
   Array.iter
@@ -279,14 +283,14 @@ let xor_clause t row ~implied =
     | Some (iv, b) -> ((2 * iv) + if b then 0 else 1) :: !lits
     | None -> !lits
   in
-  { lits = Array.of_list lits; learnt = false; activity = 0.0; lbd = 0 }
+  Arena.alloc_list t.arena ~learnt:false ~temp:true lits
 
 (* Process the XOR rows watching variable [v], which was just assigned.
    Mirrors clause watching: find a replacement unassigned watch, otherwise
    the row is unit (imply the other watch) or fully assigned (check
-   parity).  Returns the conflicting virtual clause, if any. *)
+   parity).  Returns the conflicting virtual clause's cref, if any. *)
 let propagate_xor t v =
-  let conflict = ref None in
+  let conflict = ref Arena.none in
   let rows = t.xor_watches.(v) in
   t.xor_watches.(v) <- [];
   let rec process = function
@@ -299,8 +303,7 @@ let propagate_xor t v =
         let rec find k =
           if k >= n then None
           else if
-            k <> row.w0 && k <> row.w1
-            && lbool_equal t.assigns.(row.vars.(k)) Unknown
+            k <> row.w0 && k <> row.w1 && t.assigns.(row.vars.(k)) = code_unknown
           then Some k
           else find (k + 1)
         in
@@ -314,12 +317,12 @@ let propagate_xor t v =
             (* keep watching v *)
             t.xor_watches.(v) <- row :: t.xor_watches.(v);
             let ov = row.vars.(other_w) in
-            if lbool_equal t.assigns.(ov) Unknown then begin
+            if t.assigns.(ov) = code_unknown then begin
               (* unit: the other watch is implied *)
               let acc = ref row.parity in
               Array.iter (fun x -> if x <> ov && var_bool t x then acc := not !acc) row.vars;
               let reason = xor_clause t row ~implied:(Some (ov, !acc)) in
-              enqueue t ((2 * ov) + if !acc then 0 else 1) (Some reason);
+              enqueue t ((2 * ov) + if !acc then 0 else 1) reason;
               process rest
             end
             else begin
@@ -327,7 +330,7 @@ let propagate_xor t v =
               let acc = ref false in
               Array.iter (fun x -> if var_bool t x then acc := not !acc) row.vars;
               if !acc <> row.parity then begin
-                conflict := Some (xor_clause t row ~implied:None);
+                conflict := xor_clause t row ~implied:None;
                 List.iter
                   (fun r -> t.xor_watches.(v) <- r :: t.xor_watches.(v))
                   rest
@@ -340,78 +343,86 @@ let propagate_xor t v =
 
 (* ---------------- propagation ---------------- *)
 
-(* Two-watched-literal Boolean constraint propagation.  Returns the
-   conflicting clause, if any. *)
+(* Two-watched-literal Boolean constraint propagation over the flat arena.
+   Returns the conflicting clause's cref, or [Arena.none].  Watchers of
+   deleted clauses are dropped here (lazy detach) instead of being scanned
+   out eagerly at deletion time. *)
 let propagate t =
-  let conflict = ref None in
-  while !conflict = None && t.qhead < t.trail_size do
+  let conflict = ref Arena.none in
+  while !conflict = Arena.none && t.qhead < t.trail_size do
     let p = t.trail.(t.qhead) in
     t.qhead <- t.qhead + 1;
     t.stats.propagations <- t.stats.propagations + 1;
     (* p became true; clauses registered under p watch a literal that just
-       became false.  The watcher vector is compacted in place: [i] scans,
+       became false.  The watcher pairs are compacted in place: [i] scans,
        [j] writes back the watchers that stay. *)
     let ws = t.watches.(p) in
+    let a = t.arena in
     let false_lit = lit_neg p in
-    let n_ws = Vec.size ws in
+    let n_ws = Ivec.size ws in
     let i = ref 0 and j = ref 0 in
-    let keep w =
-      Vec.set ws !j w;
-      incr j
+    let keep c blocker =
+      Ivec.unsafe_set ws !j c;
+      Ivec.unsafe_set ws (!j + 1) blocker;
+      j := !j + 2
     in
     while !i < n_ws do
-      let w = Vec.get ws !i in
-      incr i;
-      if lbool_equal (lit_value t w.blocker) True then keep w
+      let c = Ivec.unsafe_get ws !i in
+      let blocker = Ivec.unsafe_get ws (!i + 1) in
+      i := !i + 2;
+      if lit_code t blocker = code_true then keep c blocker
+      else if Arena.is_deleted a c then
+        (* lazy detach: simply drop the watcher *)
+        t.stats.lazy_detach_drops <- t.stats.lazy_detach_drops + 1
       else begin
-        let c = w.wclause in
         (* normalise: the false watch goes to position 1 *)
-        if c.lits.(0) = false_lit then begin
-          c.lits.(0) <- c.lits.(1);
-          c.lits.(1) <- false_lit
+        if Arena.lit a c 0 = false_lit then begin
+          Arena.set_lit a c 0 (Arena.lit a c 1);
+          Arena.set_lit a c 1 false_lit
         end;
-        let first = c.lits.(0) in
-        if first <> w.blocker && lbool_equal (lit_value t first) True then
+        let first = Arena.lit a c 0 in
+        if first <> blocker && lit_code t first = code_true then
           (* satisfied; keep watching with a better blocker *)
-          keep { wclause = c; blocker = first }
+          keep c first
         else begin
           (* look for a new literal to watch *)
-          let n = Array.length c.lits in
+          let n = Arena.n_lits a c in
           let rec find k =
             if k >= n then -1
-            else if not (lbool_equal (lit_value t c.lits.(k)) False) then k
+            else if lit_code t (Arena.lit a c k) <> code_false then k
             else find (k + 1)
           in
           let k = find 2 in
           if k >= 0 then begin
-            c.lits.(1) <- c.lits.(k);
-            c.lits.(k) <- false_lit;
-            Vec.push t.watches.(lit_neg c.lits.(1)) { wclause = c; blocker = first }
+            let lk = Arena.lit a c k in
+            Arena.set_lit a c k false_lit;
+            Arena.set_lit a c 1 lk;
+            Ivec.push2 t.watches.(lit_neg lk) c first
           end
           else begin
             (* unit or conflicting; keep this watcher *)
-            keep { wclause = c; blocker = first };
-            if lbool_equal (lit_value t first) False then begin
-              conflict := Some c;
+            keep c first;
+            if lit_code t first = code_false then begin
+              conflict := c;
               t.qhead <- t.trail_size;
               (* keep the unexamined watchers *)
               while !i < n_ws do
-                keep (Vec.get ws !i);
-                incr i
+                keep (Ivec.unsafe_get ws !i) (Ivec.unsafe_get ws (!i + 1));
+                i := !i + 2
               done
             end
-            else enqueue t first (Some c)
+            else enqueue t first c
           end
         end
       end
     done;
-    Vec.shrink ws !j;
-    if !conflict = None && t.n_xors > 0 then begin
-      match propagate_xor t (lit_var p) with
-      | Some c ->
-          conflict := Some c;
-          t.qhead <- t.trail_size
-      | None -> ()
+    Ivec.shrink ws !j;
+    if !conflict = Arena.none && t.n_xors > 0 then begin
+      let c = propagate_xor t (lit_var p) in
+      if c <> Arena.none then begin
+        conflict := c;
+        t.qhead <- t.trail_size
+      end
     end
   done;
   !conflict
@@ -425,28 +436,35 @@ let propagate t =
    (failing the cap just keeps the literal, which is always sound). *)
 let literal_redundant t q =
   let memo : (int, bool) Hashtbl.t = Hashtbl.create 16 in
+  let a = t.arena in
   let rec redundant depth q =
     depth <= 64
     &&
-    match t.reason.(lit_var q) with
-    | None -> false
-    | Some r ->
-        Array.for_all
-          (fun l ->
-            let v = lit_var l in
-            v = lit_var q || t.level.(v) = 0 || t.seen.(v)
-            ||
-            match Hashtbl.find_opt memo v with
-            | Some b -> b
-            | None ->
-                let b = redundant (depth + 1) l in
-                Hashtbl.replace memo v b;
-                b)
-          r.lits
+    let r = t.reason.(lit_var q) in
+    r <> Arena.none
+    &&
+    let n = Arena.n_lits a r in
+    let rec check i =
+      i >= n
+      ||
+      let l = Arena.lit a r i in
+      let v = lit_var l in
+      (v = lit_var q || t.level.(v) = 0 || t.seen.(v)
+      ||
+      match Hashtbl.find_opt memo v with
+      | Some b -> b
+      | None ->
+          let b = redundant (depth + 1) l in
+          Hashtbl.replace memo v b;
+          b)
+      && check (i + 1)
+    in
+    check 0
   in
   redundant 0 q
 
 let analyze t confl =
+  let a = t.arena in
   let learnt = ref [] in
   let path_count = ref 0 in
   let p = ref (-1) in
@@ -456,10 +474,10 @@ let analyze t confl =
   let continue = ref true in
   while !continue do
     let c = !confl in
-    if c.learnt then bump_clause t c;
+    if Arena.learnt a c then bump_clause t c;
     let start = if !p = -1 then 0 else 1 in
-    for i = start to Array.length c.lits - 1 do
-      let q = c.lits.(i) in
+    for i = start to Arena.n_lits a c - 1 do
+      let q = Arena.lit a c i in
       let v = lit_var q in
       if (not t.seen.(v)) && t.level.(v) > 0 then begin
         t.seen.(v) <- true;
@@ -479,10 +497,12 @@ let analyze t confl =
     t.seen.(lit_var !p) <- false;
     decr path_count;
     if !path_count <= 0 then continue := false
-    else
-      match t.reason.(lit_var !p) with
-      | Some r -> confl := r
-      | None -> assert false (* only the UIP can lack a reason *)
+    else begin
+      let r = t.reason.(lit_var !p) in
+      assert (r <> Arena.none);
+      (* only the UIP can lack a reason *)
+      confl := r
+    end
   done;
   let learnt =
     if t.config.minimise_learnts then
@@ -528,25 +548,23 @@ let add_clause_internal t lits =
     go lits
   in
   if tautology then true
-  else if List.exists (fun p -> lbool_equal (lit_value t p) True) lits then true
+  else if List.exists (fun p -> lit_code t p = code_true) lits then true
   else begin
-    let lits = List.filter (fun p -> not (lbool_equal (lit_value t p) False)) lits in
+    let lits = List.filter (fun p -> lit_code t p <> code_false) lits in
     match lits with
     | [] ->
         mark_unsat t;
         false
     | [ p ] ->
-        enqueue t p None;
-        (match propagate t with
-        | Some _ ->
-            mark_unsat t;
-            false
-        | None -> true)
+        enqueue t p Arena.none;
+        if propagate t <> Arena.none then begin
+          mark_unsat t;
+          false
+        end
+        else true
     | _ ->
-        let c =
-          { lits = Array.of_list lits; learnt = false; activity = 0.0; lbd = 0 }
-        in
-        Vec.push t.clauses c;
+        let c = Arena.alloc_list t.arena ~learnt:false ~temp:false lits in
+        Ivec.push t.clauses c;
         attach t c;
         true
   end
@@ -596,10 +614,9 @@ let add_xor t ~vars ~parity =
     let parity, free =
       List.fold_left
         (fun (parity, free) v ->
-          match t.assigns.(v) with
-          | Unknown -> (parity, v :: free)
-          | True -> (not parity, free)
-          | False -> (parity, free))
+          if t.assigns.(v) = code_unknown then (parity, v :: free)
+          else if t.assigns.(v) = code_true then (not parity, free)
+          else (parity, free))
         (parity, []) distinct
     in
     match free with
@@ -619,31 +636,68 @@ let add_xor t ~vars ~parity =
         true
   end
 
+(* ---------------- arena compaction ---------------- *)
+
+(* Mark-then-compact: copy every live clause into a fresh arena (leaving
+   forwarding pointers behind), remap the clause-reference holders
+   (problem/learnt vectors and reason slots, including transient XOR
+   reasons), then rebuild all watch lists from scratch.  Stale watchers of
+   deleted clauses vanish with the old lists — no per-deletion scan ever
+   happens. *)
+let compact t =
+  let old = t.arena in
+  let into = Arena.create ~cap:(Arena.words old - Arena.wasted old + 16) () in
+  let remap vec =
+    for i = 0 to Ivec.size vec - 1 do
+      Ivec.set vec i (Arena.move old ~into (Ivec.get vec i))
+    done
+  in
+  remap t.clauses;
+  remap t.learnts;
+  for v = 0 to t.nvars - 1 do
+    let r = t.reason.(v) in
+    if r <> Arena.none then t.reason.(v) <- Arena.move old ~into r
+  done;
+  t.arena <- into;
+  Array.iter Ivec.clear t.watches;
+  Ivec.iter (fun c -> attach t c) t.clauses;
+  Ivec.iter (fun c -> attach t c) t.learnts;
+  t.stats.arena_gcs <- t.stats.arena_gcs + 1
+
+let maybe_compact t =
+  let a = t.arena in
+  if Arena.words a > 4096 && 4 * Arena.wasted a > Arena.words a then compact t
+
 (* ---------------- learnt DB reduction ---------------- *)
 
 let reduce_db t =
+  let a = t.arena in
   (* order: worse clauses first (higher LBD, then lower activity) *)
-  let cmp (a : clause) (b : clause) =
-    if a.lbd <> b.lbd then Stdlib.compare b.lbd a.lbd
-    else Stdlib.compare a.activity b.activity
+  let cmp c1 c2 =
+    let l1 = Arena.lbd a c1 and l2 = Arena.lbd a c2 in
+    if l1 <> l2 then Stdlib.compare l2 l1
+    else Stdlib.compare (Arena.activity a c1) (Arena.activity a c2)
   in
-  Vec.sort_in_place cmp t.learnts;
-  let target = Vec.size t.learnts / 2 in
+  Ivec.sort_in_place cmp t.learnts;
+  let target = Ivec.size t.learnts / 2 in
   let removed = ref 0 in
   let keep c =
     if
       !removed < target
       && (not (locked t c))
-      && Array.length c.lits > 2
-      && c.lbd > 2
+      && Arena.n_lits a c > 2
+      && Arena.lbd a c > 2
     then begin
-      remove_learnt t c;
+      (* mark only: watchers are dropped lazily during propagation *)
+      Arena.mark_deleted a c;
+      t.stats.deleted_clauses <- t.stats.deleted_clauses + 1;
       incr removed;
       false
     end
     else true
   in
-  Vec.filter_in_place keep t.learnts
+  Ivec.filter_in_place keep t.learnts;
+  maybe_compact t
 
 (* ---------------- restarts ---------------- *)
 
@@ -668,27 +722,31 @@ let record_learnt t learnt lbd =
   log_derived t (Array.copy learnt);
   match Array.length learnt with
   | 0 -> assert false
-  | 1 -> enqueue t learnt.(0) None
-  | _ ->
-      let c = { lits = learnt; learnt = true; activity = 0.0; lbd } in
-      Vec.push t.learnts c;
+  | 1 -> enqueue t learnt.(0) Arena.none
+  | n ->
+      let c = Arena.alloc t.arena ~learnt:true ~temp:false learnt in
+      Arena.set_lbd t.arena c lbd;
+      Ivec.push t.learnts c;
+      if n = 2 then Ivec.push2 t.binlog learnt.(0) learnt.(1);
       attach t c;
       bump_clause t c;
       t.stats.learnt_clauses <- t.stats.learnt_clauses + 1;
-      enqueue t learnt.(0) (Some c)
+      enqueue t learnt.(0) c
 
 let pick_branch_var t =
   let rec go () =
     if Var_heap.is_empty t.heap then None
     else
       let v = Var_heap.remove_max t.heap in
-      if lbool_equal t.assigns.(v) Unknown then Some v else go ()
+      if t.assigns.(v) = code_unknown then Some v else go ()
   in
   go ()
 
 let model_of t =
   Array.init t.nvars (fun v ->
-      match t.assigns.(v) with True -> true | False -> false | Unknown -> t.phase.(v))
+      if t.assigns.(v) = code_true then true
+      else if t.assigns.(v) = code_false then false
+      else t.phase.(v))
 
 let search t ~restart_limit ~budget_left ~deadline =
   let conflicts_here = ref 0 in
@@ -699,39 +757,42 @@ let search t ~restart_limit ~budget_left ~deadline =
     | Some _ | None -> false
   in
   while !outcome = None do
-    match propagate t with
-    | Some confl ->
-        t.stats.conflicts <- t.stats.conflicts + 1;
-        incr conflicts_here;
-        if decision_level t = 0 then begin
-          mark_unsat t;
-          outcome := Some (Done Unsat)
-        end
-        else begin
-          let learnt, bt_level, lbd = analyze t confl in
-          cancel_until t bt_level;
-          record_learnt t learnt lbd;
-          decay_var_activity t;
-          decay_clause_activity t;
-          match budget_left with
-          | Some b when t.stats.conflicts >= b -> outcome := Some (Done Undecided)
-          | Some _ | None ->
-              if deadline_passed () then outcome := Some (Done Undecided)
-              else if !conflicts_here >= restart_limit then outcome := Some Restart
-        end
-    | None ->
-        if float_of_int (Vec.size t.learnts) >= t.max_learnts then begin
-          reduce_db t;
-          t.max_learnts <- t.max_learnts *. t.config.learntsize_inc
-        end;
-        (match pick_branch_var t with
-        | None -> outcome := Some (Done (Sat (model_of t)))
-        | Some v ->
-            t.stats.decisions <- t.stats.decisions + 1;
-            Vec.push t.trail_lim t.trail_size;
-            t.stats.max_decision_level <- max t.stats.max_decision_level (decision_level t);
-            let p = (2 * v) + if t.phase.(v) then 0 else 1 in
-            enqueue t p None)
+    let confl = propagate t in
+    if confl <> Arena.none then begin
+      t.stats.conflicts <- t.stats.conflicts + 1;
+      incr conflicts_here;
+      if decision_level t = 0 then begin
+        mark_unsat t;
+        outcome := Some (Done Unsat)
+      end
+      else begin
+        let learnt, bt_level, lbd = analyze t confl in
+        if Arena.is_temp t.arena confl then Arena.mark_deleted t.arena confl;
+        cancel_until t bt_level;
+        record_learnt t learnt lbd;
+        decay_var_activity t;
+        decay_clause_activity t;
+        match budget_left with
+        | Some b when t.stats.conflicts >= b -> outcome := Some (Done Undecided)
+        | Some _ | None ->
+            if deadline_passed () then outcome := Some (Done Undecided)
+            else if !conflicts_here >= restart_limit then outcome := Some Restart
+      end
+    end
+    else begin
+      if float_of_int (Ivec.size t.learnts) >= t.max_learnts then begin
+        reduce_db t;
+        t.max_learnts <- t.max_learnts *. t.config.learntsize_inc
+      end;
+      match pick_branch_var t with
+      | None -> outcome := Some (Done (Sat (model_of t)))
+      | Some v ->
+          t.stats.decisions <- t.stats.decisions + 1;
+          Ivec.push t.trail_lim t.trail_size;
+          t.stats.max_decision_level <- max t.stats.max_decision_level (decision_level t);
+          let p = (2 * v) + if t.phase.(v) then 0 else 1 in
+          enqueue t p Arena.none
+    end
   done;
   Option.get !outcome
 
@@ -741,43 +802,65 @@ let search t ~restart_limit ~budget_left ~deadline =
    the outside by the audit layer (lib/audit) and, when the BOSPHORUS_AUDIT
    environment variable opts in, by [solve] itself before searching. *)
 let invariant_violations t =
+  let a = t.arena in
   let out = ref [] in
   let err fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
-  let watched (c : clause) p =
+  let watched c p =
     let found = ref false in
-    Vec.iter (fun (w : watcher) -> if w.wclause == c then found := true) t.watches.(lit_neg p);
+    let ws = t.watches.(lit_neg p) in
+    let i = ref 0 in
+    while !i < Ivec.size ws do
+      if Ivec.get ws !i = c then found := true;
+      i := !i + 2
+    done;
     !found
   in
-  let check_clause tag i (c : clause) =
-    Array.iter
-      (fun p ->
-        if lit_var p < 0 || lit_var p >= t.nvars then
-          err "%s clause %d: literal %d outside the %d-variable range" tag i p t.nvars)
-      c.lits;
-    if Array.length c.lits >= 2 then begin
-      if not (watched c c.lits.(0)) then
-        err "%s clause %d: not on the watch list of its first literal %d" tag i c.lits.(0);
-      if not (watched c c.lits.(1)) then
-        err "%s clause %d: not on the watch list of its second literal %d" tag i c.lits.(1)
+  let check_clause tag i c =
+    let n = Arena.n_lits a c in
+    for k = 0 to n - 1 do
+      let p = Arena.lit a c k in
+      if lit_var p < 0 || lit_var p >= t.nvars then
+        err "%s clause %d: literal %d outside the %d-variable range" tag i p t.nvars
+    done;
+    if Arena.is_deleted a c then
+      err "%s clause %d: deleted clause still referenced from the live vector" tag i;
+    if n >= 2 then begin
+      if not (watched c (Arena.lit a c 0)) then
+        err "%s clause %d: not on the watch list of its first literal %d" tag i
+          (Arena.lit a c 0);
+      if not (watched c (Arena.lit a c 1)) then
+        err "%s clause %d: not on the watch list of its second literal %d" tag i
+          (Arena.lit a c 1)
     end
   in
   let idx = ref 0 in
-  Vec.iter (fun c -> check_clause "problem" !idx c; incr idx) t.clauses;
+  Ivec.iter (fun c -> check_clause "problem" !idx c; incr idx) t.clauses;
   idx := 0;
-  Vec.iter (fun c -> check_clause "learnt" !idx c; incr idx) t.learnts;
+  Ivec.iter (fun c -> check_clause "learnt" !idx c; incr idx) t.learnts;
   for l = 0 to (2 * t.nvars) - 1 do
-    Vec.iter
-      (fun (w : watcher) ->
-        let c = w.wclause in
-        if Array.length c.lits < 2 then
-          err "watch list of literal %d: clause with %d literals" l (Array.length c.lits)
+    let ws = t.watches.(l) in
+    if Ivec.size ws land 1 = 1 then
+      err "watch list of literal %d: odd number of watcher words" l;
+    let i = ref 0 in
+    while !i + 1 < Ivec.size ws do
+      let c = Ivec.get ws !i and blocker = Ivec.get ws (!i + 1) in
+      i := !i + 2;
+      (* watchers of deleted clauses are legal: they are dropped lazily *)
+      if not (Arena.is_deleted a c) then begin
+        if Arena.n_lits a c < 2 then
+          err "watch list of literal %d: clause with %d literals" l (Arena.n_lits a c)
         else begin
-          if c.lits.(0) <> lit_neg l && c.lits.(1) <> lit_neg l then
+          if Arena.lit a c 0 <> lit_neg l && Arena.lit a c 1 <> lit_neg l then
             err "watch list of literal %d: clause does not watch that literal" l;
-          if not (Array.exists (fun p -> p = w.blocker) c.lits) then
-            err "watch list of literal %d: blocker %d not in the clause" l w.blocker
-        end)
-      t.watches.(l)
+          let in_clause = ref false in
+          for k = 0 to Arena.n_lits a c - 1 do
+            if Arena.lit a c k = blocker then in_clause := true
+          done;
+          if not !in_clause then
+            err "watch list of literal %d: blocker %d not in the clause" l blocker
+        end
+      end
+    done
   done;
   if t.qhead > t.trail_size then
     err "propagation head %d beyond the trail size %d" t.qhead t.trail_size;
@@ -787,8 +870,8 @@ let invariant_violations t =
     let v = lit_var p in
     if Hashtbl.mem seen_vars v then err "variable %d appears twice on the trail" v;
     Hashtbl.replace seen_vars v ();
-    let expected = if lit_negated p then False else True in
-    if not (lbool_equal t.assigns.(v) expected) then
+    let expected = p land 1 in
+    if t.assigns.(v) <> expected then
       err "trail literal %d disagrees with the assignment of variable %d" p v
   done;
   Array.iteri
@@ -828,85 +911,104 @@ let solve ?conflict_budget ?time_budget_s t =
     cancel_until t 0;
     t.max_learnts <-
       Float.max 1000.0
-        (t.config.learntsize_factor *. float_of_int (Vec.size t.clauses));
+        (t.config.learntsize_factor *. float_of_int (Ivec.size t.clauses));
     let budget_left = Option.map (fun b -> t.stats.conflicts + b) conflict_budget in
     let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) time_budget_s in
-    match propagate t with
-    | Some _ ->
-        mark_unsat t;
-        Unsat
-    | None ->
-        let rec run restart_no =
-          let limit =
-            if t.config.use_luby then
-              int_of_float (luby 2.0 restart_no *. float_of_int t.config.restart_first)
-            else
-              int_of_float
-                (float_of_int t.config.restart_first *. (t.config.restart_inc ** float_of_int restart_no))
-          in
-          match search t ~restart_limit:(max 1 limit) ~budget_left ~deadline with
-          | Done r -> r
-          | Restart ->
-              t.stats.restarts <- t.stats.restarts + 1;
-              cancel_until t 0;
-              run (restart_no + 1)
+    if propagate t <> Arena.none then begin
+      mark_unsat t;
+      Unsat
+    end
+    else begin
+      let rec run restart_no =
+        let limit =
+          if t.config.use_luby then
+            int_of_float (luby 2.0 restart_no *. float_of_int t.config.restart_first)
+          else
+            int_of_float
+              (float_of_int t.config.restart_first *. (t.config.restart_inc ** float_of_int restart_no))
         in
-        let result = run 0 in
-        cancel_until t 0;
-        result
+        match search t ~restart_limit:(max 1 limit) ~budget_left ~deadline with
+        | Done r -> r
+        | Restart ->
+            t.stats.restarts <- t.stats.restarts + 1;
+            cancel_until t 0;
+            run (restart_no + 1)
+      in
+      let result = run 0 in
+      cancel_until t 0;
+      result
+    end
   end
 
 let probe t l =
   if not t.ok then `Unusable
   else begin
     cancel_until t 0;
-    match propagate t with
-    | Some _ ->
-        mark_unsat t;
-        `Unusable
-    | None ->
-        let p = Cnf.Lit.to_index l in
-        if not (lbool_equal (lit_value t p) Unknown) then `Unusable
-        else begin
-          Vec.push t.trail_lim t.trail_size;
-          let base = t.trail_size in
-          enqueue t p None;
-          let outcome =
-            match propagate t with
-            | Some _ -> `Conflict
-            | None ->
-                `Implied
-                  (List.init (t.trail_size - base - 1) (fun i ->
-                       Cnf.Lit.of_index t.trail.(base + 1 + i)))
-          in
-          cancel_until t 0;
-          outcome
-        end
+    if propagate t <> Arena.none then begin
+      mark_unsat t;
+      `Unusable
+    end
+    else begin
+      let p = Cnf.Lit.to_index l in
+      if lit_code t p <> code_unknown then `Unusable
+      else begin
+        Ivec.push t.trail_lim t.trail_size;
+        let base = t.trail_size in
+        enqueue t p Arena.none;
+        let outcome =
+          if propagate t <> Arena.none then `Conflict
+          else
+            `Implied
+              (List.init (t.trail_size - base - 1) (fun i ->
+                   Cnf.Lit.of_index t.trail.(base + 1 + i)))
+        in
+        cancel_until t 0;
+        outcome
+      end
+    end
   end
 
 let okay t = t.ok
 
 let root_units t =
   (* after cancel_until 0 the entire trail is level-0 facts *)
-  let upto = if decision_level t = 0 then t.trail_size else Vec.get t.trail_lim 0 in
+  let upto = if decision_level t = 0 then t.trail_size else Ivec.get t.trail_lim 0 in
   List.init upto (fun i -> Cnf.Lit.of_index t.trail.(i))
 
-let learnt_binaries t =
-  let acc = ref [] in
-  Vec.iter
-    (fun c ->
-      if Array.length c.lits = 2 then
-        acc := (Cnf.Lit.of_index c.lits.(0), Cnf.Lit.of_index c.lits.(1)) :: !acc)
-    t.learnts;
-  !acc
+let n_root_units t =
+  if decision_level t = 0 then t.trail_size else Ivec.get t.trail_lim 0
+
+let root_units_from t k =
+  let upto = n_root_units t in
+  let k = max 0 (min k upto) in
+  List.init (upto - k) (fun i -> Cnf.Lit.of_index t.trail.(k + i))
+
+let n_learnt_binaries t = Ivec.size t.binlog / 2
+
+let learnt_binaries_from t k =
+  let n = n_learnt_binaries t in
+  let k = max 0 (min k n) in
+  List.init (n - k) (fun i ->
+      ( Cnf.Lit.of_index (Ivec.get t.binlog (2 * (k + i))),
+        Cnf.Lit.of_index (Ivec.get t.binlog ((2 * (k + i)) + 1)) ))
+
+let learnt_binaries t = learnt_binaries_from t 0
 
 let learnt_clauses t =
+  let a = t.arena in
   let acc = ref [] in
-  Vec.iter
-    (fun c -> acc := Array.to_list (Array.map Cnf.Lit.of_index c.lits) :: !acc)
+  Ivec.iter
+    (fun c ->
+      acc :=
+        List.init (Arena.n_lits a c) (fun i -> Cnf.Lit.of_index (Arena.lit a c i)) :: !acc)
     t.learnts;
   List.rev !acc
 
+(* Test/diagnostic hooks for the arena lifecycle. *)
+let reduce_learnts t = reduce_db t
+let arena_bytes t = Arena.capacity_bytes t.arena
+let arena_wasted_words t = Arena.wasted t.arena
+let n_live_learnts t = Ivec.size t.learnts
+
 let value t v = if v < 0 || v >= t.nvars then Unknown else var_value t v
 let stats t = t.stats
-

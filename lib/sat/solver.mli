@@ -74,8 +74,25 @@ val okay : t -> bool
 (** Literals forced at decision level 0 so far (learnt unit facts). *)
 val root_units : t -> Cnf.Lit.t list
 
-(** Learnt clauses of length 2 currently in the database. *)
+(** Number of level-0 facts, for use as a high-water mark with
+    {!root_units_from} when solving incrementally across rounds. *)
+val n_root_units : t -> int
+
+(** [root_units_from t k] is the level-0 facts after the first [k]
+    (i.e. those discovered since [n_root_units] returned [k]). *)
+val root_units_from : t -> int -> Cnf.Lit.t list
+
+(** Learnt clauses of length 2 (grow-only log: reduction never deletes
+    binaries, so every logged binary is still implied). *)
 val learnt_binaries : t -> (Cnf.Lit.t * Cnf.Lit.t) list
+
+(** Number of learnt binaries logged so far (high-water mark for
+    {!learnt_binaries_from}). *)
+val n_learnt_binaries : t -> int
+
+(** [learnt_binaries_from t k] is the binaries logged after the first
+    [k]. *)
+val learnt_binaries_from : t -> int -> (Cnf.Lit.t * Cnf.Lit.t) list
 
 (** All learnt clauses currently in the database, as literal lists. *)
 val learnt_clauses : t -> Cnf.Lit.t list list
@@ -93,6 +110,22 @@ val proof : t -> Cnf.Lit.t list list
 val value : t -> int -> Types.lbool
 
 val stats : t -> Types.stats
+
+(** Force a learnt-database reduction (mark-then-compact); exposed for
+    tests of the lazy-detach/compaction machinery. *)
+val reduce_learnts : t -> unit
+
+(** Force an arena compaction with a full watch rebuild. *)
+val compact : t -> unit
+
+(** Backing-store footprint of the clause arena in bytes. *)
+val arena_bytes : t -> int
+
+(** Words currently owned by deleted clauses awaiting compaction. *)
+val arena_wasted_words : t -> int
+
+(** Learnt clauses currently live (not deletion-marked). *)
+val n_live_learnts : t -> int
 
 (** [invariant_violations t] checks internal consistency — watch lists
     (every clause watched on its first two literals, every watcher

@@ -27,6 +27,8 @@ type stats = {
   mutable learnt_clauses : int;
   mutable deleted_clauses : int;
   mutable max_decision_level : int;
+  mutable lazy_detach_drops : int;
+  mutable arena_gcs : int;
 }
 
 let fresh_stats () =
@@ -38,10 +40,13 @@ let fresh_stats () =
     learnt_clauses = 0;
     deleted_clauses = 0;
     max_decision_level = 0;
+    lazy_detach_drops = 0;
+    arena_gcs = 0;
   }
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "conflicts=%d decisions=%d propagations=%d restarts=%d learnt=%d deleted=%d max_level=%d"
+    "conflicts=%d decisions=%d propagations=%d restarts=%d learnt=%d deleted=%d max_level=%d \
+     lazy_drops=%d arena_gcs=%d"
     s.conflicts s.decisions s.propagations s.restarts s.learnt_clauses s.deleted_clauses
-    s.max_decision_level
+    s.max_decision_level s.lazy_detach_drops s.arena_gcs

@@ -24,6 +24,10 @@ type stats = {
   mutable learnt_clauses : int;
   mutable deleted_clauses : int;
   mutable max_decision_level : int;
+  mutable lazy_detach_drops : int;
+      (** watchers of deleted clauses dropped during propagation (the lazy
+          replacement for eager watch-list detach scans) *)
+  mutable arena_gcs : int;  (** clause-arena compactions performed *)
 }
 
 val fresh_stats : unit -> stats

@@ -176,6 +176,21 @@ let test_certify_unsat_parity () =
   let r = Audit.Certify.certify outcome in
   check "unsat facts certified" true (Audit.Certify.all_certified r)
 
+let test_certify_both_sat_modes () =
+  (* audit_config inherits incremental_sat = true, so the other certify
+     tests already replay trails produced by the persistent solver; this
+     one pins down the fresh-solver-per-round path as well, and checks the
+     two modes certify the same number of facts on the quickstart system *)
+  let run incremental =
+    let config = { audit_config with incremental_sat = incremental } in
+    Audit.Certify.certify (Bosphorus.Driver.run ~config quickstart)
+  in
+  let inc = run true and fresh = run false in
+  check "incremental trail certifies" true (Audit.Certify.all_certified inc);
+  check "fresh trail certifies" true (Audit.Certify.all_certified fresh);
+  check_int "same number of certified facts" fresh.Audit.Certify.n_certified
+    inc.Audit.Certify.n_certified
+
 let test_certify_without_trail () =
   let config = { audit_config with audit_trail = false } in
   let outcome = Bosphorus.Driver.run ~config quickstart in
@@ -231,6 +246,7 @@ let suite =
         Alcotest.test_case "corrupt fact refuted" `Quick test_certify_refutes_corrupt_fact;
         Alcotest.test_case "simon certifies" `Quick test_certify_simon;
         Alcotest.test_case "unsat parity certifies" `Quick test_certify_unsat_parity;
+        Alcotest.test_case "both sat modes certify" `Quick test_certify_both_sat_modes;
         Alcotest.test_case "no trail" `Quick test_certify_without_trail;
       ] );
     ( "audit.invariant",

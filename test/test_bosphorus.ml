@@ -541,6 +541,89 @@ let prop_facts_always_implied =
                  sols)
           (B.Facts.to_list outcome.B.Driver.facts))
 
+(* ------------------------------------------------------------------ *)
+(* Incremental SAT rounds: one persistent solver fed per-round deltas
+   must decide exactly like a fresh solver per round, and an iteration
+   that adds no new polynomials must re-encode nothing.                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_mode ~incremental polys =
+  let config =
+    {
+      B.Config.default with
+      B.Config.incremental_sat = incremental;
+      B.Config.stop_on_solution = false;
+    }
+  in
+  B.Driver.run ~config polys
+
+let fact_polys outcome =
+  List.sort_uniq P.compare (List.map snd (B.Facts.to_list outcome.B.Driver.facts))
+
+let verdict outcome =
+  match outcome.B.Driver.status with
+  | B.Driver.Solved_sat _ -> `Sat
+  | B.Driver.Solved_unsat -> `Unsat
+  | B.Driver.Processed -> `Processed
+
+let test_incremental_matches_fresh_fixed () =
+  List.iter
+    (fun (name, polys) ->
+      let inc = run_mode ~incremental:true polys in
+      let fresh = run_mode ~incremental:false polys in
+      check (name ^ ": verdict agrees") true (verdict inc = verdict fresh);
+      check (name ^ ": same final fact set") true
+        (List.equal P.equal (fact_polys inc) (fact_polys fresh)))
+    [
+      ("paper system", paper_system ());
+      ("table1", table1_system ());
+      ("unsat pair", [ poly "x1*x2 + 1"; poly "x1 + x2 + 1" ]);
+    ]
+
+let test_incremental_reuses_encodings () =
+  (* a cipher instance: large enough that the algebraic stages leave most
+     of the ANF untouched between iterations, so poly-level reuse shows *)
+  let config =
+    {
+      B.Config.default with
+      B.Config.incremental_sat = true;
+      stop_on_solution = false;
+      max_iterations = 3;
+      sat_budget_start = 2_000;
+      sat_budget_max = 8_000;
+      sat_budget_step = 3_000;
+    }
+  in
+  let rng = Random.State.make [| 77 |] in
+  let inst = Ciphers.Simon.instance ~rounds:4 ~n_plaintexts:2 ~rng () in
+  let outcome = B.Driver.run ~config inst.Ciphers.Simon.equations in
+  let rounds = outcome.B.Driver.sat_rounds in
+  check "ran at least two rounds" true (List.length rounds >= 2);
+  check "later rounds reuse earlier encodings" true
+    (List.exists (fun r -> r.B.Driver.round_reused > 0) rounds);
+  let last = List.nth rounds (List.length rounds - 1) in
+  check_int "unchanged iteration re-encodes nothing" 0 last.B.Driver.round_encoded;
+  check_int "and emits no clauses" 0 last.B.Driver.round_delta_clauses;
+  (* the fresh path reports no reuse, by definition *)
+  let fresh =
+    B.Driver.run
+      ~config:{ config with B.Config.incremental_sat = false }
+      inst.Ciphers.Simon.equations
+  in
+  check "fresh path encodes every round" true
+    (List.for_all
+       (fun r -> r.B.Driver.round_reused = 0)
+       fresh.B.Driver.sat_rounds)
+
+let prop_incremental_matches_fresh =
+  QCheck.Test.make ~name:"incremental driver matches fresh-solver driver" ~count:60
+    arb_system
+    (fun polys ->
+      let inc = run_mode ~incremental:true polys in
+      let fresh = run_mode ~incremental:false polys in
+      verdict inc = verdict fresh
+      && List.equal P.equal (fact_polys inc) (fact_polys fresh))
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -550,6 +633,7 @@ let qcheck_cases =
       prop_driver_preserves_solution_set;
       prop_monomial_aux_extension_sound;
       prop_facts_always_implied;
+      prop_incremental_matches_fresh;
     ]
 
 let main_suite =
@@ -602,6 +686,10 @@ let main_suite =
         Alcotest.test_case "cnf preprocessor detects unsat" `Quick test_driver_cnf_preprocessor;
         Alcotest.test_case "cnf preprocessor finds solution" `Quick test_driver_cnf_sat_solution;
         Alcotest.test_case "augmented cnf equisatisfiable" `Quick test_augmented_cnf_equisatisfiable;
+        Alcotest.test_case "incremental matches fresh (fixed systems)" `Quick
+          test_incremental_matches_fresh_fixed;
+        Alcotest.test_case "incremental reuses encodings" `Quick
+          test_incremental_reuses_encodings;
       ] );
     ("bosphorus.properties", qcheck_cases);
   ]

@@ -735,4 +735,121 @@ let concurrency_suite =
           test_concurrent_solver_instances ] );
   ]
 
-let suite = main_suite @ probe_suite @ enumerate_suite @ proof_suite @ concurrency_suite
+(* ------------------------------------------------------------------ *)
+(* Clause arena: lazy detach, compaction, and equivalence               *)
+(* ------------------------------------------------------------------ *)
+
+(* Regression: reduce_db must not walk watch lists to detach the clauses
+   it deletes.  Construction: a formula large enough that the marked
+   learnts stay under the compaction threshold (problem words dominate),
+   so the deleted clauses remain on watch lists and are only dropped
+   lazily when propagation next visits them. *)
+let test_lazy_detach_no_watch_rescan () =
+  let rng = Random.State.make [| 42 |] in
+  let f = Problems.Generators.random_ksat ~nvars:600 ~n_clauses:2560 ~k:3 ~rng in
+  let s = S.create ~nvars:(Cnf.Formula.nvars f) () in
+  ignore (S.add_formula s f);
+  (match S.solve ~conflict_budget:150 s with
+  | Sat.Types.Undecided -> ()
+  | Sat.Types.Sat _ | Sat.Types.Unsat ->
+      Alcotest.fail "instance decided inside warm-up budget; regression setup broken");
+  let st = S.stats s in
+  let gcs_before = st.Sat.Types.arena_gcs in
+  let drops_before = st.Sat.Types.lazy_detach_drops in
+  let live_before = S.n_live_learnts s in
+  S.reduce_learnts s;
+  check "reduce_db marked learnts" true (S.n_live_learnts s < live_before);
+  check "marked clauses merely counted as waste" true (S.arena_wasted_words s > 0);
+  check_int "no compaction triggered (learnt words stay under threshold)" gcs_before
+    st.Sat.Types.arena_gcs;
+  check_int "reduce_db itself touches no watch list" drops_before
+    st.Sat.Types.lazy_detach_drops;
+  Alcotest.(check (list string)) "stale watchers are a legal state" []
+    (S.invariant_violations s);
+  (* continued search must shed the stale watchers during propagation *)
+  ignore (S.solve ~conflict_budget:2000 s);
+  check "propagation lazily dropped deleted watchers" true
+    (st.Sat.Types.lazy_detach_drops > drops_before);
+  Alcotest.(check (list string)) "invariants hold after lazy drops" []
+    (S.invariant_violations s)
+
+let test_compact_mid_search_preserves_verdict () =
+  let rng = Random.State.make [| 7 |] in
+  let f = Problems.Generators.parity_chain ~vertices:20 ~satisfiable:false ~rng in
+  let s = S.create ~nvars:(Cnf.Formula.nvars f) () in
+  ignore (S.add_formula s f);
+  let rec go budget_rounds =
+    match S.solve ~conflict_budget:60 s with
+    | Sat.Types.Undecided when budget_rounds > 0 ->
+        S.reduce_learnts s;
+        S.compact s;
+        check_int "compaction leaves no waste" 0 (S.arena_wasted_words s);
+        Alcotest.(check (list string)) "invariants hold after compaction" []
+          (S.invariant_violations s);
+        go (budget_rounds - 1)
+    | r -> r
+  in
+  check "unsat survives repeated mid-search compaction" true (is_unsat (go 200));
+  check "at least one compaction actually ran" true
+    ((S.stats s).Sat.Types.arena_gcs > 0)
+
+let prop_reduce_compact_matches_brute_force =
+  QCheck.Test.make
+    ~name:"verdicts and models unchanged by reduce_db + compaction" ~count:200 arb_cnf
+    (fun (nvars, cls) ->
+      let f = formula_of (nvars, cls) in
+      let expected = Cnf.Formula.brute_force_sat f in
+      let s = solver_of_dimacs_clauses ~nvars cls in
+      (* squeeze the search through many tiny budgets, reducing and
+         compacting between every slice *)
+      let rec go n =
+        match S.solve ~conflict_budget:3 s with
+        | Sat.Types.Undecided when n > 0 ->
+            S.reduce_learnts s;
+            S.compact s;
+            go (n - 1)
+        | r -> r
+      in
+      match (expected, go 5000) with
+      | Some true, Sat.Types.Sat model -> Cnf.Formula.eval (fun v -> model.(v)) f
+      | Some false, Sat.Types.Unsat -> true
+      | _, _ -> false)
+
+(* RUP certificates must survive arena compaction: the proof log indexes
+   literals, not clause offsets, so moving every clause mid-search cannot
+   invalidate the replay. *)
+let test_proof_survives_compaction () =
+  let f = Problems.Generators.pigeonhole ~holes:4 in
+  let s = S.create ~nvars:(Cnf.Formula.nvars f) () in
+  S.enable_proof s;
+  ignore (S.add_formula s f);
+  let rec go n =
+    match S.solve ~conflict_budget:25 s with
+    | Sat.Types.Undecided when n > 0 ->
+        S.reduce_learnts s;
+        S.compact s;
+        go (n - 1)
+    | r -> r
+  in
+  check "pigeonhole unsat" true (is_unsat (go 1000));
+  check "compaction happened during the proof" true
+    ((S.stats s).Sat.Types.arena_gcs > 0);
+  check "certificate still replays" true (Sat.Proof.check f (S.proof s))
+
+let arena_suite =
+  [
+    ( "sat.arena",
+      [
+        Alcotest.test_case "reduce_db does not rescan watch lists" `Quick
+          test_lazy_detach_no_watch_rescan;
+        Alcotest.test_case "compaction mid-search preserves verdict" `Quick
+          test_compact_mid_search_preserves_verdict;
+        Alcotest.test_case "proof survives compaction" `Quick
+          test_proof_survives_compaction;
+        QCheck_alcotest.to_alcotest prop_reduce_compact_matches_brute_force;
+      ] );
+  ]
+
+let suite =
+  main_suite @ probe_suite @ enumerate_suite @ proof_suite @ concurrency_suite
+  @ arena_suite
