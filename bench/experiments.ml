@@ -59,7 +59,8 @@ let example () =
         (fun (x, v) -> if x >= 1 then Format.printf " x%d=%d" x (if v then 1 else 0))
         sol;
       Format.printf "@."
-  | Bosphorus.Driver.Solved_unsat | Bosphorus.Driver.Processed ->
+  | Bosphorus.Driver.Solved_unsat | Bosphorus.Driver.Processed
+  | Bosphorus.Driver.Degraded ->
       Format.printf "driver: unexpected status@.");
   Format.printf "(paper: unique solution x1 = x2 = x3 = x4 = 1, x5 = 0)@."
 
@@ -154,8 +155,35 @@ let table2 ?(quick = false) ?family_filter ?(jobs = 1) ?json () =
                 acc + Bosphorus.Facts.size pre.Runners.outcome.Bosphorus.Driver.facts)
               0 per_instance
           in
+          (* aggregate budget accounting over the family's instances:
+             how many runs degraded, plus the summed conflict spend and
+             the largest monomial gauge seen *)
+          let reports =
+            List.filter_map
+              (fun (_, pre, _) ->
+                pre.Runners.outcome.Bosphorus.Driver.budget_report)
+              per_instance
+          in
+          let extras =
+            if reports = [] then []
+            else
+              [ ( "degraded_runs",
+                  float_of_int
+                    (List.length
+                       (List.filter (fun r -> r.Harness.Budget.trip <> None) reports)) );
+                ( "conflicts_used",
+                  float_of_int
+                    (List.fold_left
+                       (fun a r -> a + r.Harness.Budget.conflicts_used)
+                       0 reports) );
+                ( "cells_peak",
+                  float_of_int
+                    (List.fold_left
+                       (fun a r -> max a r.Harness.Budget.cells_peak)
+                       0 reports) ) ]
+          in
           Json_out.add j ~experiment:"table2" ~family:family.Families.label ~wall_s:fam_wall
-            ~facts ~jobs ());
+            ~facts ~extras ~jobs ());
       if jobs > 1 then
         Format.printf "  [%s: wall %.2fs, process CPU %.2fs across %d jobs]@."
           family.Families.label fam_wall fam_cpu jobs;
@@ -218,6 +246,7 @@ let ablation () =
           | Bosphorus.Driver.Solved_sat _ -> "solved (SAT)"
           | Bosphorus.Driver.Solved_unsat -> "solved (UNSAT)"
           | Bosphorus.Driver.Processed -> "processed"
+          | Bosphorus.Driver.Degraded -> "degraded"
         in
         [
           name;
@@ -319,13 +348,14 @@ let incremental ?(quick = false) ?json () =
               ~facts:(Bosphorus.Facts.size outcome.Bosphorus.Driver.facts)
               ~jobs:1
               ~extras:
-                [ ("rounds", float_of_int (List.length outcome.Bosphorus.Driver.sat_rounds));
-                  ("reused_clauses", float_of_int reused_clauses);
-                  ("reused_polys", float_of_int reused_polys);
-                  ("propagations", float_of_int props);
-                  ("conflicts", float_of_int conflicts);
-                  ("gc_minor_words", perf.Harness.Perf.minor_words);
-                  ("gc_major_words", perf.Harness.Perf.major_words) ]
+                ([ ("rounds", float_of_int (List.length outcome.Bosphorus.Driver.sat_rounds));
+                   ("reused_clauses", float_of_int reused_clauses);
+                   ("reused_polys", float_of_int reused_polys);
+                   ("propagations", float_of_int props);
+                   ("conflicts", float_of_int conflicts);
+                   ("gc_minor_words", perf.Harness.Perf.minor_words);
+                   ("gc_major_words", perf.Harness.Perf.major_words) ]
+                @ Runners.budget_extras outcome)
               ());
         [ label;
           string_of_int (List.length outcome.Bosphorus.Driver.sat_rounds);

@@ -21,6 +21,13 @@ let bosphorus_config =
 
 let convert_config = Bosphorus.Config.default
 
+(* flat numeric view of an outcome's budget accounting for the bench JSON
+   extras; empty when the run carried no budget report *)
+let budget_extras (outcome : Bosphorus.Driver.outcome) =
+  match outcome.Bosphorus.Driver.budget_report with
+  | None -> []
+  | Some r -> Harness.Budget.report_numeric_fields r
+
 let run_of result time_s =
   match result with
   | Sat.Types.Sat _ -> { Harness.Par2.solved = true; sat = Some true; time_s }
@@ -69,7 +76,7 @@ let solve_with profile pre =
       { Harness.Par2.solved = true; sat = Some true; time_s = pre.prep_time }
   | Bosphorus.Driver.Solved_unsat ->
       { Harness.Par2.solved = true; sat = Some false; time_s = pre.prep_time }
-  | Bosphorus.Driver.Processed ->
+  | Bosphorus.Driver.Processed | Bosphorus.Driver.Degraded ->
       let (out : Sat.Profiles.output), secs =
         Harness.Timing.time (fun () ->
             Sat.Profiles.solve ~conflict_budget:final_conflict_budget

@@ -30,6 +30,7 @@ let pp_status ppf = function
   | Bosphorus.Driver.Solved_sat _ -> Format.pp_print_string ppf "SATISFIABLE"
   | Bosphorus.Driver.Solved_unsat -> Format.pp_print_string ppf "UNSATISFIABLE"
   | Bosphorus.Driver.Processed -> Format.pp_print_string ppf "PROCESSED"
+  | Bosphorus.Driver.Degraded -> Format.pp_print_string ppf "DEGRADED"
 
 let report outcome =
   let facts = outcome.Bosphorus.Driver.facts in
@@ -47,12 +48,17 @@ let report outcome =
     (List.length outcome.Bosphorus.Driver.anf)
     (Cnf.Formula.nvars outcome.Bosphorus.Driver.cnf)
     (Cnf.Formula.n_clauses outcome.Bosphorus.Driver.cnf);
+  (match outcome.Bosphorus.Driver.budget_report with
+  | Some r -> Format.printf "budget: %a@." Harness.Budget.pp_report r
+  | None -> ());
   match outcome.Bosphorus.Driver.status with
   | Bosphorus.Driver.Solved_sat sol ->
       Format.printf "solution:";
       List.iter (fun (x, v) -> Format.printf " x%d=%d" x (if v then 1 else 0)) sol;
       Format.printf "@."
-  | Bosphorus.Driver.Solved_unsat | Bosphorus.Driver.Processed -> ()
+  | Bosphorus.Driver.Solved_unsat | Bosphorus.Driver.Processed
+  | Bosphorus.Driver.Degraded ->
+      ()
 
 let final_solve profile_name budget cnf =
   match Sat.Profiles.of_name profile_name with
@@ -67,6 +73,54 @@ let final_solve profile_name budget cnf =
       | Some st -> Format.printf "stats: %a@." Sat.Types.pp_stats st
       | None -> ());
       Ok ()
+
+(* --budget-report FILE: dump the run's resource accounting as a small
+   JSON object (one per run), written even when no ceiling was set. *)
+let write_budget_report path outcome =
+  let esc s =
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (function
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let status = Format.asprintf "%a" pp_status outcome.Bosphorus.Driver.status in
+      match outcome.Bosphorus.Driver.budget_report with
+      | None ->
+          Printf.fprintf oc "{ \"status\": \"%s\", \"tripped\": false }\n" (esc status)
+      | Some r ->
+          Printf.fprintf oc "{ \"status\": \"%s\"" (esc status);
+          (match r.Harness.Budget.trip with
+          | None -> Printf.fprintf oc ", \"tripped\": false"
+          | Some t ->
+              Printf.fprintf oc
+                ", \"tripped\": true, \"trip_kind\": \"%s\", \"trip_layer\": \"%s\", \
+                 \"trip_iteration\": %d, \"trip_detail\": \"%s\""
+                (esc (Harness.Budget.kind_name t.Harness.Budget.kind))
+                (esc t.Harness.Budget.layer) t.Harness.Budget.at_iteration
+                (esc t.Harness.Budget.detail));
+          Printf.fprintf oc
+            ", \"wall_s\": %.6f, \"conflicts_used\": %d, \"cells_peak\": %d, \"polls\": %d }\n"
+            r.Harness.Budget.wall_s r.Harness.Budget.conflicts_used
+            r.Harness.Budget.cells_peak r.Harness.Budget.polls)
+
+(* --status-exit-codes: Sat/Unsat/Degraded leave through distinct exit
+   codes so scripts (the CI fuzz-smoke job) can tell the three apart
+   without parsing output; PROCESSED keeps the plain success code. *)
+let status_exit_code = function
+  | Bosphorus.Driver.Solved_sat _ -> 10
+  | Bosphorus.Driver.Solved_unsat -> 20
+  | Bosphorus.Driver.Degraded -> 30
+  | Bosphorus.Driver.Processed -> 0
 
 (* --lint: run the audit layer's structural linter over the input file and
    every pipeline-produced artifact; errors make the run fail. *)
@@ -115,7 +169,7 @@ let run_audit outcome =
   end
 
 let run_main input format_opt out_anf out_cnf solver budget no_learning lint audit
-    config =
+    budget_report_path status_exit_codes config =
   let config =
     if audit then { config with Bosphorus.Config.audit_trail = true } else config
   in
@@ -142,6 +196,7 @@ let run_main input format_opt out_anf out_cnf solver budget no_learning lint aud
             sat_calls = 0;
             sat_rounds = [];
             trail = None;
+            budget_report = None;
           }
         else Bosphorus.Driver.run ~config polys
     | `Cnf (f, xors) ->
@@ -155,6 +210,7 @@ let run_main input format_opt out_anf out_cnf solver budget no_learning lint aud
             sat_calls = 0;
             sat_rounds = [];
             trail = None;
+            budget_report = None;
           }
         else
           let outcome = Bosphorus.Driver.run_cnf ~config ~xors f in
@@ -163,17 +219,22 @@ let run_main input format_opt out_anf out_cnf solver budget no_learning lint aud
           { outcome with Bosphorus.Driver.cnf = Bosphorus.Driver.augmented_cnf f outcome }
   in
   report outcome;
+  Option.iter (fun path -> write_budget_report path outcome) budget_report_path;
   let* () = if lint then run_lint format input outcome else Ok () in
   let* () = if audit then run_audit outcome else Ok () in
   Option.iter (fun path -> Anf.Anf_io.write_file path outcome.Bosphorus.Driver.anf) out_anf;
   Option.iter (fun path -> Cnf.Dimacs.write_file path outcome.Bosphorus.Driver.cnf) out_cnf;
-  match solver with
-  | Some name when outcome.Bosphorus.Driver.status = Bosphorus.Driver.Processed ->
-      final_solve name budget outcome.Bosphorus.Driver.cnf
-  | Some name ->
-      Format.printf "(skipping final %s solve: already decided)@." name;
-      Ok ()
-  | None -> Ok ()
+  let* () =
+    match (solver, outcome.Bosphorus.Driver.status) with
+    | Some name, (Bosphorus.Driver.Processed | Bosphorus.Driver.Degraded) ->
+        final_solve name budget outcome.Bosphorus.Driver.cnf
+    | Some name, _ ->
+        Format.printf "(skipping final %s solve: already decided)@." name;
+        Ok ()
+    | None, _ -> Ok ()
+  in
+  if status_exit_codes then exit (status_exit_code outcome.Bosphorus.Driver.status);
+  Ok ()
 
 open Cmdliner
 
@@ -214,6 +275,19 @@ let audit_arg =
                  registered invariant checks; exit nonzero unless all facts \
                  certify.")
 
+let budget_report_arg =
+  Arg.(value & opt (some string) None
+       & info [ "budget-report" ] ~docv:"FILE"
+           ~doc:"Write the run's resource accounting (trip kind/layer, wall \
+                 time, cumulative conflicts, peak monomial gauge) as JSON.")
+
+let status_exit_codes_arg =
+  Arg.(value & flag
+       & info [ "status-exit-codes" ]
+           ~doc:"Exit with 10 (SATISFIABLE), 20 (UNSATISFIABLE), 30 (DEGRADED) \
+                 or 0 (PROCESSED) so scripts can distinguish outcomes; off by \
+                 default, where any completed run exits 0.")
+
 let config_term =
   let open Bosphorus.Config in
   let m = Arg.(value & opt int default.xl_sample_bits & info [ "M" ] ~doc:"XL/ElimLin subsample bits (linearised size ~2^M).") in
@@ -233,7 +307,29 @@ let config_term =
                    1 runs sequentially; 0 picks the machine's recommended \
                    domain count.  Results are identical for every value.")
   in
-  let build m dm d k l l' c0 iters seed jobs =
+  let timeout =
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ] ~docv:"SECS"
+             ~doc:"Wall-clock budget for the whole learning loop.  When it \
+                   trips the run ends gracefully with status DEGRADED, \
+                   keeping every fact learnt so far.")
+  in
+  let max_mem =
+    Arg.(value & opt (some int) None
+         & info [ "max-memory-monomials" ] ~docv:"N"
+             ~doc:"Memory ceiling as a monomial/clause count (the dominant \
+                   allocator in every layer); tripping it degrades the run \
+                   like --timeout.")
+  in
+  let max_conf =
+    Arg.(value & opt (some int) None
+         & info [ "max-total-conflicts" ] ~docv:"N"
+             ~doc:"Ceiling on cumulative CDCL conflicts across all SAT \
+                   rounds (solver-reported counts, not requested budgets); \
+                   tripping it degrades the run like --timeout.")
+  in
+  let build m dm d k l l' c0 iters seed jobs timeout_s max_memory_monomials
+      max_total_conflicts =
     {
       default with
       xl_sample_bits = m;
@@ -246,16 +342,22 @@ let config_term =
       max_iterations = iters;
       seed;
       jobs = (if jobs <= 0 then Runtime.Pool.default_jobs () else jobs);
+      timeout_s;
+      max_memory_monomials;
+      max_total_conflicts;
     }
   in
-  Term.(const build $ m $ dm $ d $ k $ l $ l' $ c0 $ iters $ seed $ jobs)
+  Term.(
+    const build $ m $ dm $ d $ k $ l $ l' $ c0 $ iters $ seed $ jobs $ timeout
+    $ max_mem $ max_conf)
 
 let cmd =
   let doc = "bridge ANF and CNF solvers by iterative fact learning" in
   let term =
     Term.(
       const run_main $ input_arg $ format_arg $ out_anf_arg $ out_cnf_arg $ solver_arg
-      $ budget_arg $ no_learning_arg $ lint_arg $ audit_arg $ config_term)
+      $ budget_arg $ no_learning_arg $ lint_arg $ audit_arg $ budget_report_arg
+      $ status_exit_codes_arg $ config_term)
   in
   Cmd.v (Cmd.info "bosphorus" ~doc) Term.(term_result term)
 

@@ -65,7 +65,7 @@ let () =
   | Bosphorus.Driver.Solved_unsat ->
       Format.printf "UNSAT?! the instance is satisfiable by construction@.";
       exit 1
-  | Bosphorus.Driver.Processed -> (
+  | Bosphorus.Driver.Processed | Bosphorus.Driver.Degraded -> (
       Format.printf "fixed point; solving the processed CNF (cms5 profile)@.";
       let out = Sat.Profiles.solve Sat.Profiles.Cms5 outcome.Bosphorus.Driver.cnf in
       match out.Sat.Profiles.result with

@@ -47,7 +47,7 @@ let () =
       Format.printf "  the ANF techniques derived 1 = 0: UNSAT without any CDCL search@."
   | Bosphorus.Driver.Solved_sat _ ->
       Format.printf "  solved during preprocessing (SAT)@."
-  | Bosphorus.Driver.Processed ->
+  | Bosphorus.Driver.Processed | Bosphorus.Driver.Degraded ->
       let augmented = Bosphorus.Driver.augmented_cnf formula outcome in
       Format.printf "  augmented CNF: %d clauses (was %d)@."
         (Cnf.Formula.n_clauses augmented)

@@ -46,4 +46,5 @@ let () =
         sol;
       Format.printf "@.(paper: x1 = x2 = x3 = x4 = 1 and x5 = 0)@."
   | Bosphorus.Driver.Solved_unsat -> Format.printf "UNSAT?! (the system is satisfiable)@."
-  | Bosphorus.Driver.Processed -> Format.printf "fixed point without a decision@."
+  | Bosphorus.Driver.Processed | Bosphorus.Driver.Degraded ->
+      Format.printf "fixed point without a decision@."

@@ -83,7 +83,7 @@ let () =
   | Bosphorus.Driver.Solved_unsat ->
       Format.printf "  UNSAT?! instance is satisfiable by construction@.";
       exit 1
-  | Bosphorus.Driver.Processed -> (
+  | Bosphorus.Driver.Processed | Bosphorus.Driver.Degraded -> (
       Format.printf "  processed CNF: %d vars, %d clauses@."
         (Cnf.Formula.nvars outcome.Bosphorus.Driver.cnf)
         (Cnf.Formula.n_clauses outcome.Bosphorus.Driver.cnf);

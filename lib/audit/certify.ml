@@ -269,7 +269,8 @@ let certify ?max_product_degree ?(max_products = 200_000) ?input
               if List.for_all (fun v -> lookup v <> None) (P.vars fact) then
                 P.eval (fun x -> Option.value ~default:false (lookup x)) fact
               else false
-        | Bosphorus.Driver.Solved_unsat | Bosphorus.Driver.Processed ->
+        | Bosphorus.Driver.Solved_unsat | Bosphorus.Driver.Processed
+        | Bosphorus.Driver.Degraded ->
             fun _ -> false
       in
       let facts =

@@ -17,6 +17,9 @@ type t = {
   audit_trail : bool;
   jobs : int;
   incremental_sat : bool;
+  timeout_s : float option;
+  max_memory_monomials : int option;
+  max_total_conflicts : int option;
 }
 
 let paper =
@@ -39,6 +42,9 @@ let paper =
     audit_trail = false;
     jobs = 1;
     incremental_sat = true;
+    timeout_s = None;
+    max_memory_monomials = None;
+    max_total_conflicts = None;
   }
 
 (* Laptop-scale defaults: same semantics, smaller linearised systems and

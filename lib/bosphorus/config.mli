@@ -55,6 +55,27 @@ type t = {
           activities and saved phases.  Semantics-preserving (the final
           fact set matches the from-scratch driver); on by default.
           See DESIGN.md, "Clause arena & incremental SAT rounds". *)
+  timeout_s : float option;
+      (** global wall-clock budget for one driver run ([--timeout]).  On
+          expiry the run degrades gracefully: in-flight stages stop at
+          their next cooperative poll, the outcome carries every fact
+          learnt so far and reports [Degraded] with a structured
+          {!Harness.Budget.report}.  The driver reserves a slice of this
+          budget (25%, capped at 1s) as a finalization grace period so
+          the whole call — including folding in the last partial fact
+          batch and emitting the processed CNF — respects the timeout,
+          not just the learning loop.  [None] (default): unlimited. *)
+  max_memory_monomials : int option;
+      (** global memory ceiling expressed as a monomial/clause count
+          ([--max-memory-monomials]) — the gauge tracks the master
+          system's monomial total and each XL expansion's distinct-column
+          count.  [None] (default): unlimited. *)
+  max_total_conflicts : int option;
+      (** cumulative CDCL conflict ceiling across all SAT rounds
+          ([--max-total-conflicts]), accounted from solver-reported
+          conflict counts (not requested budgets).  Per-round budgets are
+          still [sat_budget_*], clipped to what remains.  [None]
+          (default): unlimited. *)
 }
 
 val default : t

@@ -5,6 +5,7 @@ type status =
   | Solved_sat of (int * bool) list
   | Solved_unsat
   | Processed
+  | Degraded
 
 type round_info = {
   round_encoded : int;
@@ -23,6 +24,7 @@ type outcome = {
   sat_calls : int;
   sat_rounds : round_info list;
   trail : Audit_trail.t option;
+  budget_report : Harness.Budget.report option;
 }
 
 type stages = {
@@ -129,6 +131,24 @@ let probe_facts ~config ~anf_nvars solver =
 
 let run_with_stages ?(config = Config.default) ~stages polys =
   let rng = Random.State.make [| config.Config.seed |] in
+  (* One budget governs the whole run: wall clock, monomial/clause gauge
+     and cumulative solver conflicts.  It is created even when unlimited
+     so that fault injection can trip any layer deterministically. *)
+  (* The learning loop gets the configured wall budget minus a
+     finalization reserve (25%, capped at 1s): after a trip the driver
+     still has to fold the last partial fact batch in and emit the
+     processed CNF, and that grace period is what lets the whole call
+     respect [timeout_s] rather than just the loop. *)
+  let loop_timeout_s =
+    Option.map
+      (fun t -> t -. Float.min 1.0 (0.25 *. t))
+      config.Config.timeout_s
+  in
+  let budget =
+    Harness.Budget.create ?timeout_s:loop_timeout_s
+      ?max_memory_monomials:config.Config.max_memory_monomials
+      ?max_total_conflicts:config.Config.max_total_conflicts ()
+  in
   let orig_nvars = List.fold_left (fun acc p -> max acc (P.max_var p + 1)) 0 polys in
   let master = S.create polys in
   let trail =
@@ -181,7 +201,12 @@ let run_with_stages ?(config = Config.default) ~stages polys =
           incr added
         end)
       candidate_facts;
-    if !added > 0 then propagate_and_record ();
+    (* After a trip the batch's facts are kept (each is sound on its own)
+       but the closing propagation pass is skipped: it can cost a large
+       fraction of a second on a dense master, and the budget has already
+       expired.  Propagation only rewrites the master into an equivalent
+       form, so skipping it loses derived facts, never soundness. *)
+    if !added > 0 && Harness.Budget.tripped budget = None then propagate_and_record ();
     !added
   in
   (* reconstruct a full assignment for the original variables from a model
@@ -236,6 +261,17 @@ let run_with_stages ?(config = Config.default) ~stages polys =
       }
       :: !sat_rounds
   in
+  (* Per-round solver budget: the adaptive ladder, clipped to whatever the
+     global conflict ceiling still allows.  Cumulative accounting below
+     charges the solver-reported conflict count — never the requested
+     budget, which the solver may undershoot (or overshoot by the one
+     conflict needed to notice a zero budget). *)
+  let round_conflict_budget () =
+    match Harness.Budget.remaining_conflicts budget with
+    | None -> !sat_budget
+    | Some r -> min !sat_budget r
+  in
+  let budget_interrupt () = Harness.Budget.poll_quiet budget ~layer:"sat" in
   (* From-scratch SAT stage: re-encode the whole master and solve in a
      fresh solver (the reference semantics; Config.incremental_sat=false). *)
   let sat_stage_fresh () =
@@ -251,7 +287,11 @@ let run_with_stages ?(config = Config.default) ~stages polys =
         0
       end
       else begin
-        let result = Sat.Solver.solve ~conflict_budget:!sat_budget solver in
+        let result =
+          Sat.Solver.solve ~conflict_budget:(round_conflict_budget ())
+            ?time_budget_s:(Harness.Budget.remaining_time_s budget)
+            ~interrupt:budget_interrupt solver
+        in
         let binaries = Sat.Solver.learnt_binaries solver in
         harvest ~anf_nvars:conv.Anf_to_cnf.anf_nvars
           ~mono_of_var:conv.Anf_to_cnf.mono_of_var ~solver ~result
@@ -263,6 +303,7 @@ let run_with_stages ?(config = Config.default) ~stages polys =
       ~delta_clauses:(List.length (Cnf.Formula.clauses conv.Anf_to_cnf.formula))
       ~props:st.Sat.Types.propagations ~conflicts:st.Sat.Types.conflicts;
     record_trail ~formula:conv.Anf_to_cnf.formula solver;
+    Harness.Budget.charge_conflicts budget ~layer:"sat" st.Sat.Types.conflicts;
     added
   in
   (* Incremental SAT stage: one conversion state and one solver persist
@@ -302,7 +343,11 @@ let run_with_stages ?(config = Config.default) ~stages polys =
         0
       end
       else begin
-        let result = Sat.Solver.solve ~conflict_budget:!sat_budget solver in
+        let result =
+          Sat.Solver.solve ~conflict_budget:(round_conflict_budget ())
+            ?time_budget_s:(Harness.Budget.remaining_time_s budget)
+            ~interrupt:budget_interrupt solver
+        in
         let units = Sat.Solver.root_units_from solver !units_hwm in
         units_hwm := Sat.Solver.n_root_units solver;
         let candidates = Sat.Solver.learnt_binaries_from solver !bins_hwm in
@@ -318,13 +363,26 @@ let run_with_stages ?(config = Config.default) ~stages polys =
       ~props:(st.Sat.Types.propagations - props0)
       ~conflicts:(st.Sat.Types.conflicts - conflicts0);
     record_trail ~formula:conv.Anf_to_cnf.formula solver;
+    Harness.Budget.charge_conflicts budget ~layer:"sat"
+      (st.Sat.Types.conflicts - conflicts0);
     added
   in
   let sat_stage () =
     if config.Config.incremental_sat then sat_stage_incremental ()
     else sat_stage_fresh ()
   in
+  (* The monomial gauge tracks the master's total term count; XL adds its
+     expansion columns on top while it runs. *)
+  let update_gauge () =
+    let cells = ref 0 in
+    S.iter master (fun _ p -> cells := !cells + P.n_terms p);
+    Harness.Budget.set_cells budget !cells
+  in
   propagate_and_record ();
+  (* A budget trip anywhere in the loop lands here: XL/ElimLin/SAT have
+     already folded their partial-but-sound results into the master and
+     the fact store, so catching [Tripped] loses nothing — the run simply
+     stops learning and reports [Degraded] below. *)
   (try
      while
        (not !unsat)
@@ -332,42 +390,63 @@ let run_with_stages ?(config = Config.default) ~stages polys =
        && not (config.Config.stop_on_solution && !solution <> None)
      do
        incr iterations;
+       Harness.Budget.set_iteration budget !iterations;
+       update_gauge ();
+       Harness.Budget.check budget ~layer:"driver";
        let added = ref 0 in
        if stages.use_xl && not !unsat then begin
-         let report = Xl.run ~config ~rng (S.to_list master) in
+         let report = Xl.run ~config ~rng ~budget (S.to_list master) in
          added := !added + add_facts Facts.Xl report.Xl.facts
        end;
+       if Harness.Budget.tripped budget <> None then raise Exit;
        if stages.use_elimlin && not !unsat then begin
-         let report = Elimlin.run ~config ~rng (S.to_list master) in
+         let report = Elimlin.run ~config ~rng ~budget (S.to_list master) in
          added := !added + add_facts Facts.Elimlin report.Elimlin.facts
        end;
+       if Harness.Budget.tripped budget <> None then raise Exit;
        if stages.use_groebner && not !unsat then begin
          let report = Groebner.run (S.to_list master) in
          added := !added + add_facts Facts.Groebner report.Groebner.facts
        end;
-       let sat_added = if stages.use_sat && not !unsat then sat_stage () else 0 in
+       let sat_added =
+         if stages.use_sat && not !unsat then begin
+           update_gauge ();
+           Harness.Budget.check budget ~layer:"sat";
+           sat_stage ()
+         end
+         else 0
+       in
        added := !added + sat_added;
+       if Harness.Budget.tripped budget <> None then raise Exit;
        if stages.use_sat && sat_added = 0 && !sat_budget < config.Config.sat_budget_max
        then sat_budget := min config.Config.sat_budget_max (!sat_budget + config.Config.sat_budget_step);
        compress_linear ();
        if !added = 0 then raise Exit
      done
-   with Exit -> ());
-  if not !unsat then compress_linear ();
+   with Exit | Harness.Budget.Tripped _ -> ());
+  if (not !unsat) && Harness.Budget.tripped budget = None then compress_linear ();
+  let tripped = Harness.Budget.tripped budget in
   let status =
     if !unsat then Solved_unsat
     else
-      match !solution with
-      | Some sol -> Solved_sat sol
-      | None -> Processed
+      match (!solution, tripped) with
+      | Some sol, _ -> Solved_sat sol
+      | None, Some _ -> Degraded
+      | None, None -> Processed
   in
   let processed_anf =
     if !unsat then [ P.one ]
     else S.to_list master @ Anf_prop.fact_polys state
   in
   let cnf = (Anf_to_cnf.convert ~config ~nvars:orig_nvars processed_anf).Anf_to_cnf.formula in
+  let budget_report =
+    if Harness.Budget.is_limited budget || tripped <> None then
+      Some (Harness.Budget.report budget)
+    else None
+  in
   { status; anf = processed_anf; cnf; facts; iterations = !iterations;
-    sat_calls = !sat_calls; sat_rounds = List.rev !sat_rounds; trail }
+    sat_calls = !sat_calls; sat_rounds = List.rev !sat_rounds; trail;
+    budget_report }
 
 let run ?config polys = run_with_stages ?config ~stages:all_stages polys
 
@@ -387,7 +466,7 @@ let run_cnf ?(config = Config.default) ?(xors = []) f =
       (* report only the original CNF variables *)
       let sol = List.filter (fun (x, _) -> x < conv.Cnf_to_anf.cnf_nvars) sol in
       { outcome with status = Solved_sat sol }
-  | Solved_unsat | Processed -> outcome
+  | Solved_unsat | Processed | Degraded -> outcome
 
 let augmented_cnf f outcome =
   let nvars = Cnf.Formula.nvars f in

@@ -15,6 +15,13 @@ type status =
       (** assignment to the original ANF variables found by the SAT step *)
   | Solved_unsat  (** 1 = 0 derived (by ANF techniques or the SAT solver) *)
   | Processed  (** fixed point reached without deciding the instance *)
+  | Degraded
+      (** a resource budget ({!Config.t.timeout_s},
+          [max_memory_monomials], [max_total_conflicts], or an injected
+          fault) tripped before the fixed point: the outcome still
+          carries every fact learnt up to the trip — all sound — and
+          [budget_report] says what tripped, in which layer, at which
+          iteration *)
 
 (** Per-SAT-round encoding and search counters.  Under
     {!Config.t.incremental_sat}, [round_encoded]/[round_reused] count the
@@ -42,6 +49,11 @@ type outcome = {
   trail : Audit_trail.t option;
       (** evidence for post-hoc fact certification, recorded when
           {!Config.t.audit_trail} is set (see {!Audit_trail}) *)
+  budget_report : Harness.Budget.report option;
+      (** resource accounting for the run, present whenever a budget
+          ceiling was configured or a trip occurred (fault injection can
+          trip an otherwise unlimited run); [None] for an unbounded,
+          untripped run *)
 }
 
 (** [run ?config polys] preprocesses the ANF system [polys]. *)

@@ -3,9 +3,9 @@ module S = Anf.System
 
 type report = { facts : P.t list; rounds : int; final_size : int }
 
-let gje ?(jobs = 1) polys =
+let gje ?(jobs = 1) ?(poll = fun () -> ()) polys =
   let lin, matrix = Linearize.build ~jobs polys in
-  ignore (Gf2.Matrix.rref_m4rm ~jobs matrix);
+  ignore (Gf2.Matrix.rref_m4rm ~jobs ~poll matrix);
   List.map (Linearize.poly_of_row lin) (Gf2.Matrix.nonzero_rows matrix)
 
 exception Contradiction_found of P.t list
@@ -15,18 +15,31 @@ exception Out_of_time
    substitution phase is occurrence-indexed through {!Anf.System} so that
    eliminating a variable only touches the equations it occurs in.
    [deadline] (absolute seconds) bounds the pass; dense cipher systems can
-   otherwise grind through enormous substitution rounds. *)
-let eliminate ?deadline ?(jobs = 1) polys =
+   otherwise grind through enormous substitution rounds.  [budget] is the
+   driver's global {!Harness.Budget}: a trip behaves exactly like the
+   deadline — the pass stops and returns the facts found so far, each of
+   which is already a sound consequence of the input. *)
+let eliminate ?deadline ?budget ?(jobs = 1) polys =
   let facts = ref [] in
   let rounds = ref 0 in
   let past_deadline () =
     match deadline with Some d -> Unix.gettimeofday () > d | None -> false
   in
+  let check_budget () =
+    match budget with
+    | Some b -> Harness.Budget.check b ~layer:"elimlin"
+    | None -> ()
+  in
   let rec loop polys =
     incr rounds;
+    check_budget ();
     if !rounds > 200 || past_deadline () then polys
     else begin
-      let reduced = gje ~jobs polys in
+      (* the elimination itself is the longest otherwise-unpolled stretch
+         in the whole loop; a full check per column block (a clock read
+         against ~1ms of row updates) bounds trip-detection latency on
+         dense systems where the amortized window would be too coarse *)
+      let reduced = gje ~jobs ~poll:check_budget polys in
       let linear, nonlinear = List.partition P.is_linear reduced in
       let linear = List.filter (fun p -> not (P.is_zero p)) linear in
       if linear = [] then reduced
@@ -39,6 +52,7 @@ let eliminate ?deadline ?(jobs = 1) polys =
         List.iter
           (fun l ->
             if past_deadline () then raise Out_of_time;
+            check_budget ();
             let l = normalise_by_applied l in
             if P.is_one l then raise (Contradiction_found (P.one :: !facts));
             if not (P.is_zero l) then begin
@@ -58,8 +72,13 @@ let eliminate ?deadline ?(jobs = 1) polys =
                 (* l = x + rest, so x := rest *)
                 let by = P.add l (P.var x) in
                 applied := (x, by) :: !applied;
+                (* a substitution over a dense polynomial costs far more
+                   than a clock read, so these are full checks rather than
+                   amortized polls — detection latency stays bounded by
+                   one work unit *)
                 List.iter
                   (fun id ->
+                    check_budget ();
                     match S.find system id with
                     | None -> ()
                     | Some p ->
@@ -79,16 +98,17 @@ let eliminate ?deadline ?(jobs = 1) polys =
   | final -> (List.rev !facts, !rounds, final)
   | exception Contradiction_found fs -> (List.rev fs, !rounds, [ P.one ])
   | exception Out_of_time -> (List.rev !facts, !rounds, [])
+  | exception Harness.Budget.Tripped _ -> (List.rev !facts, !rounds, [])
 
 let run_full ?(jobs = 1) polys =
   let facts, rounds, final = eliminate ~jobs polys in
   { facts; rounds; final_size = List.length final }
 
-let run ~config ~rng polys =
+let run ~config ~rng ?budget polys =
   let open Config in
   let cell_budget = 1 lsl config.xl_sample_bits in
   (* like XL, ElimLin runs on a ~2^M-cell subsample (Section II-C) *)
   let sample = Xl.subsample ~rng ~cell_budget polys in
   let deadline = Unix.gettimeofday () +. config.stage_time_s in
-  let facts, rounds, final = eliminate ~deadline ~jobs:config.jobs sample in
+  let facts, rounds, final = eliminate ~deadline ?budget ~jobs:config.jobs sample in
   { facts; rounds; final_size = List.length final }

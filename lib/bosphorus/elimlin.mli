@@ -13,10 +13,18 @@ type report = {
   final_size : int;  (** equations left in the reduced system *)
 }
 
-(** [run ~config ~rng polys] applies ElimLin to a random subsample of
-    linearised size about [2^M] (like XL, Bosphorus runs ElimLin to learn,
-    not to solve). *)
-val run : config:Config.t -> rng:Random.State.t -> Anf.Poly.t list -> report
+(** [run ~config ~rng ?budget polys] applies ElimLin to a random subsample
+    of linearised size about [2^M] (like XL, Bosphorus runs ElimLin to
+    learn, not to solve).  A tripped [budget] (polled every substitution
+    and checked every GJE round) stops the pass gracefully: the facts
+    found so far — each already implied by the input — are returned, and
+    the driver reports the degradation. *)
+val run :
+  config:Config.t ->
+  rng:Random.State.t ->
+  ?budget:Harness.Budget.t ->
+  Anf.Poly.t list ->
+  report
 
 (** [run_full ?jobs polys] applies ElimLin to the entire system (used by
     tests and the worked-example reproduction).  [jobs] (default 1) is the

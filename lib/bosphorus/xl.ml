@@ -32,45 +32,63 @@ module Ptbl = Hashtbl.Make (struct
 end)
 
 (* Expand one chunk of the polynomial list into a locally-deduplicated
-   batch, preserving first-occurrence order. *)
-let expand_chunk multipliers chunk =
+   batch, preserving first-occurrence order.  A tripped budget stops the
+   chunk at its next poll; the products found so far are kept — each is a
+   sound consequence on its own, so a partial batch only loses facts. *)
+let expand_chunk ?budget multipliers chunk =
   let seen = Ptbl.create 64 in
   let out = ref [] in
   let push p =
+    (match budget with
+    | Some b -> Harness.Budget.poll b ~layer:"xl"
+    | None -> ());
     if (not (P.is_zero p)) && not (Ptbl.mem seen p) then begin
       Ptbl.replace seen p ();
       out := p :: !out
     end
   in
-  List.iter
-    (fun p ->
-      push p;
-      List.iter (fun m -> push (P.mul_monomial p m)) multipliers)
-    chunk;
+  (try
+     List.iter
+       (fun p ->
+         push p;
+         List.iter (fun m -> push (P.mul_monomial p m)) multipliers)
+       chunk
+   with Harness.Budget.Tripped _ -> ());
   List.rev !out
 
-let expand ?(jobs = 1) ~multipliers polys =
-  if jobs <= 1 then expand_chunk multipliers polys
+let expand ?(jobs = 1) ?budget ~multipliers polys =
+  if jobs <= 1 then expand_chunk ?budget multipliers polys
   else begin
     (* each domain expands a contiguous chunk into a local batch; the
        batches are merged through one table in chunk order.  Both the local
        and the global dedup keep first occurrences, and chunks are
-       contiguous, so the result list is identical to the sequential one. *)
+       contiguous, so the result list is identical to the sequential one.
+       Under a budget, a trip in any chunk sets the shared cancellation
+       token: in-flight chunks stop at their next poll (returning partial
+       batches), queued chunks are skipped entirely, and every future is
+       still joined — the merge below harvests whatever completed. *)
     let pool = Runtime.Pool.get ~jobs in
+    let cancel = Option.map Harness.Budget.cancel_token budget in
     let batches =
-      Runtime.Pool.run pool
+      Runtime.Pool.run_results ?cancel pool
         (List.map
-           (fun chunk () -> expand_chunk multipliers chunk)
+           (fun chunk () -> expand_chunk ?budget multipliers chunk)
            (Runtime.Pool.chunk_list ~chunks:jobs polys))
     in
     let seen = Ptbl.create 64 in
     let out = ref [] in
     List.iter
-      (List.iter (fun p ->
-           if not (Ptbl.mem seen p) then begin
-             Ptbl.replace seen p ();
-             out := p :: !out
-           end))
+      (function
+        | Ok batch ->
+            List.iter
+              (fun p ->
+                if not (Ptbl.mem seen p) then begin
+                  Ptbl.replace seen p ();
+                  out := p :: !out
+                end)
+              batch
+        | Error Runtime.Pool.Cancelled -> ()
+        | Error e -> raise e)
       batches;
     List.rev !out
   end
@@ -124,7 +142,7 @@ let subsample ~rng ~cell_budget polys =
     arr;
   List.rev !taken
 
-let run ~config ~rng polys =
+let run ~config ~rng ?budget polys =
   let open Config in
   let cell_budget = 1 lsl config.xl_sample_bits in
   let expand_budget = 1 lsl (config.xl_sample_bits + config.xl_expand_bits) in
@@ -141,7 +159,15 @@ let run ~config ~rng polys =
   let cols = ref 0 in
   let rows = ref [] in
   let nrows = ref 0 in
+  (* the global budget's monomial gauge: whatever the caller already
+     accounts for, plus this expansion's distinct columns *)
+  let gauge_base = match budget with Some b -> Harness.Budget.cells b | None -> 0 in
   let push p =
+    (match budget with
+    | Some b ->
+        Harness.Budget.set_cells b (gauge_base + !cols);
+        Harness.Budget.poll b ~layer:"xl"
+    | None -> ());
     if (not (P.is_zero p)) && not (Ptbl.mem seen p) then begin
       Ptbl.replace seen p ();
       rows := p :: !rows;
@@ -155,26 +181,72 @@ let run ~config ~rng polys =
         (P.monomials p)
     end
   in
-  List.iter push by_degree;
-  (try
-     List.iter
-       (fun p ->
-         List.iter
-           (fun m ->
-             if !nrows * !cols >= expand_budget then raise Exit;
-             push (P.mul_monomial p m))
-           mults)
-       by_degree
-   with Exit -> ());
+  let trip =
+    match
+      (* entry check so even tiny passes (whose amortized polls may never
+         reach a full check) notice deadlines and injected faults *)
+      (match budget with
+      | Some b -> Harness.Budget.check b ~layer:"xl"
+      | None -> ());
+      List.iter push by_degree;
+      List.iter
+        (fun p ->
+          List.iter
+            (fun m ->
+              if !nrows * !cols >= expand_budget then raise Exit;
+              push (P.mul_monomial p m))
+            mults)
+        by_degree
+    with
+    | () | (exception Exit) -> None
+    | exception Harness.Budget.Tripped t -> Some t
+  in
   let expanded = List.rev !rows in
-  let lin, matrix = Linearize.build ~jobs:config.jobs expanded in
-  let rank = Gf2.Matrix.rref_m4rm ~jobs:config.jobs matrix in
-  let reduced = Gf2.Matrix.nonzero_rows matrix in
-  let row_polys = List.map (Linearize.poly_of_row lin) reduced in
-  {
-    facts = retain_facts row_polys;
-    sampled = List.length sample;
-    expanded_rows = List.length expanded;
-    columns = Linearize.n_columns lin;
-    rank;
-  }
+  match trip with
+  | Some { Harness.Budget.kind = Harness.Budget.Time | Harness.Budget.Injected
+         | Harness.Budget.Conflicts; _ } ->
+      (* out of time (or deliberately faulted): the linearise-and-reduce
+         step on the partial expansion could itself blow the deadline, so
+         return no facts this round — the facts already in the master are
+         untouched, and the driver reports the degradation. *)
+      {
+        facts = [];
+        sampled = List.length sample;
+        expanded_rows = List.length expanded;
+        columns = !cols;
+        rank = 0;
+      }
+  | Some { Harness.Budget.kind = Harness.Budget.Memory; _ } | None -> (
+      (* within budget, or memory-tripped: the ceiling itself bounds the
+         partial expansion, so reducing it is affordable and every
+         resulting row is a sound consequence.  The reduction itself is
+         still polled per column block — the deadline can pass mid-RREF —
+         and a trip there degrades to the no-facts report. *)
+      let poll () =
+        match budget with
+        | Some b -> Harness.Budget.poll b ~layer:"xl"
+        | None -> ()
+      in
+      match
+        let lin, matrix = Linearize.build ~jobs:config.jobs expanded in
+        let rank = Gf2.Matrix.rref_m4rm ~jobs:config.jobs ~poll matrix in
+        (lin, matrix, rank)
+      with
+      | lin, matrix, rank ->
+          let reduced = Gf2.Matrix.nonzero_rows matrix in
+          let row_polys = List.map (Linearize.poly_of_row lin) reduced in
+          {
+            facts = retain_facts row_polys;
+            sampled = List.length sample;
+            expanded_rows = List.length expanded;
+            columns = Linearize.n_columns lin;
+            rank;
+          }
+      | exception Harness.Budget.Tripped _ ->
+          {
+            facts = [];
+            sampled = List.length sample;
+            expanded_rows = List.length expanded;
+            columns = !cols;
+            rank = 0;
+          })

@@ -16,8 +16,21 @@ type report = {
   rank : int;  (** GF(2) rank of the expanded system *)
 }
 
-(** [run ~config ~rng polys] performs one subsampled XL pass. *)
-val run : config:Config.t -> rng:Random.State.t -> Anf.Poly.t list -> report
+(** [run ~config ~rng ?budget polys] performs one subsampled XL pass.
+
+    Under a {!Harness.Budget} the expansion keeps the budget's
+    monomial/clause gauge at (caller's gauge + this expansion's distinct
+    columns) and polls cooperatively every pushed product.  A trip stops
+    the pass without raising: a memory trip still reduces the (ceiling-
+    bounded) partial expansion and returns its facts — partial but sound,
+    every row is a GF(2) consequence — while a wall-clock or injected trip
+    skips the reduction and returns no facts for this pass. *)
+val run :
+  config:Config.t ->
+  rng:Random.State.t ->
+  ?budget:Harness.Budget.t ->
+  Anf.Poly.t list ->
+  report
 
 (** [multipliers ~vars ~degree] lists all monomials of degree 1..[degree]
     over the given variables — the expansion multipliers (the original
@@ -29,9 +42,18 @@ val multipliers : vars:int list -> degree:int -> Anf.Monomial.t list
     included, without duplicates.  With [jobs > 1] the polynomial list is
     partitioned across domains, each producing a locally-deduplicated
     batch that is merged in chunk order — the output list is identical to
-    the sequential one.  Exposed for the Table I reproduction and tests. *)
+    the sequential one.  Exposed for the Table I reproduction and tests.
+
+    A tripped [budget] degrades instead of failing: in-flight chunks stop
+    at their next poll and contribute what they built, chunks not yet
+    started are skipped via the budget's cancellation token, and the merge
+    returns the (prefix-biased) partial expansion. *)
 val expand :
-  ?jobs:int -> multipliers:Anf.Monomial.t list -> Anf.Poly.t list -> Anf.Poly.t list
+  ?jobs:int ->
+  ?budget:Harness.Budget.t ->
+  multipliers:Anf.Monomial.t list ->
+  Anf.Poly.t list ->
+  Anf.Poly.t list
 
 (** [retain_facts polys] filters to the fact shapes Bosphorus keeps. *)
 val retain_facts : Anf.Poly.t list -> Anf.Poly.t list

@@ -135,7 +135,7 @@ let rref m =
    construction stay sequential, and the per-row updates are pure functions
    of the read-only table, so the resulting RREF is bit-identical to the
    sequential one whatever [jobs] is. *)
-let rref_m4rm ?(k = 6) ?(jobs = 1) m =
+let rref_m4rm ?(k = 6) ?(jobs = 1) ?(poll = fun () -> ()) m =
   if k < 1 || k > 20 then invalid_arg "Matrix.rref_m4rm: k in 1..20";
   let pool = Runtime.Pool.get ~jobs in
   let pivot_row = ref 0 in
@@ -145,6 +145,9 @@ let rref_m4rm ?(k = 6) ?(jobs = 1) m =
      pivot's row offset in O(1) instead of scanning a column list *)
   let pivots = Array.make k 0 in
   while !pivot_row < m.nrows && !col < m.ncols do
+    (* per-block cancellation point: a raising [poll] abandons the
+       half-reduced matrix, so callers must not use it afterwards *)
+    poll ();
     let block_end = min m.ncols (!col + k) in
     (* phase A: collect pivots for columns [!col, block_end) *)
     let found = ref 0 in

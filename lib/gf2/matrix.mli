@@ -52,8 +52,13 @@ val rref : t -> int
     With [jobs > 1] (default 1) each block's trailing row update is
     partitioned across [jobs] domains of the shared {!Runtime.Pool}.
     Pivot selection stays sequential and the update rows are disjoint, so
-    the result is bit-identical to the sequential elimination. *)
-val rref_m4rm : ?k:int -> ?jobs:int -> t -> int
+    the result is bit-identical to the sequential elimination.
+
+    [poll] (default a no-op) is called once per column block — a
+    cooperative cancellation point for budgeted callers
+    ({!Harness.Budget.poll}).  If it raises, the elimination aborts and
+    [m] is left half-reduced: discard it. *)
+val rref_m4rm : ?k:int -> ?jobs:int -> ?poll:(unit -> unit) -> t -> int
 
 (** [rank m] is the GF(2) rank (computed on a copy; [m] is unchanged). *)
 val rank : t -> int

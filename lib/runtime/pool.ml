@@ -3,6 +3,16 @@
    tasks while it waits, which both uses the caller as the jobs-th worker
    and makes nested [run] calls deadlock-free. *)
 
+module Cancel = struct
+  type t = bool Atomic.t
+
+  let create () = Atomic.make false
+  let set t = Atomic.set t true
+  let is_set t = Atomic.get t
+end
+
+exception Cancelled
+
 type 'a state = Pending | Done of 'a | Failed of exn
 
 type 'a future = {
@@ -157,24 +167,42 @@ let rec await sh fut =
           Mutex.unlock fut.fm;
           r)
 
-let run t thunks =
-  match (t.shared, thunks) with
-  | None, _ -> List.map (fun f -> f ()) thunks
-  | Some _, [] -> []
-  | Some _, [ f ] -> [ f () ]
-  | Some sh, _ ->
+(* Wrap a thunk so that a set cancellation token skips the work: the
+   future still completes (with [Failed Cancelled]), so joins never block
+   on abandoned tasks and no future is lost. *)
+let guard cancel f =
+  match cancel with
+  | None -> f
+  | Some tok -> fun () -> if Cancel.is_set tok then raise Cancelled else f ()
+
+let run_results ?cancel t thunks =
+  match t.shared with
+  | None ->
+      List.map
+        (fun f -> try Ok ((guard cancel f) ()) with e -> Error e)
+        thunks
+  | Some sh ->
       let futs =
         List.map
           (fun f ->
             let fut = { fm = Mutex.create (); fc = Condition.create (); state = Pending } in
-            submit sh fut f;
+            submit sh fut (guard cancel f);
             fut)
           thunks
       in
-      (* join everything before raising, so no task is still mutating
+      (* join everything before returning, so no task is still mutating
          caller-owned state when control returns *)
-      let results = List.map (await sh) futs in
-      List.map (function Ok v -> v | Error e -> raise e) results
+      List.map (await sh) futs
+
+let run ?cancel t thunks =
+  match (t.shared, cancel, thunks) with
+  | None, None, _ -> List.map (fun f -> f ()) thunks
+  | Some _, None, [] -> []
+  | Some _, None, [ f ] -> [ f () ]
+  | _ ->
+      List.map
+        (function Ok v -> v | Error e -> raise e)
+        (run_results ?cancel t thunks)
 
 let chunk_ranges ~chunks ~lo ~hi =
   let n = hi - lo in

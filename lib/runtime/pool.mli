@@ -27,6 +27,26 @@
 
 type t
 
+(** Cancellation tokens: a single atomic flag shared between the party
+    that decides to abort (e.g. a tripped {!Harness.Budget}) and the tasks
+    that should stop.  Setting the token never interrupts a running task
+    pre-emptively — tasks are expected to poll cooperatively — but it does
+    prevent queued-not-yet-started tasks from running at all. *)
+module Cancel : sig
+  type t
+
+  val create : unit -> t
+
+  (** [set t] requests cancellation; idempotent, safe from any domain. *)
+  val set : t -> unit
+
+  val is_set : t -> bool
+end
+
+(** Raised inside a task slot whose cancellation token was set before the
+    task started (and by {!run} when such a slot is the first failure). *)
+exception Cancelled
+
 (** [create ~jobs] spawns a private pool with [max 0 (jobs - 1)] worker
     domains ([jobs <= 1] gives the sequential pool).  Shut it down with
     {!shutdown} (private pools are not reaped automatically). *)
@@ -50,12 +70,22 @@ val shutdown : t -> unit
     afterwards, exceptions included. *)
 val with_pool : jobs:int -> (t -> 'a) -> 'a
 
-(** [run t thunks] executes the thunks (on workers plus the calling
-    domain) and returns their results in submission order.  All thunks are
-    run to completion even when some fail; the first failure in submission
-    order is then re-raised.  With a sequential pool this is
-    [List.map (fun f -> f ()) thunks]. *)
-val run : t -> (unit -> 'a) list -> 'a list
+(** [run ?cancel t thunks] executes the thunks (on workers plus the
+    calling domain) and returns their results in submission order.  All
+    thunks are run to completion even when some fail; the first failure in
+    submission order is then re-raised.  With a sequential pool and no
+    token this is [List.map (fun f -> f ()) thunks].  With [cancel],
+    thunks whose token is set before they start fail with {!Cancelled}
+    (in-flight thunks are never interrupted: they must poll the token, or
+    a {!Harness.Budget}, themselves). *)
+val run : ?cancel:Cancel.t -> t -> (unit -> 'a) list -> 'a list
+
+(** [run_results ?cancel t thunks] is {!run} without the re-raise: one
+    [result] per submitted thunk, in submission order, [Error Cancelled]
+    for slots skipped by the token.  Every future is joined before
+    returning — a tripped budget can therefore harvest the successful
+    chunks while abandoned ones are accounted for, never lost. *)
+val run_results : ?cancel:Cancel.t -> t -> (unit -> 'a) list -> ('a, exn) result list
 
 (** [map_list t f xs] maps [f] over [xs] with chunk-level parallelism,
     preserving order: equal to [List.map f xs] whenever [f] is pure. *)

@@ -748,12 +748,17 @@ let model_of t =
       else if t.assigns.(v) = code_false then false
       else t.phase.(v))
 
-let search t ~restart_limit ~budget_left ~deadline =
+let search t ~restart_limit ~budget_left ~deadline ~interrupt =
   let conflicts_here = ref 0 in
   let outcome = ref None in
   let deadline_passed () =
     match deadline with
     | Some d when t.stats.conflicts land 255 = 0 -> Unix.gettimeofday () > d
+    | Some _ | None -> false
+  in
+  let interrupted () =
+    match interrupt with
+    | Some f when t.stats.conflicts land 127 = 0 -> f ()
     | Some _ | None -> false
   in
   while !outcome = None do
@@ -775,7 +780,8 @@ let search t ~restart_limit ~budget_left ~deadline =
         match budget_left with
         | Some b when t.stats.conflicts >= b -> outcome := Some (Done Undecided)
         | Some _ | None ->
-            if deadline_passed () then outcome := Some (Done Undecided)
+            if deadline_passed () || interrupted () then
+              outcome := Some (Done Undecided)
             else if !conflicts_here >= restart_limit then outcome := Some Restart
       end
     end
@@ -904,8 +910,9 @@ let self_check t =
     | [] -> ()
     | v :: _ -> failwith ("Solver invariant violated: " ^ v)
 
-let solve ?conflict_budget ?time_budget_s t =
+let solve ?conflict_budget ?time_budget_s ?interrupt t =
   if not t.ok then Unsat
+  else if (match interrupt with Some f -> f () | None -> false) then Undecided
   else begin
     self_check t;
     cancel_until t 0;
@@ -927,7 +934,7 @@ let solve ?conflict_budget ?time_budget_s t =
             int_of_float
               (float_of_int t.config.restart_first *. (t.config.restart_inc ** float_of_int restart_no))
         in
-        match search t ~restart_limit:(max 1 limit) ~budget_left ~deadline with
+        match search t ~restart_limit:(max 1 limit) ~budget_left ~deadline ~interrupt with
         | Done r -> r
         | Restart ->
             t.stats.restarts <- t.stats.restarts + 1;

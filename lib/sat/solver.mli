@@ -51,13 +51,33 @@ val add_formula : t -> Cnf.Formula.t -> bool
     Must be called before {!solve} at decision level 0. *)
 val add_xor : t -> vars:int list -> parity:bool -> bool
 
-(** [solve ?conflict_budget ?time_budget_s t] runs CDCL search.  With a
-    conflict budget (the paper's replicable bound, Section II-D) the search
-    stops after that many conflicts; with a wall-clock budget (the outer
-    evaluation timeout) it stops once the elapsed time exceeds it, checked
-    every few hundred conflicts.  Either way the result is
-    {!Types.Undecided}. *)
-val solve : ?conflict_budget:int -> ?time_budget_s:float -> t -> Types.result
+(** [solve ?conflict_budget ?time_budget_s ?interrupt t] runs CDCL search.
+    With a conflict budget (the paper's replicable bound, Section II-D)
+    the search stops after that many conflicts; with a wall-clock budget
+    (the outer evaluation timeout) it stops once the elapsed time exceeds
+    it, checked every few hundred conflicts.  Either way the result is
+    {!Types.Undecided}.
+
+    The conflict bound is exact for positive budgets (exactly
+    [conflict_budget] conflicts are spent before an [Undecided] return,
+    measured by {!stats}) with one documented exception: a budget of 0
+    still permits the single conflict needed to notice it, and a
+    root-level conflict always completes to [Unsat] regardless of the
+    budget.  Callers accounting cumulatively must therefore diff the
+    solver-reported {!stats} conflicts across calls rather than sum the
+    budgets they asked for.
+
+    [interrupt] is polled at decision boundaries every 128 conflicts (and
+    once on entry); when it returns [true] the search stops with
+    {!Types.Undecided}, root-level facts learnt so far intact — the
+    cooperative-cancellation hook used by {!Harness.Budget}-bounded
+    driver runs. *)
+val solve :
+  ?conflict_budget:int ->
+  ?time_budget_s:float ->
+  ?interrupt:(unit -> bool) ->
+  t ->
+  Types.result
 
 (** [probe t l] temporarily assumes literal [l] at a fresh decision level
     and unit-propagates: [`Conflict] means [¬l] is implied by the formula

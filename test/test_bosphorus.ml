@@ -326,7 +326,8 @@ let test_driver_solves_paper_system () =
           check (Printf.sprintf "x%d" x) (x <> 5) (List.assoc x sol))
         [ 1; 2; 3; 4; 5 ]
   | B.Driver.Solved_unsat -> Alcotest.fail "system is satisfiable"
-  | B.Driver.Processed -> Alcotest.fail "expected a solution on this tiny system"
+  | B.Driver.Processed | B.Driver.Degraded ->
+      Alcotest.fail "expected a solution on this tiny system"
 
 let test_driver_unsat () =
   let outcome = B.Driver.run [ poly "x1*x2 + 1"; poly "x1 + x2 + 1" ] in
@@ -341,7 +342,8 @@ let test_driver_table1 () =
       check "x1" true (List.assoc 1 sol);
       check "x2" false (List.assoc 2 sol);
       check "x3" false (List.assoc 3 sol)
-  | B.Driver.Solved_unsat | B.Driver.Processed -> Alcotest.fail "expected solution"
+  | B.Driver.Solved_unsat | B.Driver.Processed | B.Driver.Degraded ->
+      Alcotest.fail "expected solution"
 
 let test_driver_stage_toggles () =
   let stages = { B.Driver.use_xl = true; use_elimlin = false; use_sat = false; use_groebner = false } in
@@ -352,7 +354,7 @@ let test_driver_stage_toggles () =
   (match outcome.B.Driver.status with
   | B.Driver.Solved_sat _ -> Alcotest.fail "no SAT stage, no solution extraction"
   | B.Driver.Solved_unsat -> Alcotest.fail "satisfiable"
-  | B.Driver.Processed -> ());
+  | B.Driver.Processed | B.Driver.Degraded -> ());
   let unresolved =
     List.filter (fun p -> P.degree p > 1) outcome.B.Driver.anf
   in
@@ -387,7 +389,8 @@ let test_driver_cnf_sat_solution () =
   | B.Driver.Solved_sat sol ->
       let lookup x = try List.assoc x sol with Not_found -> false in
       check "model satisfies cnf" true (Cnf.Formula.eval lookup f)
-  | B.Driver.Solved_unsat | B.Driver.Processed -> Alcotest.fail "expected solution"
+  | B.Driver.Solved_unsat | B.Driver.Processed | B.Driver.Degraded ->
+      Alcotest.fail "expected solution"
 
 let test_augmented_cnf_equisatisfiable () =
   let f = Cnf.Dimacs.parse_string "p cnf 4 5\n1 2 0\n-1 3 0\n-3 4 0\n-2 4 0\n-4 1 0\n" in
@@ -464,7 +467,7 @@ let prop_driver_decides_correctly =
           let lookup x = try List.assoc x sol with Not_found -> false in
           Anf.Eval.satisfies lookup polys
       | B.Driver.Solved_unsat -> not expected
-      | B.Driver.Processed ->
+      | B.Driver.Processed | B.Driver.Degraded ->
           (* undecided is acceptable, but the processed system must remain
              equisatisfiable *)
           Anf.Eval.solution_exists (List.filter (fun p -> P.max_var p < 24) outcome.B.Driver.anf)
@@ -480,7 +483,7 @@ let prop_driver_preserves_solution_set =
       let outcome = B.Driver.run ~config polys in
       match outcome.B.Driver.status with
       | B.Driver.Solved_unsat -> not (Anf.Eval.solution_exists polys)
-      | B.Driver.Solved_sat _ | B.Driver.Processed ->
+      | B.Driver.Solved_sat _ | B.Driver.Processed | B.Driver.Degraded ->
           let original = Anf.Eval.all_solutions polys in
           let processed = outcome.B.Driver.anf in
           let vars_orig = Anf.Eval.vars_of polys in
@@ -522,7 +525,7 @@ let prop_monomial_aux_extension_sound =
           let lookup x = try List.assoc x sol with Not_found -> false in
           Anf.Eval.satisfies lookup polys
       | B.Driver.Solved_unsat -> not expected
-      | B.Driver.Processed -> true)
+      | B.Driver.Processed | B.Driver.Degraded -> true)
 
 let prop_facts_always_implied =
   QCheck.Test.make ~name:"all learnt facts are implied" ~count:60 arb_system
@@ -565,6 +568,7 @@ let verdict outcome =
   | B.Driver.Solved_sat _ -> `Sat
   | B.Driver.Solved_unsat -> `Unsat
   | B.Driver.Processed -> `Processed
+  | B.Driver.Degraded -> `Degraded
 
 let test_incremental_matches_fresh_fixed () =
   List.iter
@@ -747,7 +751,7 @@ let test_driver_groebner_stage () =
   (match outcome.B.Driver.status with
   | B.Driver.Solved_sat _ -> Alcotest.fail "no SAT stage, no solution extraction"
   | B.Driver.Solved_unsat -> Alcotest.fail "satisfiable"
-  | B.Driver.Processed -> ());
+  | B.Driver.Processed | B.Driver.Degraded -> ());
   check "groebner facts recorded" true
     (B.Facts.count_by outcome.B.Driver.facts B.Facts.Groebner > 0);
   check_int "system fully reduced" 0

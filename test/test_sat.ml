@@ -116,6 +116,44 @@ let test_conflict_budget () =
   | Sat.Types.Sat _ -> Alcotest.fail "php8x7 should not be SAT"
   | Sat.Types.Unsat -> Alcotest.fail "budget of 5 conflicts cannot refute php8x7"
 
+let test_conflict_budget_exact () =
+  (* Regression pin for the documented off-by-at-most-one contract: an
+     Undecided return under budget b >= 1 spends exactly b conflicts; a
+     budget of 0 still permits the single conflict needed to notice it.
+     The driver's cumulative accounting (Harness.Budget) relies on this —
+     it charges solver-reported stats diffs, never requested budgets. *)
+  let holes = 8 in
+  let fresh () =
+    solver_of_dimacs_clauses ~nvars:((holes + 1) * holes) (pigeonhole ~holes)
+  in
+  List.iter
+    (fun b ->
+      let s = fresh () in
+      (match S.solve ~conflict_budget:b s with
+      | Sat.Types.Undecided -> ()
+      | Sat.Types.Sat _ | Sat.Types.Unsat ->
+          Alcotest.failf "budget %d cannot decide php9x8" b);
+      check_int
+        (Printf.sprintf "budget %d spends exactly %d conflicts" b b)
+        b (S.stats s).Sat.Types.conflicts)
+    [ 1; 5; 50 ];
+  let s = fresh () in
+  (match S.solve ~conflict_budget:0 s with
+  | Sat.Types.Undecided -> ()
+  | Sat.Types.Sat _ | Sat.Types.Unsat -> Alcotest.fail "budget 0 cannot decide");
+  check_int "budget 0 spends the one noticing conflict" 1
+    (S.stats s).Sat.Types.conflicts;
+  (* cumulative accounting across calls on one solver: the second call
+     adds exactly its own budget on top of the first's *)
+  let s = fresh () in
+  ignore (S.solve ~conflict_budget:7 s);
+  let c1 = (S.stats s).Sat.Types.conflicts in
+  check_int "first call charged exactly" 7 c1;
+  (match S.solve ~conflict_budget:11 s with
+  | Sat.Types.Undecided -> ()
+  | Sat.Types.Sat _ | Sat.Types.Unsat -> Alcotest.fail "still undecidable");
+  check_int "stats diff is the second budget" 11 ((S.stats s).Sat.Types.conflicts - c1)
+
 let test_budget_resume () =
   (* Solving again without budget after Undecided completes the proof. *)
   let holes = 5 in
@@ -387,6 +425,8 @@ let main_suite =
         Alcotest.test_case "pigeonhole unsat" `Quick test_pigeonhole_unsat;
         Alcotest.test_case "pigeonhole sat at equality" `Quick test_pigeonhole_sat_when_equal;
         Alcotest.test_case "conflict budget" `Quick test_conflict_budget;
+        Alcotest.test_case "conflict budget exact off-by-one" `Quick
+          test_conflict_budget_exact;
         Alcotest.test_case "budget then resume" `Quick test_budget_resume;
         Alcotest.test_case "model satisfies formula" `Quick test_model_satisfies_formula;
         Alcotest.test_case "new_var growth" `Quick test_new_var_growth;
@@ -556,7 +596,8 @@ let test_driver_probing_learns_equivalence () =
   | Bosphorus.Driver.Solved_sat sol ->
       check "x0=0" false (List.assoc 0 sol);
       check "x1=0" false (List.assoc 1 sol)
-  | Bosphorus.Driver.Solved_unsat | Bosphorus.Driver.Processed ->
+  | Bosphorus.Driver.Solved_unsat | Bosphorus.Driver.Processed
+  | Bosphorus.Driver.Degraded ->
       Alcotest.fail "expected solution"
 
 let prop_probing_driver_sound =
@@ -575,7 +616,7 @@ let prop_probing_driver_sound =
           let lookup x = try List.assoc x sol with Not_found -> false in
           Cnf.Formula.eval lookup f
       | Bosphorus.Driver.Solved_unsat -> not expected
-      | Bosphorus.Driver.Processed -> true)
+      | Bosphorus.Driver.Processed | Bosphorus.Driver.Degraded -> true)
 
 let probe_suite =
   [
@@ -656,7 +697,8 @@ let prop_driver_preserves_projected_count =
       let outcome = Bosphorus.Driver.run_cnf ~config f in
       match outcome.Bosphorus.Driver.status with
       | Bosphorus.Driver.Solved_unsat -> Cnf.Formula.brute_force_count f = 0
-      | Bosphorus.Driver.Solved_sat _ | Bosphorus.Driver.Processed ->
+      | Bosphorus.Driver.Solved_sat _ | Bosphorus.Driver.Processed
+      | Bosphorus.Driver.Degraded ->
           let augmented = Bosphorus.Driver.augmented_cnf f outcome in
           let relevant = List.init (Cnf.Formula.nvars f) Fun.id in
           Sat.Enumerate.count ~limit:4096 ~relevant augmented
