@@ -1,6 +1,8 @@
 (* One regeneration procedure per table/figure of the paper (DESIGN.md's
    per-experiment index names these E1..E8, A1, A2). *)
 
+module Json_out = Harness.Json_out
+
 module P = Anf.Poly
 
 let poly = Anf.Anf_io.poly_of_string

@@ -9,11 +9,14 @@
    Experiments: table1 example fig2 table2 ablation encoding-sweep
    representations incremental micro *)
 
+module Json_out = Harness.Json_out
+
 let usage () =
   print_endline
     "usage: main.exe \
      [table1|example|fig2|table2|ablation|encoding-sweep|representations|incremental|micro]*\n\
-    \       [--quick] [--family aes|simon|speck|bitcoin|sat] [--jobs N] [--json FILE]";
+    \       [--quick] [--family aes|simon|speck|bitcoin|sat] [--jobs N] [--json FILE]\n\
+    \       [--trace FILE] [--metrics FILE]";
   exit 1
 
 let () =
@@ -40,11 +43,33 @@ let () =
   in
   let json_path = find_opt_arg "--json" in
   let json = Option.map (fun _ -> Json_out.create ()) json_path in
+  let trace_path = find_opt_arg "--trace" in
+  let metrics_path = find_opt_arg "--metrics" in
+  (* arm observability before any experiment runs; the sinks flush from
+     at_exit even if an experiment crashes mid-way *)
+  if trace_path <> None then begin
+    Obs.Trace.set_enabled true;
+    Option.iter
+      (fun path ->
+        Obs.Sink.register ~key:"trace" ~path (fun oc ->
+            output_string oc (Obs.Trace.to_json ())))
+      trace_path
+  end;
+  if metrics_path <> None then begin
+    Obs.Metrics.set_enabled true;
+    Option.iter
+      (fun path ->
+        Obs.Sink.register ~key:"metrics" ~path (fun oc ->
+            output_string oc (Obs.Metrics.to_json ())))
+      metrics_path
+  end;
   let option_values =
     List.filteri
       (fun i _ ->
         i > 0
-        && List.mem (List.nth args (i - 1)) [ "--family"; "--jobs"; "--json" ])
+        && List.mem
+             (List.nth args (i - 1))
+             [ "--family"; "--jobs"; "--json"; "--trace"; "--metrics" ])
       args
   in
   let selected =
@@ -76,8 +101,22 @@ let () =
           selected)
   in
   Printf.printf "\ntotal: wall %.2fs, process CPU %.2fs (jobs=%d)\n" wall_s cpu_s jobs;
-  match (json, json_path) with
+  (match (json, json_path) with
   | Some j, Some path ->
-      Json_out.write j path;
+      let metrics =
+        if Obs.Metrics.enabled () then Some (Obs.Metrics.to_extras ()) else None
+      in
+      Json_out.write ?metrics j path;
       Printf.printf "wrote %s (%d records)\n" path (List.length (Json_out.records j))
-  | _ -> ()
+  | _ -> ());
+  Option.iter
+    (fun path ->
+      Obs.Sink.write_now ~key:"trace";
+      Printf.printf "trace: wrote %s (%d events, %d spans dropped)\n" path
+        (Obs.Trace.n_events ()) (Obs.Trace.dropped ()))
+    trace_path;
+  Option.iter
+    (fun path ->
+      Obs.Sink.write_now ~key:"metrics";
+      Printf.printf "metrics: wrote %s\n" path)
+    metrics_path

@@ -1,5 +1,7 @@
 (* Bechamel micro-benchmarks for the GF(2) and conversion kernels. *)
 
+module Json_out = Harness.Json_out
+
 open Bechamel
 open Toolkit
 

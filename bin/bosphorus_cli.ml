@@ -75,7 +75,9 @@ let final_solve profile_name budget cnf =
       Ok ()
 
 (* --budget-report FILE: dump the run's resource accounting as a small
-   JSON object (one per run), written even when no ceiling was set. *)
+   JSON object (one per run), written even when no ceiling was set.  The
+   document goes through Obs.Sink: the write is atomic (temp + rename)
+   and replaces the "aborted" fallback registered before the run. *)
 let write_budget_report path outcome =
   let esc s =
     let b = Buffer.create (String.length s) in
@@ -89,29 +91,64 @@ let write_budget_report path outcome =
       s;
     Buffer.contents b
   in
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      let status = Format.asprintf "%a" pp_status outcome.Bosphorus.Driver.status in
-      match outcome.Bosphorus.Driver.budget_report with
-      | None ->
-          Printf.fprintf oc "{ \"status\": \"%s\", \"tripped\": false }\n" (esc status)
-      | Some r ->
-          Printf.fprintf oc "{ \"status\": \"%s\"" (esc status);
-          (match r.Harness.Budget.trip with
-          | None -> Printf.fprintf oc ", \"tripped\": false"
-          | Some t ->
-              Printf.fprintf oc
-                ", \"tripped\": true, \"trip_kind\": \"%s\", \"trip_layer\": \"%s\", \
-                 \"trip_iteration\": %d, \"trip_detail\": \"%s\""
-                (esc (Harness.Budget.kind_name t.Harness.Budget.kind))
-                (esc t.Harness.Budget.layer) t.Harness.Budget.at_iteration
-                (esc t.Harness.Budget.detail));
-          Printf.fprintf oc
-            ", \"wall_s\": %.6f, \"conflicts_used\": %d, \"cells_peak\": %d, \"polls\": %d }\n"
-            r.Harness.Budget.wall_s r.Harness.Budget.conflicts_used
-            r.Harness.Budget.cells_peak r.Harness.Budget.polls)
+  let b = Buffer.create 256 in
+  let status = Format.asprintf "%a" pp_status outcome.Bosphorus.Driver.status in
+  (match outcome.Bosphorus.Driver.budget_report with
+  | None ->
+      Printf.bprintf b "{ \"status\": \"%s\", \"tripped\": false }\n" (esc status)
+  | Some r ->
+      Printf.bprintf b "{ \"status\": \"%s\"" (esc status);
+      (match r.Harness.Budget.trip with
+      | None -> Printf.bprintf b ", \"tripped\": false"
+      | Some t ->
+          Printf.bprintf b
+            ", \"tripped\": true, \"trip_kind\": \"%s\", \"trip_layer\": \"%s\", \
+             \"trip_iteration\": %d, \"trip_detail\": \"%s\""
+            (esc (Harness.Budget.kind_name t.Harness.Budget.kind))
+            (esc t.Harness.Budget.layer) t.Harness.Budget.at_iteration
+            (esc t.Harness.Budget.detail));
+      Printf.bprintf b
+        ", \"wall_s\": %.6f, \"conflicts_used\": %d, \"cells_peak\": %d, \"polls\": %d }\n"
+        r.Harness.Budget.wall_s r.Harness.Budget.conflicts_used
+        r.Harness.Budget.cells_peak r.Harness.Budget.polls);
+  Obs.Sink.register ~key:"budget-report" ~path (fun oc -> Buffer.output_buffer oc b);
+  Obs.Sink.write_now ~key:"budget-report"
+
+(* --trace/--metrics/--budget-report files are registered with the
+   at_exit sink *before* the run: an uncaught exception, a budget trip or
+   a --status-exit-codes exit still leaves every configured file parseable
+   (open spans are truncation-terminated by the trace exporter). *)
+let arm_observability ~trace_path ~metrics_path ~budget_report_path =
+  Option.iter
+    (fun path ->
+      Obs.Trace.set_enabled true;
+      Obs.Sink.register ~key:"trace" ~path (fun oc ->
+          output_string oc (Obs.Trace.to_json ())))
+    trace_path;
+  Option.iter
+    (fun path ->
+      Obs.Metrics.set_enabled true;
+      Obs.Sink.register ~key:"metrics" ~path (fun oc ->
+          output_string oc (Obs.Metrics.to_json ())))
+    metrics_path;
+  Option.iter
+    (fun path ->
+      Obs.Sink.register ~key:"budget-report" ~path (fun oc ->
+          output_string oc "{ \"status\": \"ABORTED\", \"tripped\": false }\n"))
+    budget_report_path
+
+let flush_observability ~trace_path ~metrics_path =
+  Option.iter
+    (fun path ->
+      Obs.Sink.write_now ~key:"trace";
+      Format.printf "trace: wrote %s (%d events, %d spans dropped)@." path
+        (Obs.Trace.n_events ()) (Obs.Trace.dropped ()))
+    trace_path;
+  Option.iter
+    (fun path ->
+      Obs.Sink.write_now ~key:"metrics";
+      Format.printf "metrics: wrote %s@." path)
+    metrics_path
 
 (* --status-exit-codes: Sat/Unsat/Degraded leave through distinct exit
    codes so scripts (the CI fuzz-smoke job) can tell the three apart
@@ -169,10 +206,11 @@ let run_audit outcome =
   end
 
 let run_main input format_opt out_anf out_cnf solver budget no_learning lint audit
-    budget_report_path status_exit_codes config =
+    budget_report_path status_exit_codes trace_path metrics_path config =
   let config =
     if audit then { config with Bosphorus.Config.audit_trail = true } else config
   in
+  arm_observability ~trace_path ~metrics_path ~budget_report_path;
   let* format =
     match format_opt with
     | Some "anf" -> Ok Anf_format
@@ -233,6 +271,7 @@ let run_main input format_opt out_anf out_cnf solver budget no_learning lint aud
         Ok ()
     | None, _ -> Ok ()
   in
+  flush_observability ~trace_path ~metrics_path;
   if status_exit_codes then exit (status_exit_code outcome.Bosphorus.Driver.status);
   Ok ()
 
@@ -280,6 +319,24 @@ let budget_report_arg =
        & info [ "budget-report" ] ~docv:"FILE"
            ~doc:"Write the run's resource accounting (trip kind/layer, wall \
                  time, cumulative conflicts, peak monomial gauge) as JSON.")
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record nestable timed spans across the whole pipeline \
+                 (driver iterations, XL/ElimLin/SAT stages, pool tasks, \
+                 arena GCs) and write them as Chrome trace-event JSON: \
+                 open the file in chrome://tracing or ui.perfetto.dev.  \
+                 The file is written even if the run crashes or trips its \
+                 budget.")
+
+let metrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Record counters/gauges/histograms (facts per technique, \
+                 solver propagations/conflicts/restarts, ElimLin \
+                 substitutions, XL expansion sizes) and write them as \
+                 JSON.  Crash-safe like --trace.")
 
 let status_exit_codes_arg =
   Arg.(value & flag
@@ -357,7 +414,7 @@ let cmd =
     Term.(
       const run_main $ input_arg $ format_arg $ out_anf_arg $ out_cnf_arg $ solver_arg
       $ budget_arg $ no_learning_arg $ lint_arg $ audit_arg $ budget_report_arg
-      $ status_exit_codes_arg $ config_term)
+      $ status_exit_codes_arg $ trace_arg $ metrics_arg $ config_term)
   in
   Cmd.v (Cmd.info "bosphorus" ~doc) Term.(term_result term)
 

@@ -163,6 +163,7 @@ let run_with_stages ?(config = Config.default) ~stages polys =
   let solution = ref None in
   let iterations = ref 0 in
   let propagate_and_record () =
+    Obs.Trace.with_span ~name:"driver.propagate" @@ fun () ->
     (match Anf_prop.propagate state master with
     | `Contradiction -> unsat := true
     | `Fixedpoint -> ());
@@ -174,6 +175,7 @@ let run_with_stages ?(config = Config.default) ~stages polys =
      keeps the master (and hence the emitted CNF) small without losing any
      linear information. *)
   let compress_linear () =
+    Obs.Trace.with_span ~name:"driver.compress_linear" @@ fun () ->
     let linear = ref [] in
     S.iter master (fun id p -> if P.is_linear p then linear := (id, p) :: !linear);
     let polys = List.map snd !linear in
@@ -191,6 +193,11 @@ let run_with_stages ?(config = Config.default) ~stages polys =
   in
   (* add a batch of candidate facts to the master; returns how many were new *)
   let add_facts origin candidate_facts =
+    Obs.Trace.with_span ~name:"driver.absorb_facts"
+      ~args:
+        (if Obs.Trace.enabled () then [ ("origin", Facts.origin_name origin) ]
+         else [])
+    @@ fun () ->
     let added = ref 0 in
     List.iter
       (fun p ->
@@ -374,6 +381,7 @@ let run_with_stages ?(config = Config.default) ~stages polys =
   (* The monomial gauge tracks the master's total term count; XL adds its
      expansion columns on top while it runs. *)
   let update_gauge () =
+    Obs.Trace.with_span ~name:"driver.update_gauge" @@ fun () ->
     let cells = ref 0 in
     S.iter master (fun _ p -> cells := !cells + P.n_terms p);
     Harness.Budget.set_cells budget !cells
@@ -391,28 +399,44 @@ let run_with_stages ?(config = Config.default) ~stages polys =
      do
        incr iterations;
        Harness.Budget.set_iteration budget !iterations;
+       (* One span per driver iteration, one per technique stage inside
+          it: together with the counters bumped by [Facts.add] this is
+          the per-technique who-learnt-what-when record the trace file
+          exists for. *)
+       Obs.Trace.with_span ~name:"driver.iteration"
+         ~args:[ ("iteration", string_of_int !iterations) ]
+       @@ fun () ->
        update_gauge ();
        Harness.Budget.check budget ~layer:"driver";
        let added = ref 0 in
        if stages.use_xl && not !unsat then begin
-         let report = Xl.run ~config ~rng ~budget (S.to_list master) in
+         let report =
+           Obs.Trace.with_span ~name:"driver.xl" (fun () ->
+               Xl.run ~config ~rng ~budget (S.to_list master))
+         in
          added := !added + add_facts Facts.Xl report.Xl.facts
        end;
        if Harness.Budget.tripped budget <> None then raise Exit;
        if stages.use_elimlin && not !unsat then begin
-         let report = Elimlin.run ~config ~rng ~budget (S.to_list master) in
+         let report =
+           Obs.Trace.with_span ~name:"driver.elimlin" (fun () ->
+               Elimlin.run ~config ~rng ~budget (S.to_list master))
+         in
          added := !added + add_facts Facts.Elimlin report.Elimlin.facts
        end;
        if Harness.Budget.tripped budget <> None then raise Exit;
        if stages.use_groebner && not !unsat then begin
-         let report = Groebner.run (S.to_list master) in
+         let report =
+           Obs.Trace.with_span ~name:"driver.groebner" (fun () ->
+               Groebner.run (S.to_list master))
+         in
          added := !added + add_facts Facts.Groebner report.Groebner.facts
        end;
        let sat_added =
          if stages.use_sat && not !unsat then begin
            update_gauge ();
            Harness.Budget.check budget ~layer:"sat";
-           sat_stage ()
+           Obs.Trace.with_span ~name:"driver.sat_round" sat_stage
          end
          else 0
        in
@@ -438,7 +462,10 @@ let run_with_stages ?(config = Config.default) ~stages polys =
     if !unsat then [ P.one ]
     else S.to_list master @ Anf_prop.fact_polys state
   in
-  let cnf = (Anf_to_cnf.convert ~config ~nvars:orig_nvars processed_anf).Anf_to_cnf.formula in
+  let cnf =
+    Obs.Trace.with_span ~name:"driver.emit_cnf" (fun () ->
+        (Anf_to_cnf.convert ~config ~nvars:orig_nvars processed_anf).Anf_to_cnf.formula)
+  in
   let budget_report =
     if Harness.Budget.is_limited budget || tripped <> None then
       Some (Harness.Budget.report budget)

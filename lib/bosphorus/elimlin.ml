@@ -3,7 +3,12 @@ module S = Anf.System
 
 type report = { facts : P.t list; rounds : int; final_size : int }
 
+let m_substitutions = Obs.Metrics.counter "elimlin.substitutions"
+let m_facts = Obs.Metrics.counter "elimlin.facts"
+let m_rounds = Obs.Metrics.counter "elimlin.rounds"
+
 let gje ?(jobs = 1) ?(poll = fun () -> ()) polys =
+  Obs.Trace.with_span ~name:"elimlin.gje" @@ fun () ->
   let lin, matrix = Linearize.build ~jobs polys in
   ignore (Gf2.Matrix.rref_m4rm ~jobs ~poll matrix);
   List.map (Linearize.poly_of_row lin) (Gf2.Matrix.nonzero_rows matrix)
@@ -72,6 +77,7 @@ let eliminate ?deadline ?budget ?(jobs = 1) polys =
                 (* l = x + rest, so x := rest *)
                 let by = P.add l (P.var x) in
                 applied := (x, by) :: !applied;
+                Obs.Metrics.incr m_substitutions;
                 (* a substitution over a dense polynomial costs far more
                    than a clock read, so these are full checks rather than
                    amortized polls — detection latency stays bounded by
@@ -100,15 +106,22 @@ let eliminate ?deadline ?budget ?(jobs = 1) polys =
   | exception Out_of_time -> (List.rev !facts, !rounds, [])
   | exception Harness.Budget.Tripped _ -> (List.rev !facts, !rounds, [])
 
-let run_full ?(jobs = 1) polys =
-  let facts, rounds, final = eliminate ~jobs polys in
+let report_of facts rounds final =
+  Obs.Metrics.incr m_facts ~by:(List.length facts);
+  Obs.Metrics.incr m_rounds ~by:rounds;
   { facts; rounds; final_size = List.length final }
 
+let run_full ?(jobs = 1) polys =
+  Obs.Trace.with_span ~name:"elimlin.run" @@ fun () ->
+  let facts, rounds, final = eliminate ~jobs polys in
+  report_of facts rounds final
+
 let run ~config ~rng ?budget polys =
+  Obs.Trace.with_span ~name:"elimlin.run" @@ fun () ->
   let open Config in
   let cell_budget = 1 lsl config.xl_sample_bits in
   (* like XL, ElimLin runs on a ~2^M-cell subsample (Section II-C) *)
   let sample = Xl.subsample ~rng ~cell_budget polys in
   let deadline = Unix.gettimeofday () +. config.stage_time_s in
   let facts, rounds, final = eliminate ~deadline ?budget ~jobs:config.jobs sample in
-  { facts; rounds; final_size = List.length final }
+  report_of facts rounds final

@@ -7,6 +7,23 @@ let origin_name = function
   | Sat_solver -> "SAT"
   | Groebner -> "Groebner"
 
+(* One counter per fact source, bumped on every successful [add]: the sum
+   of the five always equals the total of facts stored this process, which
+   is the invariant the traced CI smoke checks against the driver's own
+   report. *)
+let origin_counter =
+  let prop = Obs.Metrics.counter "facts.propagation"
+  and xl = Obs.Metrics.counter "facts.xl"
+  and elimlin = Obs.Metrics.counter "facts.elimlin"
+  and sat = Obs.Metrics.counter "facts.sat"
+  and groebner = Obs.Metrics.counter "facts.groebner" in
+  function
+  | Propagation -> prop
+  | Xl -> xl
+  | Elimlin -> elimlin
+  | Sat_solver -> sat
+  | Groebner -> groebner
+
 module Ptbl = Hashtbl.Make (struct
   type t = Anf.Poly.t
 
@@ -26,6 +43,7 @@ let add t origin p =
   else begin
     Ptbl.add t.seen p origin;
     t.order <- (origin, p) :: t.order;
+    Obs.Metrics.incr (origin_counter origin);
     true
   end
 

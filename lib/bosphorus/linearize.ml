@@ -26,7 +26,9 @@ let column_basis ?(jobs = 1) polys =
       let locals =
         Runtime.Pool.run pool
           (List.map
-             (fun chunk () -> chunk_keys chunk)
+             (fun chunk () ->
+               Obs.Trace.with_span ~name:"linearize.hash_chunk" (fun () ->
+                   chunk_keys chunk))
              (Runtime.Pool.chunk_list ~chunks:jobs polys))
       in
       let seen = Mtbl.create 64 in
@@ -37,8 +39,16 @@ let column_basis ?(jobs = 1) polys =
   let cols = Mtbl.fold (fun m () acc -> m :: acc) seen [] in
   Array.of_list (List.sort M.compare cols)
 
+let g_columns = Obs.Metrics.gauge "linearize.columns"
+let g_rows = Obs.Metrics.gauge "linearize.rows"
+
 let build ?(jobs = 1) polys =
+  Obs.Trace.with_span ~name:"linearize.build" @@ fun () ->
   let columns = column_basis ~jobs polys in
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.set_gauge g_columns (Array.length columns);
+    Obs.Metrics.set_gauge g_rows (List.length polys)
+  end;
   let index = Mtbl.create (Array.length columns) in
   Array.iteri (fun i m -> Mtbl.replace index m i) columns;
   let t = { columns; index } in

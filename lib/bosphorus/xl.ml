@@ -72,7 +72,13 @@ let expand ?(jobs = 1) ?budget ~multipliers polys =
     let batches =
       Runtime.Pool.run_results ?cancel pool
         (List.map
-           (fun chunk () -> expand_chunk ?budget multipliers chunk)
+           (fun chunk () ->
+             Obs.Trace.with_span ~name:"xl.expand_chunk"
+               ~args:
+                 (if Obs.Trace.enabled () then
+                    [ ("polys", string_of_int (List.length chunk)) ]
+                  else [])
+               (fun () -> expand_chunk ?budget multipliers chunk))
            (Runtime.Pool.chunk_list ~chunks:jobs polys))
     in
     let seen = Ptbl.create 64 in
@@ -142,7 +148,7 @@ let subsample ~rng ~cell_budget polys =
     arr;
   List.rev !taken
 
-let run ~config ~rng ?budget polys =
+let run_impl ~config ~rng ?budget polys =
   let open Config in
   let cell_budget = 1 lsl config.xl_sample_bits in
   let expand_budget = 1 lsl (config.xl_sample_bits + config.xl_expand_bits) in
@@ -228,9 +234,10 @@ let run ~config ~rng ?budget polys =
         | None -> ()
       in
       match
-        let lin, matrix = Linearize.build ~jobs:config.jobs expanded in
-        let rank = Gf2.Matrix.rref_m4rm ~jobs:config.jobs ~poll matrix in
-        (lin, matrix, rank)
+        Obs.Trace.with_span ~name:"xl.linearize_reduce" (fun () ->
+            let lin, matrix = Linearize.build ~jobs:config.jobs expanded in
+            let rank = Gf2.Matrix.rref_m4rm ~jobs:config.jobs ~poll matrix in
+            (lin, matrix, rank))
       with
       | lin, matrix, rank ->
           let reduced = Gf2.Matrix.nonzero_rows matrix in
@@ -250,3 +257,19 @@ let run ~config ~rng ?budget polys =
             columns = !cols;
             rank = 0;
           })
+
+let m_sampled = Obs.Metrics.counter "xl.sampled_polys"
+let m_expanded = Obs.Metrics.counter "xl.expanded_rows"
+let m_facts = Obs.Metrics.counter "xl.facts"
+let g_columns = Obs.Metrics.gauge "xl.columns"
+
+let run ~config ~rng ?budget polys =
+  Obs.Trace.with_span ~name:"xl.run" @@ fun () ->
+  let r = run_impl ~config ~rng ?budget polys in
+  Obs.Metrics.incr m_sampled ~by:r.sampled;
+  Obs.Metrics.incr m_expanded ~by:r.expanded_rows;
+  Obs.Metrics.incr m_facts ~by:(List.length r.facts);
+  (* distinct monomial columns of this pass: the degree/monomial profile
+     of the expansion, peak retained across passes *)
+  Obs.Metrics.set_gauge g_columns r.columns;
+  r

@@ -76,10 +76,21 @@ let remaining_time_s t =
   Option.map (fun d -> Float.max 0.0 (d -. Unix.gettimeofday ())) t.deadline
 
 (* First trip wins; every later trip attempt just reads the winner.  The
-   cancel token is set exactly once, by the winner. *)
+   cancel token is set exactly once, by the winner, which also drops an
+   instant mark on the trace so the trip is visible on the timeline of
+   whichever domain detected it. *)
 let record t trip =
-  if Atomic.compare_and_set t.trip_cell None (Some trip) then
+  if Atomic.compare_and_set t.trip_cell None (Some trip) then begin
     Runtime.Pool.Cancel.set t.cancel;
+    Obs.Trace.instant "budget.trip"
+      ~args:
+        [
+          ("kind", kind_name trip.kind);
+          ("layer", trip.layer);
+          ("iteration", string_of_int trip.at_iteration);
+          ("detail", trip.detail);
+        ]
+  end;
   Option.get (Atomic.get t.trip_cell)
 
 (* ------------------------------------------------------------------ *)

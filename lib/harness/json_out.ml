@@ -1,7 +1,9 @@
 (* Machine-readable bench results: a collector of per-run records written
    as one JSON document, so the repo can accumulate BENCH_*.json
    trajectory files across PRs.  Hand-rolled serialisation — the record
-   shape is flat and fixed, and no JSON library is vendored. *)
+   shape is flat and fixed, and no JSON library is vendored.  Lives in the
+   harness (rather than the bench executable) so the emitter is unit-
+   testable and reusable from the CLI. *)
 
 type record = {
   experiment : string;
@@ -39,9 +41,14 @@ let escape s =
 
 let opt_int = function None -> "null" | Some n -> string_of_int n
 
-(* JSON has no infinities/NaN; clamp defensively *)
+(* JSON has no infinities or NaN: NaN clamps to 0, and the infinities
+   (which "%.6f" would print as the invalid tokens "inf"/"-inf") clamp to
+   the largest double-representable decimal.  Every float in the document
+   — [wall_s] included — must go through here. *)
 let float_to_json x =
   if Float.is_nan x then "0"
+  else if x = Float.infinity then "1e308"
+  else if x = Float.neg_infinity then "-1e308"
   else if Float.is_integer x && Float.abs x < 1e15 then
     Printf.sprintf "%.0f" x
   else Printf.sprintf "%.6f" x
@@ -54,17 +61,30 @@ let record_to_json r =
          r.extras)
   in
   Printf.sprintf
-    "    {\"experiment\": \"%s\", \"family\": \"%s\", \"wall_s\": %.6f, \"facts\": %s, \
+    "    {\"experiment\": \"%s\", \"family\": \"%s\", \"wall_s\": %s, \"facts\": %s, \
      \"rank\": %s, \"jobs\": %d%s}"
-    (escape r.experiment) (escape r.family) r.wall_s (opt_int r.facts) (opt_int r.rank)
-    r.jobs extras
+    (escape r.experiment) (escape r.family) (float_to_json r.wall_s)
+    (opt_int r.facts) (opt_int r.rank) r.jobs extras
 
-let write t path =
+let to_string ?metrics t =
+  let metrics_section =
+    match metrics with
+    | None -> ""
+    | Some fields ->
+        Printf.sprintf "  \"metrics\": {\n%s\n  },\n"
+          (String.concat ",\n"
+             (List.map
+                (fun (k, v) ->
+                  Printf.sprintf "    \"%s\": %s" (escape k) (float_to_json v))
+                fields))
+  in
+  Printf.sprintf "{\n  \"host_domains\": %d,\n%s  \"records\": [\n%s\n  ]\n}\n"
+    (Domain.recommended_domain_count ())
+    metrics_section
+    (String.concat ",\n" (List.rev_map record_to_json t.records))
+
+let write ?metrics t path =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      Printf.fprintf oc
-        "{\n  \"host_domains\": %d,\n  \"records\": [\n%s\n  ]\n}\n"
-        (Domain.recommended_domain_count ())
-        (String.concat ",\n" (List.rev_map record_to_json t.records)))
+    (fun () -> output_string oc (to_string ?metrics t))

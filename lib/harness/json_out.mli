@@ -1,0 +1,50 @@
+(** Machine-readable bench results: one JSON document per run of the
+    bench harness, accumulated into the repo's BENCH_*.json trajectory
+    files.
+
+    The serialiser is hand-rolled (no JSON library is vendored); its one
+    subtlety is float hygiene — JSON has no [NaN]/[inf] tokens, so every
+    float (the [wall_s] field and all extras) is clamped by
+    {!float_to_json} before emission. *)
+
+type record = {
+  experiment : string;
+  family : string;
+  wall_s : float;
+  facts : int option;  (** facts learnt; [None] when not applicable *)
+  rank : int option;  (** GF(2) rank; [None] when not applicable *)
+  jobs : int;
+  extras : (string * float) list;
+      (** free-form named counters serialised as additional numeric fields *)
+}
+
+type t
+
+val create : unit -> t
+
+(** Recorded entries, newest first. *)
+val records : t -> record list
+
+val add :
+  t ->
+  experiment:string ->
+  family:string ->
+  wall_s:float ->
+  ?facts:int ->
+  ?rank:int ->
+  ?extras:(string * float) list ->
+  jobs:int ->
+  unit ->
+  unit
+
+(** [NaN] -> ["0"], [±infinity] -> ["±1e308"] (the invalid ["inf"] token
+    never appears), integral values within 2^50 print without a fraction.
+    Exposed for tests. *)
+val float_to_json : float -> string
+
+(** The document.  [?metrics] adds a top-level ["metrics"] object (the
+    {!Obs.Metrics.to_extras} view) between the host header and the
+    records. *)
+val to_string : ?metrics:(string * float) list -> t -> string
+
+val write : ?metrics:(string * float) list -> t -> string -> unit

@@ -1,0 +1,222 @@
+(* Counters and gauges are plain atomics; histogram float fields are
+   updated with a compare-and-set loop (boxed floats compare by the box,
+   so a lost race just retries).  The registry mutex guards only
+   name->metric registration, never updates. *)
+
+type counter = { cname : string; c : int Atomic.t }
+type gauge = { gname : string; level : int Atomic.t; peak : int Atomic.t }
+
+type histogram = {
+  hname : string;
+  hcount : int Atomic.t;
+  hsum : float Atomic.t;
+  hmin : float Atomic.t;
+  hmax : float Atomic.t;
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+let enabled_flag = ref false
+let set_enabled v = enabled_flag := v
+let enabled () = !enabled_flag
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_m = Mutex.create ()
+
+let register name make project =
+  Mutex.lock registry_m;
+  let m =
+    match Hashtbl.find_opt registry name with
+    | Some m -> m
+    | None ->
+        let m = make () in
+        Hashtbl.replace registry name m;
+        m
+  in
+  Mutex.unlock registry_m;
+  match project m with
+  | Some x -> x
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Obs.Metrics: %S is already registered as another kind" name)
+
+let counter name =
+  register name
+    (fun () -> C { cname = name; c = Atomic.make 0 })
+    (function C c -> Some c | G _ | H _ -> None)
+
+let incr ?(by = 1) c = if !enabled_flag then ignore (Atomic.fetch_and_add c.c by)
+let counter_value c = Atomic.get c.c
+
+let gauge name =
+  register name
+    (fun () -> G { gname = name; level = Atomic.make 0; peak = Atomic.make 0 })
+    (function G g -> Some g | C _ | H _ -> None)
+
+let rec raise_to a v =
+  let old = Atomic.get a in
+  if v > old && not (Atomic.compare_and_set a old v) then raise_to a v
+
+let set_gauge g v =
+  if !enabled_flag then begin
+    Atomic.set g.level v;
+    raise_to g.peak v
+  end
+
+let gauge_value g = Atomic.get g.level
+let gauge_peak g = Atomic.get g.peak
+
+let histogram name =
+  register name
+    (fun () ->
+      H
+        {
+          hname = name;
+          hcount = Atomic.make 0;
+          hsum = Atomic.make 0.0;
+          hmin = Atomic.make Float.infinity;
+          hmax = Atomic.make Float.neg_infinity;
+        })
+    (function H h -> Some h | C _ | G _ -> None)
+
+let rec update_float a f =
+  let old = Atomic.get a in
+  let next = f old in
+  if not (Atomic.compare_and_set a old next) then update_float a f
+
+let observe h v =
+  if !enabled_flag then begin
+    ignore (Atomic.fetch_and_add h.hcount 1);
+    update_float h.hsum (fun s -> s +. v);
+    update_float h.hmin (fun m -> Float.min m v);
+    update_float h.hmax (fun m -> Float.max m v)
+  end
+
+let histogram_count h = Atomic.get h.hcount
+
+(* ------------------------------------------------------------------ *)
+(* registry-wide operations                                            *)
+(* ------------------------------------------------------------------ *)
+
+let all () =
+  Mutex.lock registry_m;
+  let ms = Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [] in
+  Mutex.unlock registry_m;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) ms
+
+let reset () =
+  List.iter
+    (fun (_, m) ->
+      match m with
+      | C c -> Atomic.set c.c 0
+      | G g ->
+          Atomic.set g.level 0;
+          Atomic.set g.peak 0
+      | H h ->
+          Atomic.set h.hcount 0;
+          Atomic.set h.hsum 0.0;
+          Atomic.set h.hmin Float.infinity;
+          Atomic.set h.hmax Float.neg_infinity)
+    (all ())
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* JSON has no infinities or NaN; bench extras share the same clamp via
+   Harness.Json_out, which duplicates this (Harness depends on us). *)
+let float_json x =
+  if Float.is_nan x then "0"
+  else if x = Float.infinity then "1e308"
+  else if x = Float.neg_infinity then "-1e308"
+  else if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.6f" x
+
+let to_json () =
+  let ms = all () in
+  let section out emit =
+    let first = ref true in
+    List.iter
+      (fun (name, m) ->
+        match emit m with
+        | None -> ()
+        | Some body ->
+            if not !first then Buffer.add_string out ",\n";
+            first := false;
+            Buffer.add_string out (Printf.sprintf "    \"%s\": %s" (escape name) body))
+      ms
+  in
+  let out = Buffer.create 1024 in
+  Buffer.add_string out "{\n  \"counters\": {\n";
+  section out (function
+    | C c -> Some (string_of_int (Atomic.get c.c))
+    | G _ | H _ -> None);
+  Buffer.add_string out "\n  },\n  \"gauges\": {\n";
+  section out (function
+    | G g ->
+        Some
+          (Printf.sprintf "{\"value\": %d, \"peak\": %d}" (Atomic.get g.level)
+             (Atomic.get g.peak))
+    | C _ | H _ -> None);
+  Buffer.add_string out "\n  },\n  \"histograms\": {\n";
+  section out (function
+    | H h ->
+        let n = Atomic.get h.hcount in
+        let sum = Atomic.get h.hsum in
+        Some
+          (if n = 0 then "{\"count\": 0, \"sum\": 0}"
+           else
+             Printf.sprintf
+               "{\"count\": %d, \"sum\": %s, \"min\": %s, \"max\": %s, \"mean\": %s}" n
+               (float_json sum)
+               (float_json (Atomic.get h.hmin))
+               (float_json (Atomic.get h.hmax))
+               (float_json (sum /. float_of_int n)))
+    | C _ | G _ -> None);
+  Buffer.add_string out "\n  }\n}\n";
+  Buffer.contents out
+
+let write path =
+  let doc = to_json () in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc doc);
+  Sys.rename tmp path
+
+let to_extras () =
+  (* the per-metric expansions (gauge [.peak], histogram [.count] etc.)
+     interleave with base names, so sort the flat view as a whole *)
+  List.sort (fun (a, _) (b, _) -> String.compare a b)
+  @@ List.concat_map
+    (fun (name, m) ->
+      match m with
+      | C c -> [ (name, float_of_int (Atomic.get c.c)) ]
+      | G g ->
+          [
+            (name, float_of_int (Atomic.get g.level));
+            (name ^ ".peak", float_of_int (Atomic.get g.peak));
+          ]
+      | H h ->
+          let n = Atomic.get h.hcount in
+          (name ^ ".count", float_of_int n)
+          ::
+          (if n = 0 then []
+           else
+             [
+               (name ^ ".sum", Atomic.get h.hsum);
+               (name ^ ".min", Atomic.get h.hmin);
+               (name ^ ".max", Atomic.get h.hmax);
+             ]))
+    (all ())

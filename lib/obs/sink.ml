@@ -1,0 +1,67 @@
+type entry = {
+  path : string;
+  write : out_channel -> unit;
+  mutable completed : bool;
+}
+
+let entries : (string, entry) Hashtbl.t = Hashtbl.create 8
+let m = Mutex.create ()
+let installed = ref false
+
+let write_entry e =
+  let tmp = e.path ^ ".tmp" in
+  match
+    let oc = open_out tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> e.write oc);
+    Sys.rename tmp e.path
+  with
+  | () -> ()
+  | exception _ -> ( try Sys.remove tmp with Sys_error _ -> ())
+
+let take_pending () =
+  Mutex.lock m;
+  let pending =
+    Hashtbl.fold
+      (fun key e acc -> if e.completed then acc else (key, e) :: acc)
+      entries []
+  in
+  List.iter (fun (_, e) -> e.completed <- true) pending;
+  Mutex.unlock m;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) pending
+
+let flush_all () = List.iter (fun (_, e) -> write_entry e) (take_pending ())
+
+let register ~key ~path write =
+  Mutex.lock m;
+  Hashtbl.replace entries key { path; write; completed = false };
+  let need_install = not !installed in
+  installed := true;
+  Mutex.unlock m;
+  (* One finalizer for every sink: registered lazily so programs that
+     never configure an output file never grow their at_exit chain. *)
+  if need_install then Stdlib.at_exit flush_all
+
+let with_entry key f =
+  Mutex.lock m;
+  let e = Hashtbl.find_opt entries key in
+  Mutex.unlock m;
+  Option.iter f e
+
+let write_now ~key =
+  with_entry key (fun e ->
+      if not e.completed then begin
+        e.completed <- true;
+        write_entry e
+      end)
+
+let complete ~key = with_entry key (fun e -> e.completed <- true)
+
+let pending () =
+  Mutex.lock m;
+  let keys =
+    Hashtbl.fold (fun key e acc -> if e.completed then acc else key :: acc) entries []
+  in
+  Mutex.unlock m;
+  List.sort String.compare keys

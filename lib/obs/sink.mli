@@ -1,0 +1,35 @@
+(** Crash-safe report files: write-at-exit with atomic replacement.
+
+    Trace, metrics and budget-report files must survive every way a run
+    can end — a clean fixed point, a [Degraded] budget trip, an uncaught
+    exception, or [exit] from [--status-exit-codes].  Callers register
+    each output file {e up front}; a single [at_exit] finalizer (installed
+    on first registration) writes every file that has not been written by
+    then.  Each write goes to [path ^ ".tmp"] and is renamed into place,
+    so no observer ever sees a torn file.
+
+    Keys are caller-chosen names ("trace", "metrics", "budget-report"):
+    re-registering a key replaces its writer, which is how a fallback
+    document registered before a run (e.g. an "aborted" budget report) is
+    upgraded to the real one after it. *)
+
+(** [register ~key ~path write] schedules [write] to produce [path] at
+    process exit (or at {!write_now}/{!flush_all}).  Replaces any previous
+    registration of [key] and re-arms it if that key was already
+    completed. *)
+val register : key:string -> path:string -> (out_channel -> unit) -> unit
+
+(** Run [key]'s writer now and mark it completed. *)
+val write_now : key:string -> unit
+
+(** Mark [key] completed without writing (the caller produced the file
+    itself). *)
+val complete : key:string -> unit
+
+(** Write every registered, not-yet-completed file, in key order.  A
+    writer that raises is skipped (its temp file is removed; the final
+    path is left untouched) and the remaining writers still run. *)
+val flush_all : unit -> unit
+
+(** Registered keys not yet completed (tests). *)
+val pending : unit -> string list

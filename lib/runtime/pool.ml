@@ -118,7 +118,12 @@ let with_pool ~jobs f =
 
 let submit sh fut f =
   let task () =
-    let r = try Done (f ()) with e -> Failed e in
+    (* Every pooled task is a span on whichever domain executes it (a
+       worker or the helping caller), so worker utilisation shows up as
+       one trace track per domain. *)
+    let r =
+      try Done (Obs.Trace.with_span ~name:"pool.task" f) with e -> Failed e
+    in
     Mutex.lock fut.fm;
     fut.state <- r;
     Condition.broadcast fut.fc;

@@ -645,6 +645,7 @@ let add_xor t ~vars ~parity =
    deleted clauses vanish with the old lists — no per-deletion scan ever
    happens. *)
 let compact t =
+  Obs.Trace.with_span ~name:"sat.arena_gc" @@ fun () ->
   let old = t.arena in
   let into = Arena.create ~cap:(Arena.words old - Arena.wasted old + 16) () in
   let remap vec =
@@ -671,6 +672,7 @@ let maybe_compact t =
 (* ---------------- learnt DB reduction ---------------- *)
 
 let reduce_db t =
+  Obs.Trace.with_span ~name:"sat.reduce_db" @@ fun () ->
   let a = t.arena in
   (* order: worse clauses first (higher LBD, then lower activity) *)
   let cmp c1 c2 =
@@ -910,7 +912,7 @@ let self_check t =
     | [] -> ()
     | v :: _ -> failwith ("Solver invariant violated: " ^ v)
 
-let solve ?conflict_budget ?time_budget_s ?interrupt t =
+let solve_inner ?conflict_budget ?time_budget_s ?interrupt t =
   if not t.ok then Unsat
   else if (match interrupt with Some f -> f () | None -> false) then Undecided
   else begin
@@ -946,6 +948,30 @@ let solve ?conflict_budget ?time_budget_s ?interrupt t =
       result
     end
   end
+
+(* Per-round observability: the whole solve is one span, and the round's
+   work shows up as deltas on process-global counters (the solver's own
+   [stats] stay cumulative per instance, which is what the driver's
+   round accounting diffs). *)
+let m_propagations = Obs.Metrics.counter "sat.propagations"
+let m_conflicts = Obs.Metrics.counter "sat.conflicts"
+let m_restarts = Obs.Metrics.counter "sat.restarts"
+let m_decisions = Obs.Metrics.counter "sat.decisions"
+
+let solve ?conflict_budget ?time_budget_s ?interrupt t =
+  Obs.Trace.with_span ~name:"sat.solve" @@ fun () ->
+  let s = t.stats in
+  let p0 = s.propagations
+  and c0 = s.conflicts
+  and r0 = s.restarts
+  and d0 = s.decisions in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.incr m_propagations ~by:(s.propagations - p0);
+      Obs.Metrics.incr m_conflicts ~by:(s.conflicts - c0);
+      Obs.Metrics.incr m_restarts ~by:(s.restarts - r0);
+      Obs.Metrics.incr m_decisions ~by:(s.decisions - d0))
+    (fun () -> solve_inner ?conflict_budget ?time_budget_s ?interrupt t)
 
 let probe t l =
   if not t.ok then `Unusable
