@@ -1,0 +1,140 @@
+(* bosphorus_check: the repo's own static analyzer.  Reads the .cmt
+   typedtrees dune already emitted, enforces the domain-safety and
+   allocation-discipline rules (see DESIGN.md "Static analysis &
+   domain-safety rules"), and exits non-zero on unwaived findings — the
+   CI static-check gate. *)
+
+let find_root start =
+  let rec up dir n =
+    if n > 6 then None
+    else if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if String.equal parent dir then None else up parent (n + 1)
+  in
+  up start 0
+
+let load_manifest path =
+  if Sys.file_exists path then
+    match Check.Manifest.load path with
+    | Ok m -> Ok m
+    | Error e -> Error (`Msg e)
+  else Ok Check.Manifest.default
+
+let load_waivers path =
+  if Sys.file_exists path then
+    match Check.Waivers.load path with
+    | Ok w -> Ok w
+    | Error e -> Error (`Msg e)
+  else Ok Check.Waivers.empty
+
+let run root build_dir scan_dirs manifest_path waivers_path json quiet =
+  let ( let* ) = Result.bind in
+  let* root =
+    match root with
+    | Some r -> Ok r
+    | None -> (
+        match find_root (Sys.getcwd ()) with
+        | Some r -> Ok r
+        | None -> Error (`Msg "cannot find dune-project; pass --root"))
+  in
+  let in_root p = if Filename.is_relative p then Filename.concat root p else p in
+  let* manifest = load_manifest (in_root manifest_path) in
+  let* waivers = load_waivers (in_root waivers_path) in
+  let config =
+    {
+      Check.Engine.default_config with
+      root;
+      build_dir;
+      manifest;
+      waivers;
+      scan_dirs =
+        (match scan_dirs with
+        | [] -> Check.Engine.default_config.Check.Engine.scan_dirs
+        | ds -> ds);
+    }
+  in
+  let report = Check.Engine.run config in
+  if not quiet then Format.printf "%a" Check.Engine.pp_report report;
+  Option.iter
+    (fun path ->
+      Harness.Json_out.Value.write path (Check.Engine.to_json report);
+      if not quiet then Format.printf "report: wrote %s@." path)
+    json;
+  if report.Check.Engine.n_modules = 0 then
+    (* analyzing nothing must not pass vacuously (wrong root, or dune
+       build has not run) *)
+    Error
+      (`Msg
+        (Printf.sprintf
+           "no .cmt files found under %s — run `dune build` first (or fix \
+            --root/--build-dir)"
+           (Filename.concat root build_dir)))
+  else if Check.Engine.ok report then Ok ()
+  else Error (`Msg "unwaived findings (or analysis errors) — see above")
+
+open Cmdliner
+
+let root =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "root" ] ~docv:"DIR"
+        ~doc:"Repository root (default: nearest ancestor with dune-project).")
+
+let build_dir =
+  Arg.(
+    value
+    & opt string "_build/default"
+    & info [ "build-dir" ] ~docv:"DIR"
+        ~doc:"Build context holding the .cmt files, relative to the root.")
+
+let scan_dirs =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "dir" ] ~docv:"DIR"
+        ~doc:
+          "Source directory prefix to analyze (repeatable; default lib, bin \
+           and bench).")
+
+let manifest_path =
+  Arg.(
+    value
+    & opt string "check.hotpaths"
+    & info [ "manifest" ] ~docv:"FILE"
+        ~doc:
+          "Hot-path/parallel/immediate-type manifest (missing file: empty \
+           manifest with the default poly-compare scope).")
+
+let waivers_path =
+  Arg.(
+    value
+    & opt string "check.waivers"
+    & info [ "waivers" ] ~docv:"FILE"
+        ~doc:"Waiver baseline (missing file: no baseline waivers).")
+
+let json =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"Write the JSON report to $(docv).")
+
+let quiet =
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress the text report.")
+
+let cmd =
+  let doc =
+    "static analysis over the repository's typedtrees: domain-safety and \
+     hot-path allocation discipline"
+  in
+  let term =
+    Term.(
+      const run $ root $ build_dir $ scan_dirs $ manifest_path $ waivers_path
+      $ json $ quiet)
+  in
+  Cmd.v
+    (Cmd.info "bosphorus_check" ~doc)
+    Term.(term_result term)
+
+let () = exit (Cmd.eval cmd)

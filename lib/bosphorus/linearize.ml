@@ -62,7 +62,10 @@ let build ?(jobs = 1) polys =
       (Anf.Poly.monomials p);
     row
   in
-  let rows =
+  let[@check.allow
+       "domain-capture"
+         "index is frozen before the parallel row build; pool tasks only \
+          read it"] rows =
     if jobs <= 1 then List.map row_of polys
     else Runtime.Pool.map_list (Runtime.Pool.get ~jobs) row_of polys
   in

@@ -1,0 +1,224 @@
+(* Orchestration: find the .cmt typedtrees dune emitted under the build
+   directory, run the rules over each, add the filesystem-level hygiene
+   check (every lib/ module has an interface), then apply the
+   check.waivers baseline and assemble a report. *)
+
+type config = {
+  root : string;
+  build_dir : string;
+  scan_dirs : string list;
+  mli_dirs : string list;
+  manifest : Manifest.t;
+  waivers : Waivers.t;
+}
+
+let default_config =
+  {
+    root = ".";
+    build_dir = "_build/default";
+    scan_dirs = [ "lib"; "bin"; "bench" ];
+    mli_dirs = [ "lib" ];
+    manifest = Manifest.default;
+    waivers = Waivers.empty;
+  }
+
+type report = {
+  findings : Finding.t list;  (* unwaived, sorted: these fail the check *)
+  waived : Finding.t list;
+  unused_waivers : Waivers.entry list;
+  n_modules : int;  (* .cmt implementations analyzed *)
+  errors : string list;  (* unreadable .cmt files, bad waiver lines... *)
+}
+
+(* ---------- discovery ---------- *)
+
+let rec walk_files dir acc =
+  match Sys.readdir dir with
+  | entries ->
+      Array.fold_left
+        (fun acc entry ->
+          let path = Filename.concat dir entry in
+          if Sys.is_directory path then walk_files path acc
+          else if Filename.check_suffix entry ".cmt" then path :: acc
+          else acc)
+        acc entries
+  | exception Sys_error _ -> acc
+
+let find_cmts config =
+  List.concat_map
+    (fun dir ->
+      let root = Filename.concat config.root config.build_dir in
+      walk_files (Filename.concat root dir) [])
+    config.scan_dirs
+  |> List.sort String.compare
+
+(* ---------- per-cmt analysis ---------- *)
+
+let analyze_cmt config path =
+  match Cmt_format.read_cmt path with
+  | exception exn ->
+      Error (Printf.sprintf "%s: cannot read cmt: %s" path (Printexc.to_string exn))
+  | cmt -> (
+      match (cmt.cmt_annots, cmt.cmt_sourcefile) with
+      | Cmt_format.Implementation structure, Some source_file
+        when not (Filename.check_suffix source_file ".ml-gen") ->
+          if
+            List.exists
+              (fun d -> String.starts_with ~prefix:(d ^ "/") source_file)
+              config.scan_dirs
+          then
+            Ok
+              (Some
+                 (Rules.analyze ~manifest:config.manifest ~source_file
+                    ~modname:cmt.cmt_modname structure))
+          else Ok None
+      | _ -> Ok None)
+
+(* ---------- interface hygiene (rule 5, filesystem level) ---------- *)
+
+let missing_mli config =
+  let rec walk dir acc =
+    match Sys.readdir dir with
+    | entries ->
+        Array.fold_left
+          (fun acc entry ->
+            let path = Filename.concat dir entry in
+            if Sys.is_directory path then walk path acc
+            else if
+              Filename.check_suffix entry ".ml"
+              && not (Sys.file_exists (path ^ "i"))
+            then path :: acc
+            else acc)
+          acc entries
+    | exception Sys_error _ -> acc
+  in
+  List.concat_map
+    (fun dir -> walk (Filename.concat config.root dir) [])
+    config.mli_dirs
+  |> List.sort String.compare
+  |> List.map (fun path ->
+         let rel =
+           let prefix = config.root ^ "/" in
+           if String.starts_with ~prefix path then
+             String.sub path (String.length prefix)
+               (String.length path - String.length prefix)
+           else path
+         in
+         Finding.make ~rule:Finding.Missing_mli ~file:rel ~line:1 ~col:0
+           ~symbol:""
+           ~message:
+             "module has no .mli: every lib/ module declares its interface")
+
+(* ---------- the run ---------- *)
+
+let run config =
+  let errors = ref [] in
+  let n_modules = ref 0 in
+  let findings = ref [] in
+  List.iter
+    (fun cmt ->
+      match analyze_cmt config cmt with
+      | Ok (Some fs) ->
+          incr n_modules;
+          findings := fs :: !findings
+      | Ok None -> ()
+      | Error m -> errors := m :: !errors)
+    (find_cmts config);
+  let all = List.concat (missing_mli config :: List.rev !findings) in
+  (* baseline waivers for findings not already waived by attribute *)
+  let all =
+    List.map
+      (fun f ->
+        if Finding.is_waived f then f
+        else
+          match
+            Waivers.find config.waivers
+              ~rule:(Finding.rule_id f.Finding.rule)
+              ~file:f.Finding.file ~symbol:f.Finding.symbol
+          with
+          | Some e -> Finding.waive f e.Waivers.reason
+          | None -> f)
+      all
+  in
+  (* a baseline entry without a reason is itself a finding *)
+  let all =
+    all
+    @ List.map
+        (fun (e : Waivers.entry) ->
+          Finding.make ~rule:Finding.Waiver_no_reason ~file:"check.waivers"
+            ~line:e.Waivers.line ~col:0 ~symbol:""
+            ~message:
+              (Printf.sprintf
+                 "waiver for %s at %s has no reason; every waiver must \
+                  explain itself"
+                 e.Waivers.rule e.Waivers.file))
+        (Waivers.without_reason config.waivers)
+  in
+  let all = List.sort_uniq Finding.compare all in
+  let waived, unwaived = List.partition Finding.is_waived all in
+  {
+    findings = unwaived;
+    waived;
+    unused_waivers = Waivers.unused config.waivers;
+    n_modules = !n_modules;
+    errors = List.rev !errors;
+  }
+
+let ok report = report.findings = [] && report.errors = []
+
+(* ---------- rendering ---------- *)
+
+let pp_report ppf r =
+  List.iter (fun f -> Format.fprintf ppf "%a@." Finding.pp f) r.findings;
+  List.iter
+    (fun (e : Waivers.entry) ->
+      Format.fprintf ppf
+        "note: check.waivers:%d: unused waiver (%s | %s | %s) — baseline can \
+         shrink@."
+        e.Waivers.line e.Waivers.rule e.Waivers.file e.Waivers.symbol)
+    r.unused_waivers;
+  List.iter (fun m -> Format.fprintf ppf "error: %s@." m) r.errors;
+  Format.fprintf ppf
+    "check: %d finding(s), %d waived, %d unused waiver(s); %d module(s) \
+     analyzed@."
+    (List.length r.findings) (List.length r.waived)
+    (List.length r.unused_waivers)
+    r.n_modules
+
+let to_json r =
+  let open Harness.Json_out.Value in
+  let count_by rule fs =
+    List.length (List.filter (fun f -> f.Finding.rule = rule) fs)
+  in
+  let counts fs =
+    Obj
+      (List.filter_map
+         (fun rule ->
+           match count_by rule fs with
+           | 0 -> None
+           | n -> Some (Finding.rule_id rule, Int n))
+         Finding.all_rules)
+  in
+  Obj
+    [
+      ("tool", String "bosphorus_check");
+      ("modules", Int r.n_modules);
+      ("ok", Bool (ok r));
+      ("counts", counts r.findings);
+      ("waived_counts", counts r.waived);
+      ("findings", List (List.map Finding.to_json r.findings));
+      ("waived", List (List.map Finding.to_json r.waived));
+      ( "unused_waivers",
+        List
+          (List.map
+             (fun (e : Waivers.entry) ->
+               Obj
+                 [
+                   ("rule", String e.Waivers.rule);
+                   ("file", String e.Waivers.file);
+                   ("symbol", String e.Waivers.symbol);
+                   ("line", Int e.Waivers.line);
+                 ])
+             r.unused_waivers) );
+      ("errors", List (List.map (fun m -> String m) r.errors));
+    ]

@@ -1,0 +1,39 @@
+(** Orchestration of the static analyzer: discover the [.cmt] typedtrees
+    dune emitted under [build_dir], run {!Rules.analyze} over each module
+    whose recorded source lives under [scan_dirs], add the interface
+    hygiene check over [mli_dirs], apply the {!Waivers} baseline, and
+    assemble a report. *)
+
+type config = {
+  root : string;  (** repository root *)
+  build_dir : string;  (** relative to [root], e.g. ["_build/default"] *)
+  scan_dirs : string list;  (** source prefixes analyzed, e.g. ["lib"] *)
+  mli_dirs : string list;  (** prefixes where every [.ml] needs an [.mli] *)
+  manifest : Manifest.t;
+  waivers : Waivers.t;
+}
+
+(** [root = "."], [build_dir = "_build/default"],
+    [scan_dirs = \["lib"; "bin"; "bench"\]], [mli_dirs = \["lib"\]],
+    default manifest, empty waivers. *)
+val default_config : config
+
+type report = {
+  findings : Finding.t list;  (** unwaived — these fail the check *)
+  waived : Finding.t list;
+  unused_waivers : Waivers.entry list;
+  n_modules : int;
+  errors : string list;
+}
+
+(** Analyze one [.cmt] file: [Ok None] when it is out of scope (interface,
+    generated wrapper, source outside [scan_dirs]). *)
+val analyze_cmt : config -> string -> (Finding.t list option, string) result
+
+val run : config -> report
+
+(** No unwaived findings and no analysis errors. *)
+val ok : report -> bool
+
+val pp_report : Format.formatter -> report -> unit
+val to_json : report -> Harness.Json_out.Value.t

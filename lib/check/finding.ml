@@ -1,0 +1,94 @@
+(* One diagnostic from the static analyzer: a rule violation anchored at a
+   source location, optionally waived (by a [@check.allow] attribute or a
+   check.waivers baseline entry, always with a reason). *)
+
+type rule =
+  | Domain_capture
+  | Lazy_in_parallel
+  | Hotpath_alloc
+  | Poly_compare
+  | Poly_hash
+  | Obj_magic
+  | Missing_mli
+  | Waiver_no_reason
+
+let all_rules =
+  [
+    Domain_capture;
+    Lazy_in_parallel;
+    Hotpath_alloc;
+    Poly_compare;
+    Poly_hash;
+    Obj_magic;
+    Missing_mli;
+    Waiver_no_reason;
+  ]
+
+let rule_id = function
+  | Domain_capture -> "domain-capture"
+  | Lazy_in_parallel -> "lazy-in-parallel"
+  | Hotpath_alloc -> "hotpath-alloc"
+  | Poly_compare -> "poly-compare"
+  | Poly_hash -> "poly-hash"
+  | Obj_magic -> "obj-magic"
+  | Missing_mli -> "missing-mli"
+  | Waiver_no_reason -> "waiver-no-reason"
+
+let rule_of_id s = List.find_opt (fun r -> String.equal (rule_id r) s) all_rules
+
+type t = {
+  rule : rule;
+  file : string;
+  line : int;
+  col : int;
+  symbol : string;
+  message : string;
+  waived : string option;
+}
+
+let make ~rule ~file ~line ~col ~symbol ~message =
+  { rule; file; line; col; symbol; message; waived = None }
+
+let waive t reason = { t with waived = Some reason }
+let is_waived t = Option.is_some t.waived
+
+(* (file, line, col, rule, message): stable report order and the dedup key
+   for findings reachable through two walks (e.g. a lazy expression inside
+   a pool task of a [parallel]-listed module). *)
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare (rule_id a.rule) (rule_id b.rule) in
+        if c <> 0 then c else String.compare a.message b.message
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %s:%d: %s: %s"
+    (if is_waived t then "waived" else "error")
+    t.file t.line (rule_id t.rule) t.message;
+  if t.symbol <> "" then Format.fprintf ppf "  [in %s]" t.symbol;
+  match t.waived with
+  | Some reason -> Format.fprintf ppf "  (waiver: %s)" reason
+  | None -> ()
+
+let to_json t =
+  let open Harness.Json_out.Value in
+  let base =
+    [
+      ("rule", String (rule_id t.rule));
+      ("file", String t.file);
+      ("line", Int t.line);
+      ("col", Int t.col);
+      ("symbol", String t.symbol);
+      ("message", String t.message);
+    ]
+  in
+  match t.waived with
+  | None -> Obj base
+  | Some reason -> Obj (base @ [ ("waived", String reason) ])

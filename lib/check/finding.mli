@@ -1,0 +1,53 @@
+(** Diagnostics emitted by the static analyzer.
+
+    A finding names the rule it violates, the source location (as recorded
+    in the [.cmt] file, i.e. relative to the build-context root), the
+    enclosing value binding ([symbol], dot-separated for nested bindings),
+    and a human-readable message.  Waived findings carry the waiver's
+    reason; unwaived findings fail the check. *)
+
+type rule =
+  | Domain_capture  (** mutable state captured by a pool-task closure *)
+  | Lazy_in_parallel  (** [lazy]/[Lazy.force] reachable from pool tasks *)
+  | Hotpath_alloc  (** allocation construct in a manifest hot path *)
+  | Poly_compare  (** polymorphic compare/=/min/max at a non-immediate type *)
+  | Poly_hash  (** structural [Hashtbl] keyed on a non-immediate type *)
+  | Obj_magic  (** any use of [Obj.magic] *)
+  | Missing_mli  (** a [lib/] module without an interface file *)
+  | Waiver_no_reason  (** a waiver whose reason string is empty *)
+
+val all_rules : rule list
+
+(** Stable kebab-case rule ids: the names used by [@check.allow],
+    [check.waivers] and the JSON report. *)
+val rule_id : rule -> string
+
+val rule_of_id : string -> rule option
+
+type t = {
+  rule : rule;
+  file : string;
+  line : int;
+  col : int;
+  symbol : string;
+  message : string;
+  waived : string option;
+}
+
+val make :
+  rule:rule ->
+  file:string ->
+  line:int ->
+  col:int ->
+  symbol:string ->
+  message:string ->
+  t
+
+val waive : t -> string -> t
+val is_waived : t -> bool
+
+(** Orders by (file, line, col, rule, message); also the dedup key. *)
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_json : t -> Harness.Json_out.Value.t

@@ -1,0 +1,87 @@
+(* The check.hotpaths manifest: declared knowledge the typedtree cannot
+   carry on its own.  INI-like sections of one entry per line; '#' starts
+   a comment; blank lines ignored.
+
+     [hotpaths]   fully-qualified function bindings held to the
+                  zero-allocation rule, e.g. Sat.Solver.propagate
+     [parallel]   modules whose code is reachable from pool tasks: any
+                  lazy/Lazy.force there is a lazy-in-parallel finding
+     [immediate]  abstract type paths known to be immediate (unboxed)
+                  at runtime, e.g. Cnf.Lit.t = int behind its interface
+     [mutable]    extra type paths treated as non-atomic mutable
+                  containers by the domain-capture rule (functor-made
+                  hashtables whose Hashtbl pedigree the path hides)
+     [poly-scope] directory prefixes in which the poly-compare and
+                  poly-hash bans apply *)
+
+type t = {
+  hotpaths : string list;
+  parallel_modules : string list;
+  immediate_types : string list;
+  mutable_types : string list;
+  poly_scope : string list;
+}
+
+let default =
+  {
+    hotpaths = [];
+    parallel_modules = [];
+    immediate_types = [];
+    mutable_types = [];
+    poly_scope = [ "lib/sat"; "lib/gf2"; "lib/cnf" ];
+  }
+
+let strip line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  String.trim line
+
+let parse_lines lines =
+  let section = ref "" in
+  let t = ref { default with poly_scope = [] } in
+  let saw_poly_scope = ref false in
+  List.iter
+    (fun raw ->
+      let line = strip raw in
+      if line <> "" then
+        if
+          String.length line >= 2
+          && line.[0] = '['
+          && line.[String.length line - 1] = ']'
+        then section := String.sub line 1 (String.length line - 2)
+        else
+          match !section with
+          | "hotpaths" -> t := { !t with hotpaths = line :: !t.hotpaths }
+          | "parallel" ->
+              t := { !t with parallel_modules = line :: !t.parallel_modules }
+          | "immediate" ->
+              t := { !t with immediate_types = line :: !t.immediate_types }
+          | "mutable" ->
+              t := { !t with mutable_types = line :: !t.mutable_types }
+          | "poly-scope" ->
+              saw_poly_scope := true;
+              t := { !t with poly_scope = line :: !t.poly_scope }
+          | "" -> failwith (Printf.sprintf "entry %S before any [section]" line)
+          | s -> failwith (Printf.sprintf "unknown section [%s]" s))
+    lines;
+  let t = !t in
+  {
+    hotpaths = List.rev t.hotpaths;
+    parallel_modules = List.rev t.parallel_modules;
+    immediate_types = List.rev t.immediate_types;
+    mutable_types = List.rev t.mutable_types;
+    poly_scope =
+      (if !saw_poly_scope then List.rev t.poly_scope else default.poly_scope);
+  }
+
+let parse_string s = parse_lines (String.split_on_char '\n' s)
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> (
+      try Ok (parse_string s)
+      with Failure m -> Error (Printf.sprintf "%s: %s" path m))
+  | exception Sys_error m -> Error m

@@ -1,0 +1,28 @@
+(** The [check.hotpaths] manifest: the declared knowledge the rules need
+    beyond what the typedtree carries — which functions are hot paths,
+    which modules run under the domain pool, which abstract types are
+    immediate, which extra type paths are mutable containers, and where
+    the polymorphic-compare ban applies.
+
+    Format: INI-like sections ([[hotpaths]], [[parallel]], [[immediate]],
+    [[mutable]], [[poly-scope]]), one entry per line, ['#'] comments. *)
+
+type t = {
+  hotpaths : string list;
+      (** fully-qualified bindings, e.g. ["Sat.Solver.propagate"];
+          nested bindings use dots: ["Sat.Solver.propagate.attach"] *)
+  parallel_modules : string list;  (** e.g. ["Gf2.Matrix"] *)
+  immediate_types : string list;  (** e.g. ["Cnf.Lit.t"] *)
+  mutable_types : string list;  (** e.g. ["Mtbl.t"] *)
+  poly_scope : string list;  (** directory prefixes, e.g. ["lib/sat"] *)
+}
+
+(** Empty lists except [poly_scope], which defaults to
+    [lib/sat]/[lib/gf2]/[lib/cnf] per the repo rule catalogue. *)
+val default : t
+
+(** An absent [[poly-scope]] section keeps the default scope.
+    @raise Failure on malformed input ({!load} converts to [Error]). *)
+val parse_string : string -> t
+
+val load : string -> (t, string) result

@@ -1,0 +1,72 @@
+(* The check.waivers baseline: pipe-separated entries
+
+     rule | file | symbol | reason
+
+   'symbol' is the dot-separated enclosing binding ("*" matches any, and
+   also findings with no enclosing binding).  'file' is the source path as
+   the .cmt records it (relative to the repo root).  Every entry must
+   carry a non-empty reason — an empty one is itself a finding, so the
+   baseline cannot silently absorb violations.  Entries that match
+   nothing are reported as unused so the baseline shrinks over time. *)
+
+type entry = {
+  rule : string;
+  file : string;
+  symbol : string;
+  reason : string;
+  line : int;  (* line in the waivers file, for diagnostics *)
+  mutable used : bool;
+}
+
+type t = entry list
+
+let empty = []
+
+let parse_line ~line raw =
+  let stripped = String.trim raw in
+  if stripped = "" || stripped.[0] = '#' then None
+  else
+    match String.split_on_char '|' raw with
+    | [ rule; file; symbol; reason ] ->
+        Some
+          {
+            rule = String.trim rule;
+            file = String.trim file;
+            symbol = String.trim symbol;
+            reason = String.trim reason;
+            line;
+            used = false;
+          }
+    | _ ->
+        failwith
+          (Printf.sprintf "line %d: expected 'rule | file | symbol | reason'"
+             line)
+
+let parse_string s =
+  String.split_on_char '\n' s
+  |> List.mapi (fun i l -> parse_line ~line:(i + 1) l)
+  |> List.filter_map Fun.id
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> (
+      try Ok (parse_string s)
+      with Failure m -> Error (Printf.sprintf "%s: %s" path m))
+  | exception Sys_error m -> Error m
+
+let find t ~rule ~file ~symbol =
+  match
+    List.find_opt
+      (fun e ->
+        String.equal e.rule rule
+        && String.equal e.file file
+        && (String.equal e.symbol "*" || String.equal e.symbol symbol))
+      t
+  with
+  | Some e ->
+      e.used <- true;
+      Some e
+  | None -> None
+
+let unused t = List.filter (fun e -> not e.used) t
+let without_reason t = List.filter (fun e -> String.equal e.reason "") t

@@ -1,0 +1,33 @@
+(** The [check.waivers] baseline: file-level waivers for findings that
+    cannot carry a [@check.allow] attribute (e.g. [missing-mli]) or that
+    are grandfathered during triage.
+
+    Line format: [rule | file | symbol | reason] — ['#'] comments and
+    blank lines ignored.  [symbol] is the dot-separated enclosing binding;
+    ["*"] matches any.  An empty reason is itself a finding
+    ({!Finding.Waiver_no_reason}), and entries matching nothing are
+    reported as unused, so the baseline can only shrink honestly. *)
+
+type entry = {
+  rule : string;
+  file : string;
+  symbol : string;
+  reason : string;
+  line : int;  (** line in the waivers file, for diagnostics *)
+  mutable used : bool;
+}
+
+type t = entry list
+
+val empty : t
+
+(** @raise Failure on a malformed line ({!load} converts to [Error]). *)
+val parse_string : string -> t
+
+val load : string -> (t, string) result
+
+(** First matching entry, marked used. *)
+val find : t -> rule:string -> file:string -> symbol:string -> entry option
+
+val unused : t -> entry list
+val without_reason : t -> entry list

@@ -19,7 +19,7 @@ let mem c l = Array.exists (Lit.equal l) c
 let vars c =
   List.sort_uniq Int.compare (Array.to_list (Array.map Lit.var c))
 
-let max_var c = Array.fold_left (fun acc l -> max acc (Lit.var l)) (-1) c
+let max_var c = Array.fold_left (fun acc l -> Int.max acc (Lit.var l)) (-1) c
 
 let n_positive c =
   Array.fold_left (fun acc l -> if Lit.negated l then acc else acc + 1) 0 c
@@ -27,9 +27,26 @@ let n_positive c =
 let eval assignment c = Array.exists (Lit.eval assignment) c
 let subsumes a b = Array.for_all (fun l -> mem b l) a
 
-let equal (a : t) (b : t) = a = b
+(* monomorphic array comparisons, same order as the polymorphic one gave
+   (length first, then lexicographic on literals) *)
+let equal (a : t) (b : t) =
+  let n = Array.length a in
+  n = Array.length b
+  &&
+  let rec go i = i >= n || (Lit.equal a.(i) b.(i) && go (i + 1)) in
+  go 0
 
-let compare (a : t) (b : t) = Stdlib.compare a b
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Int.compare la lb
+  else
+    let rec go i =
+      if i >= la then 0
+      else
+        let c = Lit.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
 
 let pp ppf c =
   Format.pp_print_char ppf '(';

@@ -68,7 +68,7 @@ let parse_source ~allow_xor src =
          (* duplicated variables cancel *)
          let sorted = List.sort Int.compare vars in
          let rec dedup = function
-           | a :: b :: rest when a = b -> dedup rest
+           | a :: b :: rest when Int.equal a b -> dedup rest
            | a :: rest -> a :: dedup rest
            | [] -> []
          in
@@ -79,7 +79,7 @@ let parse_source ~allow_xor src =
       in_xor := false
     end
     else begin
-      max_lit := max !max_lit (abs i);
+      max_lit := Int.max !max_lit (abs i);
       (match !declared with
       | Some v when abs i > v ->
           fail "literal %d out of range: header declares %d variables" i v
@@ -169,7 +169,7 @@ let parse_source ~allow_xor src =
     end
     else if !bol && c = Char.code 'x' then begin
       if not allow_xor then fail "xor line (use the extended parser)";
-      if !current <> [] then fail "xor line inside an open clause";
+      if not (List.is_empty !current) then fail "xor line inside an open clause";
       in_xor := true;
       advance src;
       bol := false;
@@ -182,10 +182,10 @@ let parse_source ~allow_xor src =
     end
   in
   loop ();
-  if !current <> [] then fail "clause not terminated by 0";
+  if not (List.is_empty !current) then fail "clause not terminated by 0";
   let nvars =
     List.fold_left
-      (fun acc (vars, _) -> List.fold_left (fun a v -> max a (v + 1)) acc vars)
+      (fun acc (vars, _) -> List.fold_left (fun a v -> Int.max a (v + 1)) acc vars)
       !nvars !xors
   in
   (Formula.create ~nvars (List.rev !clauses), List.rev !xors)

@@ -4,7 +4,7 @@ let clause_span c = Clause.max_var c + 1
 
 let create ~nvars clauses =
   let useful = List.filter (fun c -> not (Clause.is_tautology c)) clauses in
-  let nvars = List.fold_left (fun acc c -> max acc (clause_span c)) nvars useful in
+  let nvars = List.fold_left (fun acc c -> Int.max acc (clause_span c)) nvars useful in
   { nvars; clauses = List.rev useful }
 
 let empty ~nvars = { nvars; clauses = [] }
@@ -14,7 +14,7 @@ let n_clauses t = List.length t.clauses
 
 let add_clause t c =
   if Clause.is_tautology c then t
-  else { nvars = max t.nvars (clause_span c); clauses = c :: t.clauses }
+  else { nvars = Int.max t.nvars (clause_span c); clauses = c :: t.clauses }
 
 let has_empty_clause t = List.exists Clause.is_empty t.clauses
 let eval assignment t = List.for_all (Clause.eval assignment) t.clauses

@@ -258,7 +258,7 @@ let simplify ?(bve = true) ?(max_resolvent_growth = 0) ?(quadratic_limit = 20_00
         let c1 = propagate_units () in
         let c2 = pure_literals () in
         let within_limit =
-          Array.fold_left (fun n c -> if c = None then n else n + 1) 0 !store
+          Array.fold_left (fun n c -> if Option.is_none c then n else n + 1) 0 !store
           <= quadratic_limit
         in
         let c3 = if within_limit then subsumption () else false in
@@ -278,7 +278,7 @@ let simplify ?(bve = true) ?(max_resolvent_growth = 0) ?(quadratic_limit = 20_00
       let eliminated = Hashtbl.fold (fun v () acc -> v :: acc) eliminated_tbl [] in
       let events = !events in
       let reconstruct model =
-        let m = Array.make (max orig_nvars (Array.length model)) false in
+        let m = Array.make (Int.max orig_nvars (Array.length model)) false in
         Array.blit model 0 m 0 (Array.length model);
         (* events is newest-first, which is exactly the order we must undo *)
         List.iter

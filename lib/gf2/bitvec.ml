@@ -6,7 +6,7 @@ let words_for len = (len + bits_per_word - 1) / bits_per_word
 
 let create len =
   if len < 0 then invalid_arg "Bitvec.create";
-  { len; words = Array.make (max 1 (words_for len)) 0 }
+  { len; words = Array.make (Int.max 1 (words_for len)) 0 }
 
 let length v = v.len
 
@@ -59,7 +59,14 @@ let popcount_word w =
 
 let popcount v = Array.fold_left (fun acc w -> acc + popcount_word w) 0 v.words
 
-let equal a b = a.len = b.len && a.words = b.words
+let equal a b =
+  a.len = b.len
+  &&
+  let n = Array.length a.words in
+  n = Array.length b.words
+  &&
+  let rec go i = i >= n || (a.words.(i) = b.words.(i) && go (i + 1)) in
+  go 0
 
 let iter_set v f =
   for w = 0 to Array.length v.words - 1 do

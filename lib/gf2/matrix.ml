@@ -2,7 +2,7 @@ type t = { nrows : int; ncols : int; data : Bitvec.t array }
 
 let create ~rows ~cols =
   if rows < 0 || cols < 0 then invalid_arg "Matrix.create";
-  { nrows = rows; ncols = cols; data = Array.init (max 1 rows) (fun _ -> Bitvec.create cols) }
+  { nrows = rows; ncols = cols; data = Array.init (Int.max 1 rows) (fun _ -> Bitvec.create cols) }
 
 let of_rows ~cols rows_list =
   List.iter
@@ -148,7 +148,7 @@ let rref_m4rm ?(k = 6) ?(jobs = 1) ?(poll = fun () -> ()) m =
     (* per-block cancellation point: a raising [poll] abandons the
        half-reduced matrix, so callers must not use it afterwards *)
     poll ();
-    let block_end = min m.ncols (!col + k) in
+    let block_end = Int.min m.ncols (!col + k) in
     (* phase A: collect pivots for columns [!col, block_end) *)
     let found = ref 0 in
     let c = ref !col in

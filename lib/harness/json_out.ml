@@ -53,6 +53,71 @@ let float_to_json x =
     Printf.sprintf "%.0f" x
   else Printf.sprintf "%.6f" x
 
+module Value = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  (* Pretty-printed with two-space indents so the check reports diff
+     cleanly in review; atoms stay on one line. *)
+  let rec emit b ~indent = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (if v then "true" else "false")
+    | Int n -> Buffer.add_string b (string_of_int n)
+    | Float x -> Buffer.add_string b (float_to_json x)
+    | String s ->
+        Buffer.add_char b '"';
+        Buffer.add_string b (escape s);
+        Buffer.add_char b '"'
+    | List [] -> Buffer.add_string b "[]"
+    | List items ->
+        let pad = String.make indent ' ' in
+        Buffer.add_string b "[\n";
+        List.iteri
+          (fun i v ->
+            if i > 0 then Buffer.add_string b ",\n";
+            Buffer.add_string b pad;
+            Buffer.add_string b "  ";
+            emit b ~indent:(indent + 2) v)
+          items;
+        Buffer.add_char b '\n';
+        Buffer.add_string b pad;
+        Buffer.add_char b ']'
+    | Obj [] -> Buffer.add_string b "{}"
+    | Obj fields ->
+        let pad = String.make indent ' ' in
+        Buffer.add_string b "{\n";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string b ",\n";
+            Buffer.add_string b pad;
+            Buffer.add_string b "  \"";
+            Buffer.add_string b (escape k);
+            Buffer.add_string b "\": ";
+            emit b ~indent:(indent + 2) v)
+          fields;
+        Buffer.add_char b '\n';
+        Buffer.add_string b pad;
+        Buffer.add_char b '}'
+
+  let to_string v =
+    let b = Buffer.create 1024 in
+    emit b ~indent:0 v;
+    Buffer.add_char b '\n';
+    Buffer.contents b
+
+  let write path v =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (to_string v))
+end
+
 let record_to_json r =
   let extras =
     String.concat ""

@@ -18,6 +18,24 @@ type record = {
       (** free-form named counters serialised as additional numeric fields *)
 }
 
+(** A generic JSON value with the same float hygiene as the record
+    emitter, for tools whose report shape is not the flat bench record
+    (e.g. [bosphorus_check]'s finding lists).  Pretty-printed with
+    two-space indents so checked-in reports diff cleanly. *)
+module Value : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float  (** clamped by {!float_to_json} *)
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  val write : string -> t -> unit
+end
+
 type t
 
 val create : unit -> t

@@ -29,7 +29,7 @@ type t = {
 let none : cref = -1
 
 let create ?(cap = 1024) () =
-  let cap = max 16 cap in
+  let cap = Int.max 16 cap in
   { data = Array.make cap 0; act = Array.make cap 0.0; size = 0; wasted = 0 }
 
 let words t = t.size
@@ -39,7 +39,7 @@ let capacity_bytes t = 8 * (Array.length t.data + Array.length t.act)
 let ensure t needed =
   let cap = Array.length t.data in
   if t.size + needed > cap then begin
-    let cap' = max (t.size + needed) (2 * cap) in
+    let cap' = Int.max (t.size + needed) (2 * cap) in
     let data = Array.make cap' 0 in
     Array.blit t.data 0 data 0 t.size;
     t.data <- data;

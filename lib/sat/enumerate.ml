@@ -18,7 +18,7 @@ let models ?(limit = 1024) ?relevant f =
         let blocking =
           List.map (fun v -> Cnf.Lit.make v ~negated:model.(v)) relevant
         in
-        if blocking = [] then ok := false (* single projected point *)
+        if List.is_empty blocking then ok := false (* single projected point *)
         else ok := Solver.add_clause s blocking
     | Types.Unsat -> ok := false
     | Types.Undecided -> ok := false

@@ -4,14 +4,14 @@
 
 type t = { mutable data : int array; mutable size : int }
 
-let create ?(cap = 8) () = { data = Array.make (max 1 cap) 0; size = 0 }
+let create ?(cap = 8) () = { data = Array.make (Int.max 1 cap) 0; size = 0 }
 
 let size v = v.size
 
 let grow v needed =
   let cap = Array.length v.data in
   if needed > cap then begin
-    let data = Array.make (max needed (2 * cap)) 0 in
+    let data = Array.make (Int.max needed (2 * cap)) 0 in
     Array.blit v.data 0 data 0 v.size;
     v.data <- data
   end

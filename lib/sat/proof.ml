@@ -55,7 +55,7 @@ let is_rup ~clauses step =
   if not consistent then true else propagate_to_conflict clauses assignment
 
 let check formula proof =
-  let has_empty = List.exists (fun s -> s = []) proof in
+  let has_empty = List.exists List.is_empty proof in
   has_empty
   &&
   let base = List.map Cnf.Clause.to_list (Cnf.Formula.clauses formula) in
@@ -64,7 +64,7 @@ let check formula proof =
     | step :: rest ->
         if is_rup ~clauses step then
           (* stop at the empty clause: everything after is irrelevant *)
-          if step = [] then true else go (step :: clauses) rest
+          if List.is_empty step then true else go (step :: clauses) rest
         else false
   in
   go base proof

@@ -82,7 +82,7 @@ let lit_neg p = p lxor 1
 
 let create ?(config = default_config) ~nvars () =
   if nvars < 0 then invalid_arg "Solver.create";
-  let n = max nvars 1 in
+  let n = Int.max nvars 1 in
   let activity = Array.make n 0.0 in
   let t =
     {
@@ -125,7 +125,7 @@ let nvars t = t.nvars
 let grow_arrays t cap =
   let old = Array.length t.assigns in
   if cap > old then begin
-    let n = max cap (2 * old) in
+    let n = Int.max cap (2 * old) in
     let copy_arr make blit_src =
       let a = make n in
       blit_src a;
@@ -596,7 +596,7 @@ let add_xor t ~vars ~parity =
     (* cancel duplicated variables (GF(2)) and fold root-level values *)
     let sorted = List.sort Int.compare vars in
     let rec dedup = function
-      | a :: b :: rest when a = b -> dedup rest
+      | a :: b :: rest when Int.equal a b -> dedup rest
       | a :: rest -> a :: dedup rest
       | [] -> []
     in
@@ -677,8 +677,8 @@ let reduce_db t =
   (* order: worse clauses first (higher LBD, then lower activity) *)
   let cmp c1 c2 =
     let l1 = Arena.lbd a c1 and l2 = Arena.lbd a c2 in
-    if l1 <> l2 then Stdlib.compare l2 l1
-    else Stdlib.compare (Arena.activity a c1) (Arena.activity a c2)
+    if l1 <> l2 then Int.compare l2 l1
+    else Float.compare (Arena.activity a c1) (Arena.activity a c2)
   in
   Ivec.sort_in_place cmp t.learnts;
   let target = Ivec.size t.learnts / 2 in
@@ -763,7 +763,7 @@ let search t ~restart_limit ~budget_left ~deadline ~interrupt =
     | Some f when t.stats.conflicts land 127 = 0 -> f ()
     | Some _ | None -> false
   in
-  while !outcome = None do
+  while Option.is_none !outcome do
     let confl = propagate t in
     if confl <> Arena.none then begin
       t.stats.conflicts <- t.stats.conflicts + 1;
@@ -797,7 +797,7 @@ let search t ~restart_limit ~budget_left ~deadline ~interrupt =
       | Some v ->
           t.stats.decisions <- t.stats.decisions + 1;
           Ivec.push t.trail_lim t.trail_size;
-          t.stats.max_decision_level <- max t.stats.max_decision_level (decision_level t);
+          t.stats.max_decision_level <- Int.max t.stats.max_decision_level (decision_level t);
           let p = (2 * v) + if t.phase.(v) then 0 else 1 in
           enqueue t p Arena.none
     end
@@ -936,7 +936,7 @@ let solve_inner ?conflict_budget ?time_budget_s ?interrupt t =
             int_of_float
               (float_of_int t.config.restart_first *. (t.config.restart_inc ** float_of_int restart_no))
         in
-        match search t ~restart_limit:(max 1 limit) ~budget_left ~deadline ~interrupt with
+        match search t ~restart_limit:(Int.max 1 limit) ~budget_left ~deadline ~interrupt with
         | Done r -> r
         | Restart ->
             t.stats.restarts <- t.stats.restarts + 1;
@@ -1013,14 +1013,14 @@ let n_root_units t =
 
 let root_units_from t k =
   let upto = n_root_units t in
-  let k = max 0 (min k upto) in
+  let k = Int.max 0 (Int.min k upto) in
   List.init (upto - k) (fun i -> Cnf.Lit.of_index t.trail.(k + i))
 
 let n_learnt_binaries t = Ivec.size t.binlog / 2
 
 let learnt_binaries_from t k =
   let n = n_learnt_binaries t in
-  let k = max 0 (min k n) in
+  let k = Int.max 0 (Int.min k n) in
   List.init (n - k) (fun i ->
       ( Cnf.Lit.of_index (Ivec.get t.binlog (2 * (k + i))),
         Cnf.Lit.of_index (Ivec.get t.binlog ((2 * (k + i)) + 1)) ))

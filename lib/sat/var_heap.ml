@@ -6,7 +6,7 @@ type t = {
 }
 
 let create n activity =
-  { heap = Array.make (max 1 n) 0; pos = Array.make (max 1 n) (-1); size = 0; activity }
+  { heap = Array.make (Int.max 1 n) 0; pos = Array.make (Int.max 1 n) (-1); size = 0; activity }
 
 let grow h n activity =
   let cap = Array.length h.pos in

@@ -4,7 +4,7 @@ let make_xor ~vars ~parity =
   (* duplicated variables cancel in GF(2) *)
   let sorted = List.sort Int.compare vars in
   let rec dedup = function
-    | a :: b :: rest when a = b -> dedup rest
+    | a :: b :: rest when Int.equal a b -> dedup rest
     | a :: rest -> a :: dedup rest
     | [] -> []
   in
@@ -28,8 +28,20 @@ let popcount w =
    constraint (+) S = c forbids all assignments of parity 1-c, i.e. the
    encoding contains exactly the 2^(k-1) clauses whose patterns have parity
    1-c. *)
+(* Canonical packed key for a sorted distinct variable list: 4 bytes per
+   variable, little-endian.  String keys hash by scanning bytes; the
+   (int list) key this replaces made every probe recurse over list cells
+   with the polymorphic hasher (the recovery loop's hot path). *)
+let pack_vars vars =
+  let n = List.length vars in
+  let b = Bytes.create (4 * n) in
+  List.iteri (fun i v -> Bytes.set_int32_le b (4 * i) (Int32.of_int v)) vars;
+  Bytes.unsafe_to_string b
+
 let recover ?(max_arity = 5) f =
-  let groups : (int list, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 64 in
+  let groups : (string, int list * (int, unit) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 64
+  in
   List.iter
     (fun c ->
       let vars = Cnf.Clause.vars c in
@@ -47,19 +59,20 @@ let recover ?(max_arity = 5) f =
               else acc)
             0 (Cnf.Clause.to_list c)
         in
+        let key = pack_vars vars in
         let tbl =
-          match Hashtbl.find_opt groups vars with
-          | Some t -> t
+          match Hashtbl.find_opt groups key with
+          | Some (_, t) -> t
           | None ->
               let t = Hashtbl.create 8 in
-              Hashtbl.replace groups vars t;
+              Hashtbl.replace groups key (vars, t);
               t
         in
         Hashtbl.replace tbl pattern ()
       end)
     (Cnf.Formula.clauses f);
   Hashtbl.fold
-    (fun vars patterns acc ->
+    (fun _key (vars, patterns) acc ->
       let k = List.length vars in
       let needed = 1 lsl (k - 1) in
       let check forbidden_parity =

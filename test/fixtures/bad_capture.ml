@@ -1,0 +1,32 @@
+(* domain-capture fixture: pool tasks capturing non-atomic mutable
+   state.  Each function trips a different sub-rule of the capture
+   analysis. *)
+
+(* captured ref and hash table *)
+let bad_counter () =
+  let counter = ref 0 in
+  let tbl = Hashtbl.create 8 in
+  let pool = Runtime.Pool.get ~jobs:2 in
+  ignore
+    (Runtime.Pool.run pool
+       [
+         (fun () ->
+           incr counter;
+           Hashtbl.replace tbl !counter true);
+       ]);
+  !counter
+
+(* write into a captured bytes buffer *)
+let bad_bytes_write () =
+  let buf = Bytes.create 8 in
+  let pool = Runtime.Pool.get ~jobs:2 in
+  ignore (Runtime.Pool.run pool [ (fun () -> Bytes.set buf 0 'x') ]);
+  buf
+
+(* the task is passed by name: the analyzer resolves the local binding *)
+let bad_indirect () =
+  let seen = Hashtbl.create 4 in
+  let task () = Hashtbl.replace seen 1 () in
+  let pool = Runtime.Pool.get ~jobs:2 in
+  ignore (Runtime.Pool.run pool [ task ]);
+  Hashtbl.length seen

@@ -1,0 +1,5 @@
+(* poly-hash fixture: structural hashing of boxed keys. *)
+
+let make_groups () : (int list, int) Hashtbl.t = Hashtbl.create 16
+
+let hash_of_list (xs : int list) = Hashtbl.hash xs

@@ -1,0 +1,23 @@
+(* hotpath-alloc fixture: hot_loop / hot_float / hot_partial are listed
+   [hotpaths] in the test manifest; each allocation construct below is a
+   finding.  error_path shows the raise/assert exemption. *)
+
+let hot_loop xs =
+  let acc = ref 0 in
+  let f x = x + 1 in
+  List.iter (fun x -> acc := !acc + f x) xs;
+  (!acc, List.length xs)
+
+let hot_float (x : float) =
+  let y = x *. 2.0 in
+  y +. 1.0
+
+let add3 a b c = a + b + c
+
+let hot_partial x = add3 x 1
+
+(* allocations under raise/assert are error-path: no finding *)
+let error_path (x : int) =
+  if x < 0 then invalid_arg (Printf.sprintf "error_path: %d" x);
+  assert (x < 1 lsl 20);
+  x * 2

@@ -1,0 +1,3 @@
+(* obj-magic fixture. *)
+
+let coerce (x : int) : bool = Obj.magic x

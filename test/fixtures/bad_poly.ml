@@ -1,0 +1,17 @@
+(* poly-compare fixture (test/fixtures is in the test manifest's
+   poly-scope).  ok_int must stay silent: the compiler specializes the
+   comparison operators at int. *)
+
+type pair = { a : int; b : int }
+
+(* polymorphic compare at a boxed record type *)
+let cmp_pairs (x : pair) (y : pair) = compare x y
+
+(* comparison at an unresolved type variable *)
+let generic_max x y = if x > y then x else y
+
+(* min/max never specialize, even at int *)
+let int_min (x : int) (y : int) = min x y
+
+(* specialized by the compiler: not a finding *)
+let ok_int (x : int) (y : int) = x < y

@@ -1,0 +1,12 @@
+(* Waiver round-trip fixture: attribute waivers on an expression and on
+   a binding, plus one waiver with no reason (itself a finding, and the
+   underlying obj-magic stays unwaived). *)
+
+let waived_magic (x : int) : int =
+  (Obj.magic x [@check.allow "obj-magic" "fixture: identity coercion"])
+
+let[@check.allow "poly-compare" "fixture: generic compare is the point"] waived_cmp
+    x y =
+  compare x y
+
+let[@check.allow "obj-magic"] missing_reason (x : int) : int = Obj.magic x

@@ -1,0 +1,241 @@
+(* Fixture-driven tests for the static analyzer (lib/check): each bad_*
+   module under test/fixtures trips exactly the rules it is named for,
+   the clean control stays silent, and waivers round-trip through both
+   the [@check.allow] attribute and the check.waivers baseline. *)
+
+let fixture_dirs =
+  [
+    (* dune runs the test from _build/default/test *)
+    "fixtures/.check_fixtures.objs/byte";
+    "test/fixtures/.check_fixtures.objs/byte";
+    "_build/default/test/fixtures/.check_fixtures.objs/byte";
+  ]
+
+let fixture_cmt unit_name =
+  let file = Printf.sprintf "check_fixtures__%s.cmt" unit_name in
+  let candidates = List.map (fun d -> Filename.concat d file) fixture_dirs in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None ->
+      Alcotest.failf "fixture cmt %s not found (cwd %s)" file (Sys.getcwd ())
+
+(* the declared knowledge the fixtures rely on — the test/fixtures
+   analogue of the repo's check.hotpaths *)
+let man =
+  {
+    Check.Manifest.default with
+    hotpaths =
+      [
+        "Check_fixtures.Bad_hot.hot_loop";
+        "Check_fixtures.Bad_hot.hot_float";
+        "Check_fixtures.Bad_hot.hot_partial";
+        "Check_fixtures.Bad_hot.error_path";
+        "Check_fixtures.Clean_safe.hot_clean";
+      ];
+    parallel_modules = [ "Check_fixtures.Bad_lazy" ];
+    poly_scope = [ "test/fixtures" ];
+  }
+
+let analyze unit_name =
+  let path = fixture_cmt unit_name in
+  let cmt = Cmt_format.read_cmt path in
+  match cmt.Cmt_format.cmt_annots with
+  | Cmt_format.Implementation str ->
+      let source_file =
+        Option.value ~default:"" cmt.Cmt_format.cmt_sourcefile
+      in
+      Check.Rules.analyze ~manifest:man ~source_file
+        ~modname:cmt.Cmt_format.cmt_modname str
+  | _ -> Alcotest.failf "%s: cmt is not an implementation" unit_name
+
+let id (f : Check.Finding.t) = Check.Finding.rule_id f.rule
+let count rule fs = List.length (List.filter (fun f -> String.equal (id f) rule) fs)
+
+let has_message sub fs =
+  List.exists
+    (fun (f : Check.Finding.t) ->
+      let msg = f.message and n = String.length sub in
+      let rec go i =
+        i + n <= String.length msg && (String.equal (String.sub msg i n) sub || go (i + 1))
+      in
+      go 0)
+    fs
+
+let pp_found fs =
+  String.concat "; "
+    (List.map (fun f -> Format.asprintf "%a" Check.Finding.pp f) fs)
+
+let check_count fs rule expected =
+  Alcotest.(check int)
+    (Printf.sprintf "%s findings [%s]" rule (pp_found fs))
+    expected (count rule fs)
+
+let test_domain_capture () =
+  let fs = analyze "Bad_capture" in
+  (* counter ref + hash table in bad_counter, bytes write in
+     bad_bytes_write, table resolved by name in bad_indirect *)
+  check_count fs "domain-capture" 4;
+  Alcotest.(check bool) "names the captured ref" true (has_message "ref counter" fs);
+  Alcotest.(check bool) "sees through the local binding" true
+    (List.exists (fun (f : Check.Finding.t) -> String.equal f.symbol "bad_indirect") fs)
+
+let test_lazy_in_parallel () =
+  let fs = analyze "Bad_lazy" in
+  Alcotest.(check bool)
+    (Printf.sprintf "lazy-in-parallel findings [%s]" (pp_found fs))
+    true
+    (count "lazy-in-parallel" fs >= 3);
+  Alcotest.(check int) "only lazy-in-parallel fires" (List.length fs)
+    (count "lazy-in-parallel" fs)
+
+let test_hotpath_alloc () =
+  let fs = analyze "Bad_hot" in
+  Alcotest.(check bool) "ref cell" true (has_message "ref cell" fs);
+  Alcotest.(check bool) "closure" true (has_message "closure allocation" fs);
+  Alcotest.(check bool) "tuple" true (has_message "tuple allocation" fs);
+  Alcotest.(check bool) "float box" true (has_message "float let-binding" fs);
+  Alcotest.(check bool) "partial application" true
+    (has_message "partial application" fs);
+  (* the raise/assert exemption: nothing under error_path *)
+  Alcotest.(check bool)
+    (Printf.sprintf "error_path exempt [%s]" (pp_found fs))
+    false
+    (List.exists
+       (fun (f : Check.Finding.t) -> String.equal f.symbol "error_path")
+       fs)
+
+let test_poly_compare () =
+  let fs = analyze "Bad_poly" in
+  (* cmp_pairs (boxed), generic_max (unknown), int_min (min never
+     specializes); ok_int's int comparison specializes *)
+  check_count fs "poly-compare" 3;
+  Alcotest.(check bool) "ok_int silent" false
+    (List.exists (fun (f : Check.Finding.t) -> String.equal f.symbol "ok_int") fs)
+
+let test_poly_hash () =
+  let fs = analyze "Bad_hash" in
+  check_count fs "poly-hash" 2
+
+let test_obj_magic () =
+  let fs = analyze "Bad_magic" in
+  check_count fs "obj-magic" 1
+
+let test_clean () =
+  let fs = analyze "Clean_safe" in
+  Alcotest.(check int)
+    (Printf.sprintf "clean control [%s]" (pp_found fs))
+    0 (List.length fs)
+
+let test_waiver_roundtrip () =
+  let fs = analyze "Waived_ok" in
+  let waived, live = List.partition Check.Finding.is_waived fs in
+  check_count waived "obj-magic" 1;
+  check_count waived "poly-compare" 1;
+  List.iter
+    (fun (f : Check.Finding.t) ->
+      match f.waived with
+      | Some reason ->
+          Alcotest.(check bool) "waiver keeps its reason" false
+            (String.equal (String.trim reason) "")
+      | None -> Alcotest.fail "partition broke")
+    waived;
+  (* the reasonless [@check.allow "obj-magic"] arms nothing: the
+     underlying finding stays live and the empty waiver is a finding *)
+  check_count live "obj-magic" 1;
+  check_count live "waiver-no-reason" 1
+
+let test_waivers_baseline () =
+  let w =
+    Check.Waivers.parse_string
+      "# comment\n\
+       hotpath-alloc | lib/sat/solver.ml | propagate | per-call scratch\n\
+       missing-mli | lib/foo.ml | * |\n"
+  in
+  Alcotest.(check int) "entries" 2 (List.length w);
+  (match Check.Waivers.find w ~rule:"hotpath-alloc" ~file:"lib/sat/solver.ml" ~symbol:"propagate" with
+  | Some e -> Alcotest.(check string) "reason" "per-call scratch" e.reason
+  | None -> Alcotest.fail "entry not found");
+  Alcotest.(check (option string)) "symbol must match" None
+    (Option.map
+       (fun (e : Check.Waivers.entry) -> e.rule)
+       (Check.Waivers.find w ~rule:"hotpath-alloc" ~file:"lib/sat/solver.ml" ~symbol:"analyze"));
+  (* wildcard symbol *)
+  (match Check.Waivers.find w ~rule:"missing-mli" ~file:"lib/foo.ml" ~symbol:"anything" with
+  | Some _ -> ()
+  | None -> Alcotest.fail "wildcard symbol should match");
+  Alcotest.(check int) "all used" 0 (List.length (Check.Waivers.unused w));
+  Alcotest.(check int) "empty reason reported" 1
+    (List.length (Check.Waivers.without_reason w))
+
+let test_manifest_parse () =
+  let m =
+    Check.Manifest.parse_string
+      "# comment\n\
+       [hotpaths]\nA.B.f\n\n[parallel]\nA.B\n\n[immediate]\nA.B.t\n\n\
+       [mutable]\nMtbl.t\n"
+  in
+  Alcotest.(check (list string)) "hotpaths" [ "A.B.f" ] m.Check.Manifest.hotpaths;
+  Alcotest.(check (list string)) "parallel" [ "A.B" ] m.Check.Manifest.parallel_modules;
+  Alcotest.(check (list string)) "immediate" [ "A.B.t" ] m.Check.Manifest.immediate_types;
+  Alcotest.(check (list string)) "mutable" [ "Mtbl.t" ] m.Check.Manifest.mutable_types;
+  (* absent [poly-scope] keeps the repo default *)
+  Alcotest.(check (list string)) "poly-scope default"
+    Check.Manifest.default.Check.Manifest.poly_scope m.Check.Manifest.poly_scope;
+  let m2 = Check.Manifest.parse_string "[poly-scope]\nlib/x\n" in
+  Alcotest.(check (list string)) "poly-scope override" [ "lib/x" ]
+    m2.Check.Manifest.poly_scope
+
+let test_engine_analyze_cmt () =
+  let cfg =
+    {
+      Check.Engine.default_config with
+      manifest = man;
+      scan_dirs = [ "test/fixtures" ];
+    }
+  in
+  (match Check.Engine.analyze_cmt cfg (fixture_cmt "Bad_magic") with
+  | Ok (Some fs) -> check_count fs "obj-magic" 1
+  | Ok None -> Alcotest.fail "fixture unexpectedly out of scope"
+  | Error e -> Alcotest.fail e);
+  (* a module whose recorded source is outside scan_dirs is skipped *)
+  let narrow = { cfg with Check.Engine.scan_dirs = [ "lib" ] } in
+  match Check.Engine.analyze_cmt narrow (fixture_cmt "Bad_magic") with
+  | Ok None -> ()
+  | Ok (Some _) -> Alcotest.fail "out-of-scope cmt was analyzed"
+  | Error e -> Alcotest.fail e
+
+let test_finding_json () =
+  let f =
+    Check.Finding.make ~rule:Check.Finding.Obj_magic ~file:"lib/x.ml" ~line:3
+      ~col:7 ~symbol:"f" ~message:"m"
+  in
+  let s = Harness.Json_out.Value.to_string (Check.Finding.to_json f) in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) (Printf.sprintf "json has %s" sub) true
+        (let n = String.length sub in
+         let rec go i =
+           i + n <= String.length s
+           && (String.equal (String.sub s i n) sub || go (i + 1))
+         in
+         go 0))
+    [ "\"obj-magic\""; "\"lib/x.ml\""; "\"line\": 3" ]
+
+let suite =
+  [
+    ( "check",
+      [
+        Alcotest.test_case "domain-capture fixture" `Quick test_domain_capture;
+        Alcotest.test_case "lazy-in-parallel fixture" `Quick test_lazy_in_parallel;
+        Alcotest.test_case "hotpath-alloc fixture" `Quick test_hotpath_alloc;
+        Alcotest.test_case "poly-compare fixture" `Quick test_poly_compare;
+        Alcotest.test_case "poly-hash fixture" `Quick test_poly_hash;
+        Alcotest.test_case "obj-magic fixture" `Quick test_obj_magic;
+        Alcotest.test_case "clean control" `Quick test_clean;
+        Alcotest.test_case "waiver round-trip" `Quick test_waiver_roundtrip;
+        Alcotest.test_case "waivers baseline" `Quick test_waivers_baseline;
+        Alcotest.test_case "manifest parse" `Quick test_manifest_parse;
+        Alcotest.test_case "engine analyze_cmt" `Quick test_engine_analyze_cmt;
+        Alcotest.test_case "finding json" `Quick test_finding_json;
+      ] );
+  ]
