@@ -99,11 +99,17 @@ let parallel_kernels ~quick ~jobs ?json () =
     | None -> ()
     | Some j -> Json_out.add j ~experiment:"micro" ~family ~wall_s:wall ?facts ?rank ~jobs:1 ()
   in
-  let record_j family wall rank facts =
+  (* jobs=N records carry the granularity decision the kernel actually
+     took ([chosen_parallel] = 1 when it dispatched on the pool, 0 when
+     the auto-tuner kept it inline) *)
+  let record_j ?(extras = []) family wall rank facts =
     match json with
     | None -> ()
-    | Some j -> Json_out.add j ~experiment:"micro" ~family ~wall_s:wall ?facts ?rank ~jobs ()
+    | Some j ->
+        Json_out.add j ~experiment:"micro" ~family ~wall_s:wall ?facts ?rank ~extras ~jobs ()
   in
+  let mode_extras chosen = [ ("chosen_parallel", if chosen then 1.0 else 0.0) ] in
+  let mode_label chosen = if chosen then "pool" else "inline" in
   let rows = ref [] in
   (* M4RM panel update *)
   let n = if quick then 512 else 1024 in
@@ -124,10 +130,12 @@ let parallel_kernels ~quick ~jobs ?json () =
   in
   if not identical then failwith "micro: parallel M4RM diverged from sequential";
   let name = Printf.sprintf "m4rm_%d" n in
+  let m4rm_mode = Gf2.Matrix.m4rm_parallel_worthwhile ~rows:n ~cols:n ~jobs () in
   record (name ^ "_jobs1") w1 (Some rank1) None;
-  record_j (Printf.sprintf "%s_jobs%d" name jobs) wn (Some rankn) None;
+  record_j ~extras:(mode_extras m4rm_mode)
+    (Printf.sprintf "%s_jobs%d" name jobs) wn (Some rankn) None;
   rows := [ name; Printf.sprintf "%.4f" w1; Printf.sprintf "%.4f" wn;
-            Printf.sprintf "%.2fx" (w1 /. wn); "bit-identical" ] :: !rows;
+            Printf.sprintf "%.2fx" (w1 /. wn); mode_label m4rm_mode; "bit-identical" ] :: !rows;
   (* XL expansion *)
   let rng = Random.State.make [| 41 |] in
   let n_polys = if quick then 150 else 400 in
@@ -141,10 +149,15 @@ let parallel_kernels ~quick ~jobs ?json () =
   if not (List.length e1 = List.length en && List.for_all2 Anf.Poly.equal e1 en) then
     failwith "micro: parallel XL expansion diverged from sequential";
   let name = Printf.sprintf "xl_expand_%dx%d" n_polys (List.length mults) in
+  let xl_mode =
+    Bosphorus.Xl.expand_parallel_worthwhile ~n_polys
+      ~n_multipliers:(List.length mults) ~jobs ()
+  in
   record (name ^ "_jobs1") we1 None (Some (List.length e1));
-  record_j (Printf.sprintf "%s_jobs%d" name jobs) wen None (Some (List.length en));
+  record_j ~extras:(mode_extras xl_mode)
+    (Printf.sprintf "%s_jobs%d" name jobs) wen None (Some (List.length en));
   rows := [ name; Printf.sprintf "%.4f" we1; Printf.sprintf "%.4f" wen;
-            Printf.sprintf "%.2fx" (we1 /. wen); "list-identical" ] :: !rows;
+            Printf.sprintf "%.2fx" (we1 /. wen); mode_label xl_mode; "list-identical" ] :: !rows;
   (* Linearize.build column hashing *)
   let (lin1, mat1), wl1 = best_of ~reps (fun () -> Bosphorus.Linearize.build ~jobs:1 e1) in
   let (linn, matn), wln = best_of ~reps (fun () -> Bosphorus.Linearize.build ~jobs e1) in
@@ -154,15 +167,19 @@ let parallel_kernels ~quick ~jobs ?json () =
       && Format.asprintf "%a" Gf2.Matrix.pp mat1 = Format.asprintf "%a" Gf2.Matrix.pp matn)
   then failwith "micro: parallel linearization diverged from sequential";
   let name = Printf.sprintf "linearize_%dx%d" (List.length e1) (Bosphorus.Linearize.n_columns lin1) in
+  let lin_mode =
+    Bosphorus.Linearize.build_parallel_worthwhile ~n_polys:(List.length e1) ~jobs ()
+  in
   record (name ^ "_jobs1") wl1 None None;
-  record_j (Printf.sprintf "%s_jobs%d" name jobs) wln None None;
+  record_j ~extras:(mode_extras lin_mode)
+    (Printf.sprintf "%s_jobs%d" name jobs) wln None None;
   rows := [ name; Printf.sprintf "%.4f" wl1; Printf.sprintf "%.4f" wln;
-            Printf.sprintf "%.2fx" (wl1 /. wln); "matrix-identical" ] :: !rows;
+            Printf.sprintf "%.2fx" (wl1 /. wln); mode_label lin_mode; "matrix-identical" ] :: !rows;
   Format.printf "%s@."
     (Harness.Table.render
        ~title:(Printf.sprintf "parallel kernels (best of %d, %d host domains)" reps
                  (Domain.recommended_domain_count ()))
-       ~headers:[ "kernel"; "jobs=1 (s)"; Printf.sprintf "jobs=%d (s)" jobs; "speedup"; "equality" ]
+       ~headers:[ "kernel"; "jobs=1 (s)"; Printf.sprintf "jobs=%d (s)" jobs; "speedup"; "mode"; "equality" ]
        (List.rev !rows))
 
 (* ------------------------------------------------------------------ *)
@@ -235,16 +252,14 @@ let bcp_throughput ~quick ?json () =
       | None -> ()
       | Some j ->
           Json_out.add j ~experiment:"micro" ~family:("bcp_" ^ name)
-            ~wall_s:perf.Harness.Perf.wall_s ~jobs:1
+            ~wall_s:perf.Harness.Perf.wall_s ~jobs:1 ~perf
             ~extras:
               [ ("props_per_sec", pps);
                 ("propagations", float_of_int props);
                 ("conflicts", float_of_int stats.Sat.Types.conflicts);
                 ("arena_bytes", float_of_int arena_bytes);
                 ("lazy_detach_drops", float_of_int stats.Sat.Types.lazy_detach_drops);
-                ("arena_gcs", float_of_int stats.Sat.Types.arena_gcs);
-                ("gc_minor_words", perf.Harness.Perf.minor_words);
-                ("gc_major_words", perf.Harness.Perf.major_words) ]
+                ("arena_gcs", float_of_int stats.Sat.Types.arena_gcs) ]
             ());
       rows :=
         [ name; string_of_int props; Printf.sprintf "%.4f" perf.Harness.Perf.wall_s;
@@ -282,6 +297,87 @@ let bcp_throughput ~quick ?json () =
        Printf.sprintf " (%.2fx the pre-arena %.0f props/s on this suite)"
          (total_pps /. prearena_props_per_sec)
          prearena_props_per_sec)
+
+(* ------------------------------------------------------------------ *)
+(* Allocation gate: the GC-regression check behind `micro --alloc-gate`. *)
+(* ------------------------------------------------------------------ *)
+
+(* Stored baseline: minor-heap words per propagation over the full
+   bcp_ksat_250 run — solve end-to-end, so clause learning and database
+   reduction are inside the measurement, not just BCP.  The boxed-clause
+   solver of BENCH_3 measured 93.9 words/prop on this instance
+   (246,405,696 words / 2,624,873 props); the off-heap rewrite measures
+   ~0.15.  The bound of 0.9 keeps the >=100x reduction locked in while
+   leaving ~6x headroom for trajectory noise. *)
+let alloc_gate_max_words_per_prop = 0.9
+
+let run_alloc_gate ?json () =
+  Format.printf "@.=== Allocation gate (GC regression check) ===@.@.";
+  (* full-solve words/prop against the stored baseline *)
+  let f =
+    Problems.Generators.random_ksat ~nvars:250 ~n_clauses:1062 ~k:3
+      ~rng:(Random.State.make [| 3 |])
+  in
+  let s = Sat.Solver.create ~nvars:(Cnf.Formula.nvars f) () in
+  ignore (Sat.Solver.add_formula s f);
+  let (), perf =
+    Harness.Perf.measure (fun () -> ignore (Sat.Solver.solve ~conflict_budget:60_000 s))
+  in
+  let props = (Sat.Solver.stats s).Sat.Types.propagations in
+  let words_per_prop = perf.Harness.Perf.minor_words /. float_of_int (Int.max 1 props) in
+  (* steady-state burst: redoing a 200-deep implication chain must
+     allocate exactly zero minor words once the stores are warm (the
+     Gc.minor_words probe itself boxes its float result, so its measured
+     overhead is subtracted) *)
+  let n = 200 in
+  let chain = Sat.Solver.create ~nvars:n () in
+  for i = 0 to n - 2 do
+    ignore
+      (Sat.Solver.add_clause chain
+         [ Cnf.Lit.make i ~negated:true; Cnf.Lit.make (i + 1) ~negated:false ])
+  done;
+  let l0 = Cnf.Lit.make 0 ~negated:false in
+  ignore (Sat.Solver.burst_propagate chain l0 ~reps:10);
+  let a = Gc.minor_words () in
+  let b = Gc.minor_words () in
+  let overhead = b -. a in
+  let w0 = Gc.minor_words () in
+  let assigned = Sat.Solver.burst_propagate chain l0 ~reps:1_000 in
+  let burst_extra = Gc.minor_words () -. w0 -. overhead in
+  let solve_ok = words_per_prop <= alloc_gate_max_words_per_prop in
+  let burst_ok = burst_extra = 0.0 in
+  (match json with
+  | None -> ()
+  | Some j ->
+      Json_out.add j ~experiment:"micro" ~family:"alloc_gate"
+        ~wall_s:perf.Harness.Perf.wall_s ~jobs:1 ~perf
+        ~extras:
+          [ ("words_per_prop", words_per_prop);
+            ("baseline_words_per_prop", alloc_gate_max_words_per_prop);
+            ("propagations", float_of_int props);
+            ("burst_assigned", float_of_int assigned);
+            ("burst_extra_words", burst_extra);
+            ("pass", if solve_ok && burst_ok then 1.0 else 0.0) ]
+        ());
+  Format.printf "%s@."
+    (Harness.Table.render ~title:"allocation gate"
+       ~headers:[ "check"; "measured"; "bound"; "verdict" ]
+       [ [ "solve minor words/prop";
+           Printf.sprintf "%.4f" words_per_prop;
+           Printf.sprintf "<= %.2f" alloc_gate_max_words_per_prop;
+           (if solve_ok then "pass" else "FAIL") ];
+         [ "steady-state burst extra words";
+           Printf.sprintf "%.0f" burst_extra; "= 0";
+           (if burst_ok then "pass" else "FAIL") ] ]);
+  if not (solve_ok && burst_ok) then begin
+    Printf.eprintf
+      "alloc-gate: FAILED (words/prop %.4f vs bound %.2f, burst extra %.0f)\n"
+      words_per_prop alloc_gate_max_words_per_prop burst_extra;
+    exit 1
+  end;
+  Format.printf "alloc-gate: pass (%.4f words/prop over %d props; burst of %d \
+                 assigns allocated 0 words)@."
+    words_per_prop props assigned
 
 (* ------------------------------------------------------------------ *)
 (* DIMACS load: throughput of the buffered zero-allocation tokenizer.  *)
@@ -336,7 +432,7 @@ let dimacs_load ~quick ?json () =
          [ "parse_file"; Printf.sprintf "%.4f" file_wall;
            Printf.sprintf "%.1f" (mbps file_wall) ] ])
 
-let run ?(quick = false) ?(jobs = 1) ?json () =
+let run_full ~quick ~jobs ?json () =
   Format.printf "@.=== Micro-benchmarks (Bechamel, monotonic clock) ===@.@.";
   let tests = [ bitvec_xor; matrix_rref; matrix_rref_m4rm; zdd_product; poly_mul; espresso; cdcl_php; xl_pass ] in
   let ols =
@@ -368,3 +464,8 @@ let run ?(quick = false) ?(jobs = 1) ?json () =
   bcp_throughput ~quick ?json ();
   dimacs_load ~quick ?json ();
   parallel_kernels ~quick ~jobs:(max 2 jobs) ?json ()
+
+(* [--alloc-gate] runs only the GC-regression gate (fast enough for a CI
+   step); otherwise the full micro suite. *)
+let run ?(quick = false) ?(jobs = 1) ?(alloc_gate = false) ?json () =
+  if alloc_gate then run_alloc_gate ?json () else run_full ~quick ~jobs ?json ()

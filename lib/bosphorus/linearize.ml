@@ -42,8 +42,23 @@ let column_basis ?(jobs = 1) polys =
 let g_columns = Obs.Metrics.gauge "linearize.columns"
 let g_rows = Obs.Metrics.gauge "linearize.rows"
 
+(* Granularity auto-tuning: hashing and row building are cheap per
+   polynomial, so parallel dispatch only pays on large systems.  The
+   gauge learns the per-polynomial sequential cost from real sequential
+   builds. *)
+let build_gauge =
+  Runtime.Pool.Grain.gauge ~name:"linearize.build" ~default_op_ns:3000.0
+
+let build_parallel_worthwhile ~n_polys ~jobs () =
+  jobs > 1
+  && Runtime.Pool.Grain.worth_parallel (Runtime.Pool.get ~jobs) build_gauge
+       ~ops:n_polys
+
 let build ?(jobs = 1) polys =
   Obs.Trace.with_span ~name:"linearize.build" @@ fun () ->
+  let n_polys = List.length polys in
+  let jobs = if build_parallel_worthwhile ~n_polys ~jobs () then jobs else 1 in
+  let t0 = if jobs <= 1 then Unix.gettimeofday () else 0.0 in
   let columns = column_basis ~jobs polys in
   if Obs.Metrics.enabled () then begin
     Obs.Metrics.set_gauge g_columns (Array.length columns);
@@ -69,6 +84,9 @@ let build ?(jobs = 1) polys =
     if jobs <= 1 then List.map row_of polys
     else Runtime.Pool.map_list (Runtime.Pool.get ~jobs) row_of polys
   in
+  if jobs <= 1 then
+    Runtime.Pool.Grain.observe build_gauge ~ops:n_polys
+      ~wall_s:(Unix.gettimeofday () -. t0);
   (t, Gf2.Matrix.of_rows ~cols:ncols rows)
 
 let n_columns t = Array.length t.columns

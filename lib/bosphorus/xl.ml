@@ -56,8 +56,37 @@ let expand_chunk ?budget multipliers chunk =
    with Harness.Budget.Tripped _ -> ());
   List.rev !out
 
+(* Granularity auto-tuning: parallel expansion only pays once the product
+   count is large enough to amortise a pool dispatch.  The gauge learns
+   the sequential cost per product from real sequential runs (every
+   un-budgeted inline expansion feeds it), so the first calls after
+   process start rely on the seed and later ones on measurement. *)
+let expand_gauge =
+  Runtime.Pool.Grain.gauge ~name:"xl.expand" ~default_op_ns:2000.0
+
+let expand_ops ~n_polys ~n_multipliers = n_polys * (n_multipliers + 1)
+
+let expand_parallel_worthwhile ~n_polys ~n_multipliers ~jobs () =
+  jobs > 1
+  && Runtime.Pool.Grain.worth_parallel (Runtime.Pool.get ~jobs) expand_gauge
+       ~ops:(expand_ops ~n_polys ~n_multipliers)
+
 let expand ?(jobs = 1) ?budget ~multipliers polys =
-  if jobs <= 1 then expand_chunk ?budget multipliers polys
+  let n_multipliers = List.length multipliers in
+  let n_polys = List.length polys in
+  let sequential () =
+    let out, wall_s = Harness.Timing.time (fun () -> expand_chunk ?budget multipliers polys) in
+    (* a tripped budget would under-report the sequential cost, so only
+       clean runs feed the gauge *)
+    if Option.is_none budget then
+      Runtime.Pool.Grain.observe expand_gauge
+        ~ops:(expand_ops ~n_polys ~n_multipliers) ~wall_s;
+    out
+  in
+  if
+    jobs <= 1
+    || not (expand_parallel_worthwhile ~n_polys ~n_multipliers ~jobs ())
+  then sequential ()
   else begin
     (* each domain expands a contiguous chunk into a local batch; the
        batches are merged through one table in chunk order.  Both the local

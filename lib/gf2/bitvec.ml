@@ -1,43 +1,82 @@
-type t = { len : int; words : int array }
+(* Packed bit vector over an off-heap word store.
+
+   The words live in a [Bigarray.Array1] of native ints (c_layout): the
+   payload is malloc'd outside the scanned OCaml heap, so the GC neither
+   scans nor moves row storage — the point of the dense GF(2) plane — and
+   element access compiles to a direct load/store with no boxing (the
+   [int] kind, unlike [int64], has immediate elements on a 64-bit host).
+   Bit [i] of the vector is bit [i mod Sys.int_size] of word
+   [i / Sys.int_size], exactly the layout of the previous [int array]
+   backing, so all indexing arithmetic is unchanged. *)
+
+module A1 = Bigarray.Array1
+
+type words = (int, Bigarray.int_elt, Bigarray.c_layout) A1.t
+
+type t = { len : int; words : words }
 
 let bits_per_word = Sys.int_size
 
 let words_for len = (len + bits_per_word - 1) / bits_per_word
 
+let make_words n =
+  let w : words = A1.create Bigarray.int Bigarray.c_layout n in
+  A1.fill w 0;
+  w
+
 let create len =
   if len < 0 then invalid_arg "Bitvec.create";
-  { len; words = Array.make (Int.max 1 (words_for len)) 0 }
+  { len; words = make_words (Int.max 1 (words_for len)) }
 
 let length v = v.len
+let n_words v = A1.dim v.words
 
 let check v i =
   if i < 0 || i >= v.len then invalid_arg "Bitvec: index out of range"
 
 let get v i =
   check v i;
-  v.words.(i / bits_per_word) lsr (i mod bits_per_word) land 1 = 1
+  A1.unsafe_get v.words (i / bits_per_word) lsr (i mod bits_per_word) land 1 = 1
 
 let set v i b =
   check v i;
   let w = i / bits_per_word and o = i mod bits_per_word in
-  if b then v.words.(w) <- v.words.(w) lor (1 lsl o)
-  else v.words.(w) <- v.words.(w) land lnot (1 lsl o)
+  if b then A1.unsafe_set v.words w (A1.unsafe_get v.words w lor (1 lsl o))
+  else A1.unsafe_set v.words w (A1.unsafe_get v.words w land lnot (1 lsl o))
 
 let flip v i =
   check v i;
   let w = i / bits_per_word and o = i mod bits_per_word in
-  v.words.(w) <- v.words.(w) lxor (1 lsl o)
+  A1.unsafe_set v.words w (A1.unsafe_get v.words w lxor (1 lsl o))
 
-let copy v = { len = v.len; words = Array.copy v.words }
+let copy v =
+  let words = A1.create Bigarray.int Bigarray.c_layout (A1.dim v.words) in
+  A1.blit v.words words;
+  { len = v.len; words }
 
 let xor_into ~src ~dst =
   if src.len <> dst.len then invalid_arg "Bitvec.xor_into: length mismatch";
   let s = src.words and d = dst.words in
-  for w = 0 to Array.length d - 1 do
-    d.(w) <- d.(w) lxor s.(w)
+  for w = 0 to A1.dim d - 1 do
+    A1.unsafe_set d w (A1.unsafe_get d w lxor A1.unsafe_get s w)
   done
 
-let is_zero v = Array.for_all (fun w -> w = 0) v.words
+(* Word-range variant for cache-blocked panel updates: XOR only words
+   [lo_word, hi_word) of [src] into [dst].  Callers own the blocking
+   arithmetic; the range is clipped to the store so a final ragged panel
+   needs no special case. *)
+let xor_into_range ~src ~dst ~lo_word ~hi_word =
+  if src.len <> dst.len then invalid_arg "Bitvec.xor_into_range: length mismatch";
+  let s = src.words and d = dst.words in
+  let lo = Int.max 0 lo_word and hi = Int.min (A1.dim d) hi_word in
+  for w = lo to hi - 1 do
+    A1.unsafe_set d w (A1.unsafe_get d w lxor A1.unsafe_get s w)
+  done
+
+let is_zero v =
+  let n = A1.dim v.words in
+  let rec go w = w >= n || (A1.unsafe_get v.words w = 0 && go (w + 1)) in
+  go 0
 
 (* Index of the lowest set bit of a nonzero word. *)
 let lowest_bit_index w =
@@ -45,11 +84,11 @@ let lowest_bit_index w =
   go w 0
 
 let first_set v =
-  let n = Array.length v.words in
+  let n = A1.dim v.words in
   let rec go w =
     if w >= n then None
-    else if v.words.(w) = 0 then go (w + 1)
-    else Some ((w * bits_per_word) + lowest_bit_index v.words.(w))
+    else if A1.unsafe_get v.words w = 0 then go (w + 1)
+    else Some ((w * bits_per_word) + lowest_bit_index (A1.unsafe_get v.words w))
   in
   go 0
 
@@ -57,20 +96,25 @@ let popcount_word w =
   let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
   go w 0
 
-let popcount v = Array.fold_left (fun acc w -> acc + popcount_word w) 0 v.words
+let popcount v =
+  let n = A1.dim v.words in
+  let rec go w acc =
+    if w >= n then acc else go (w + 1) (acc + popcount_word (A1.unsafe_get v.words w))
+  in
+  go 0 0
 
 let equal a b =
   a.len = b.len
   &&
-  let n = Array.length a.words in
-  n = Array.length b.words
+  let n = A1.dim a.words in
+  n = A1.dim b.words
   &&
-  let rec go i = i >= n || (a.words.(i) = b.words.(i) && go (i + 1)) in
+  let rec go i = i >= n || (A1.unsafe_get a.words i = A1.unsafe_get b.words i && go (i + 1)) in
   go 0
 
 let iter_set v f =
-  for w = 0 to Array.length v.words - 1 do
-    let bits = ref v.words.(w) in
+  for w = 0 to A1.dim v.words - 1 do
+    let bits = ref (A1.unsafe_get v.words w) in
     while !bits <> 0 do
       let i = lowest_bit_index !bits in
       f ((w * bits_per_word) + i);

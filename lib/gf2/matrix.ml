@@ -124,26 +124,92 @@ let rref m =
   audit_rref_result "Matrix.rref" m;
   !pivot_row
 
+(* ---------------- M4RM granularity auto-tuning ---------------- *)
+
+(* Cost gauge for the trailing update: one work unit = one row-word
+   touched.  Seeded pessimistically and calibrated on first use by timing
+   a real XOR sweep on this host, so the parallel/sequential decision is
+   driven by measured numbers (see Runtime.Pool.Grain). *)
+let m4rm_gauge = Runtime.Pool.Grain.gauge ~name:"gf2.m4rm" ~default_op_ns:1.0
+
+let m4rm_calibrated = Atomic.make false
+
+let calibrate_m4rm () =
+  if not (Atomic.get m4rm_calibrated) then begin
+    Atomic.set m4rm_calibrated true;
+    let words = 1 lsl 12 in
+    let src = Bitvec.create (words * Sys.int_size) in
+    let dst = Bitvec.create (words * Sys.int_size) in
+    Bitvec.set src 1 true;
+    let reps = 64 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      Bitvec.xor_into ~src ~dst
+    done;
+    let wall_s = Unix.gettimeofday () -. t0 in
+    (* several observations so the blend converges onto the measurement *)
+    for _ = 1 to 4 do
+      Runtime.Pool.Grain.observe m4rm_gauge ~ops:(reps * words) ~wall_s
+    done
+  end
+
+(* Work units of one trailing-update pass: every row reads [k] pivot bits
+   and XORs up to a full row of words. *)
+let m4rm_ops ~rows ~cols ~k = rows * (Bitvec.words_for cols + k)
+
+let m4rm_parallel_worthwhile ?(k = 6) ~rows ~cols ~jobs () =
+  jobs > 1
+  && begin
+       calibrate_m4rm ();
+       Runtime.Pool.Grain.worth_parallel
+         (Runtime.Pool.get ~jobs)
+         m4rm_gauge
+         ~ops:(m4rm_ops ~rows ~cols ~k)
+     end
+
+(* Words per cache panel of the blocked trailing update: the 2^k-row
+   lookup table slice plus one row slice should stay resident, so target
+   roughly 256 KiB of table per sweep. *)
+let panel_words ~b = Int.max 64 ((1 lsl 15) / Int.max 1 (1 lsl (b - 3)))
+
 (* Method of the Four Russians.  Per block of <= k columns: find pivot
    rows (reducing each candidate row by the block's previous pivots only),
    normalise the pivot rows to identity on the pivot columns, tabulate all
    2^b combinations of them in gray-code order, then clear the block's
    pivot columns from every other row with one lookup + one XOR.
 
-   With [jobs > 1] the trailing update (phase C, the bulk of the work) is
-   partitioned row-wise across the domain pool.  Pivot selection and table
-   construction stay sequential, and the per-row updates are pure functions
-   of the read-only table, so the resulting RREF is bit-identical to the
-   sequential one whatever [jobs] is. *)
+   The trailing update (phase C, the bulk of the work) is cache-blocked:
+   each row's table index is computed up front into a flat scratch array,
+   then the XORs sweep panel-of-words by panel-of-words so the lookup
+   table slice stays hot instead of being evicted between rows.  With
+   [jobs > 1] the update is partitioned row-wise across the domain pool —
+   unless the measured granularity gauge says the matrix is too small to
+   amortise dispatch, in which case it runs inline (jobs is ignored).
+   Pivot selection and table construction stay sequential, and the
+   per-row updates are pure functions of the read-only table, so the
+   resulting RREF is bit-identical to the sequential one whatever [jobs]
+   is. *)
 let rref_m4rm ?(k = 6) ?(jobs = 1) ?(poll = fun () -> ()) m =
   if k < 1 || k > 20 then invalid_arg "Matrix.rref_m4rm: k in 1..20";
   let pool = Runtime.Pool.get ~jobs in
+  let pool =
+    if Runtime.Pool.jobs pool <= 1 then pool
+    else begin
+      calibrate_m4rm ();
+      Runtime.Pool.Grain.choose pool m4rm_gauge
+        ~ops:(m4rm_ops ~rows:m.nrows ~cols:m.ncols ~k)
+    end
+  in
   let pivot_row = ref 0 in
   let col = ref 0 in
   (* pivots.(t) is the t-th pivot column of the current block, ascending;
      an int array rather than a list so that phase A's reduction finds a
      pivot's row offset in O(1) instead of scanning a column list *)
   let pivots = Array.make k 0 in
+  (* row_idx.(r): gray-table index of row r for the current block,
+     precomputed so the panel sweep can clear pivot columns as it goes *)
+  let row_idx = Array.make (Int.max 1 m.nrows) 0 in
+  let nwords = Bitvec.n_words m.data.(0) in
   while !pivot_row < m.nrows && !col < m.ncols do
     (* per-block cancellation point: a raising [poll] abandons the
        half-reduced matrix, so callers must not use it afterwards *)
@@ -195,9 +261,15 @@ let rref_m4rm ?(k = 6) ?(jobs = 1) ?(poll = fun () -> ()) m =
         Bitvec.xor_into ~src:m.data.(pr + low) ~dst:v;
         table.(g) <- v
       done;
-      (* phase C: clear the pivot columns everywhere else with one XOR per
-         row.  Rows are touched only by their own range's task; the table
-         and pivots are read-only here. *)
+      (* phase C: clear the pivot columns everywhere else with one table
+         lookup + one XOR per row, cache-blocked.  First pass records each
+         row's table index (reading pivot-column bits before anything
+         clears them), then the XORs run panel-of-words by panel-of-words
+         across the rows so the table slice in use stays resident.  XOR is
+         word-local, so sweeping panels left-to-right produces the same
+         words as one full-row pass.  Rows are touched only by their own
+         range's task; the table and pivots are read-only here. *)
+      let panel = panel_words ~b in
       let update_rows lo hi =
         for r = lo to hi - 1 do
           if r < pr || r >= pr + b then begin
@@ -205,11 +277,28 @@ let rref_m4rm ?(k = 6) ?(jobs = 1) ?(poll = fun () -> ()) m =
             for j = 0 to b - 1 do
               if Bitvec.get m.data.(r) pivots.(j) then idx := !idx lor (1 lsl j)
             done;
-            if !idx <> 0 then Bitvec.xor_into ~src:table.(!idx) ~dst:m.data.(r)
+            row_idx.(r) <- !idx
           end
+          else row_idx.(r) <- 0
+        done;
+        let w = ref 0 in
+        while !w < nwords do
+          let hi_w = Int.min nwords (!w + panel) in
+          for r = lo to hi - 1 do
+            let idx = row_idx.(r) in
+            if idx <> 0 then
+              Bitvec.xor_into_range ~src:table.(idx) ~dst:m.data.(r)
+                ~lo_word:!w ~hi_word:hi_w
+          done;
+          w := hi_w
         done
       in
-      Runtime.Pool.parallel_for pool ~lo:0 ~hi:m.nrows update_rows;
+      ((Runtime.Pool.parallel_for pool ~lo:0 ~hi:m.nrows update_rows)
+      [@check.allow
+        "domain-capture"
+          "each task writes only the row_idx slots in its own [lo, hi) row \
+           range; ranges are disjoint, so no two domains touch the same \
+           element"]);
       pivot_row := pr + b;
       col := block_end
     end

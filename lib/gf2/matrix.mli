@@ -57,8 +57,20 @@ val rref : t -> int
     [poll] (default a no-op) is called once per column block — a
     cooperative cancellation point for budgeted callers
     ({!Harness.Budget.poll}).  If it raises, the elimination aborts and
-    [m] is left half-reduced: discard it. *)
+    [m] is left half-reduced: discard it.
+
+    Requesting [jobs > 1] is a ceiling, not a command: when the measured
+    granularity gauge (see {!Runtime.Pool.Grain}) estimates the matrix too
+    small to amortise pool dispatch, the update runs inline and [jobs] is
+    ignored.  {!m4rm_parallel_worthwhile} exposes that decision. *)
 val rref_m4rm : ?k:int -> ?jobs:int -> ?poll:(unit -> unit) -> t -> int
+
+(** [m4rm_parallel_worthwhile ?k ~rows ~cols ~jobs ()] is the granularity
+    decision {!rref_m4rm} would make for a [rows] x [cols] elimination at
+    parallel width [jobs]: [true] iff the trailing updates would actually
+    be dispatched on the pool.  Benchmarks record this as the chosen
+    execution mode. *)
+val m4rm_parallel_worthwhile : ?k:int -> rows:int -> cols:int -> jobs:int -> unit -> bool
 
 (** [rank m] is the GF(2) rank (computed on a copy; [m] is unchanged). *)
 val rank : t -> int

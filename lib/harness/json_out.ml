@@ -22,7 +22,12 @@ type t = { mutable records : record list (* newest first *) }
 let create () = { records = [] }
 let records t = t.records
 
-let add t ~experiment ~family ~wall_s ?facts ?rank ?(extras = []) ~jobs () =
+let add t ~experiment ~family ~wall_s ?facts ?rank ?(extras = []) ?perf ~jobs () =
+  (* Bench phases that measured themselves with {!Perf.measure} pass the
+     counters straight through; the GC words land as ordinary extras. *)
+  let extras =
+    match perf with None -> extras | Some c -> extras @ Perf.to_extras c
+  in
   t.records <- { experiment; family; wall_s; facts; rank; jobs; extras } :: t.records
 
 let escape s =

@@ -43,6 +43,9 @@ val create : unit -> t
 (** Recorded entries, newest first. *)
 val records : t -> record list
 
+(** [?perf] appends the phase's GC counters ({!Perf.to_extras}) to the
+    record's extras, so allocation per phase lands in the trajectory
+    files. *)
 val add :
   t ->
   experiment:string ->
@@ -51,6 +54,7 @@ val add :
   ?facts:int ->
   ?rank:int ->
   ?extras:(string * float) list ->
+  ?perf:Perf.counters ->
   jobs:int ->
   unit ->
   unit

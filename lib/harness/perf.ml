@@ -40,3 +40,13 @@ let zero = { wall_s = 0.0; minor_words = 0.0; major_words = 0.0; promoted_words 
 let pp ppf c =
   Format.fprintf ppf "wall=%.4fs minor=%.0fw major=%.0fw promoted=%.0fw" c.wall_s
     c.minor_words c.major_words c.promoted_words
+
+(* Flatten counters into bench-record extras (optionally namespaced with
+   [prefix]) so every JSON bench record can carry its GC words per phase
+   next to the solver counters. *)
+let to_extras ?(prefix = "") c =
+  [
+    (prefix ^ "gc_minor_words", c.minor_words);
+    (prefix ^ "gc_major_words", c.major_words);
+    (prefix ^ "gc_promoted_words", c.promoted_words);
+  ]

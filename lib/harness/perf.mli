@@ -20,3 +20,9 @@ val rate : int -> counters -> float
 val add : counters -> counters -> counters
 val zero : counters
 val pp : Format.formatter -> counters -> unit
+
+(** [to_extras ?prefix c] flattens the GC counters into named bench-record
+    extras ([gc_minor_words], [gc_major_words], [gc_promoted_words]),
+    each key prepended with [prefix]; wall time is carried by the record
+    itself. *)
+val to_extras : ?prefix:string -> counters -> (string * float) list

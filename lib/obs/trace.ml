@@ -90,12 +90,24 @@ let with_span ~name ?(args = []) f =
         Some id
       end
     in
+    (* GC words consumed inside the span, attached to the End event: the
+       allocation ledger per phase, read off the trace the same way wall
+       time is. *)
+    let g0 = Gc.quick_stat () in
     Fun.protect
       ~finally:(fun () ->
         match recorded with
         | Some id ->
-            append b
-              { ph = End; name; ts_us = now_us (); tid = b.tid; span_id = id; args = [] }
+            let g1 = Gc.quick_stat () in
+            let args =
+              [
+                ( "gc_minor_words",
+                  Printf.sprintf "%.0f" (g1.Gc.minor_words -. g0.Gc.minor_words) );
+                ( "gc_major_words",
+                  Printf.sprintf "%.0f" (g1.Gc.major_words -. g0.Gc.major_words) );
+              ]
+            in
+            append b { ph = End; name; ts_us = now_us (); tid = b.tid; span_id = id; args }
         | None -> ())
       f
   end

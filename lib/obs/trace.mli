@@ -48,8 +48,11 @@ val set_capacity : int -> unit
 
 (** [with_span ~name ?args f] runs [f] inside a timed span recorded on
     the calling domain.  The span closes on normal return {e and} on
-    exception (the exception is re-raised).  When tracing is disabled
-    this is [f ()] plus one branch. *)
+    exception (the exception is re-raised).  The closing event carries
+    the GC words allocated inside the span as [gc_minor_words] /
+    [gc_major_words] args — the per-phase allocation ledger of the
+    off-heap work.  When tracing is disabled this is [f ()] plus one
+    branch. *)
 val with_span : name:string -> ?args:(string * string) list -> (unit -> 'a) -> 'a
 
 (** Record a zero-duration instant event (rendered as a vertical mark). *)

@@ -187,17 +187,28 @@ let run_results ?cancel t thunks =
         (fun f -> try Ok ((guard cancel f) ()) with e -> Error e)
         thunks
   | Some sh ->
-      let futs =
-        List.map
-          (fun f ->
-            let fut = { fm = Mutex.create (); fc = Condition.create (); state = Pending } in
-            submit sh fut (guard cancel f);
-            fut)
-          thunks
-      in
-      (* join everything before returning, so no task is still mutating
-         caller-owned state when control returns *)
-      List.map (await sh) futs
+      (* preallocated result slots, filled in submission order — the merge
+         path never conses an accumulator list per chunk *)
+      let tasks = Array.of_list thunks in
+      let n = Array.length tasks in
+      if n = 0 then []
+      else begin
+        let futs =
+          Array.init n (fun i ->
+              let fut =
+                { fm = Mutex.create (); fc = Condition.create (); state = Pending }
+              in
+              submit sh fut (guard cancel tasks.(i));
+              fut)
+        in
+        let out = Array.make n (Error Cancelled) in
+        (* join everything before returning, so no task is still mutating
+           caller-owned state when control returns *)
+        for i = 0 to n - 1 do
+          out.(i) <- await sh futs.(i)
+        done;
+        Array.to_list out
+      end
 
 let run ?cancel t thunks =
   match (t.shared, cancel, thunks) with
@@ -240,23 +251,111 @@ let parallel_for t ~lo ~hi f =
               (fun (lo', hi') () -> f lo' hi')
               (chunk_ranges ~chunks:t.pjobs ~lo ~hi)))
 
-let map_list t f xs =
-  match t.shared with
-  | None -> List.map f xs
-  | Some _ ->
-      List.concat
-        (run t
-           (List.map (fun chunk () -> List.map f chunk) (chunk_list ~chunks:t.pjobs xs)))
-
+(* Chunk results land directly in one preallocated output array (slot 0 is
+   computed inline to seed it) instead of being concatenated from per-chunk
+   arrays: the merge allocates nothing beyond the output itself.  Each slot
+   is written by exactly one task and the joins in [run] order those writes
+   before the caller reads. *)
 let map_array t f xs =
   match t.shared with
   | None -> Array.map f xs
   | Some _ ->
-      Array.concat
-        (run t
-           (List.map
-              (fun (lo, hi) () -> Array.init (hi - lo) (fun i -> f xs.(lo + i)))
-              (chunk_ranges ~chunks:t.pjobs ~lo:0 ~hi:(Array.length xs))))
+      let n = Array.length xs in
+      if n = 0 then [||]
+      else begin
+        let out = Array.make n (f xs.(0)) in
+        ignore
+          (run t
+             (List.map
+                (fun (lo, hi) () ->
+                  for i = lo to hi - 1 do
+                    out.(i) <- f xs.(i)
+                  done)
+                (chunk_ranges ~chunks:t.pjobs ~lo:1 ~hi:n)));
+        out
+      end
+
+let map_list t f xs =
+  match t.shared with
+  | None -> List.map f xs
+  | Some _ -> Array.to_list (map_array t f (Array.of_list xs))
+
+(* ------------------------------------------------------------------ *)
+(* Granularity auto-tuning                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Parallelism only pays when the work dwarfs the dispatch round-trip
+   (queue mutex, wake-up, futures, joins).  [Grain] measures that
+   round-trip once per process on the real pool, keeps a per-kernel
+   estimate of sequential nanoseconds-per-work-unit, and [choose] hands
+   back the sequential pool whenever the estimated parallel saving cannot
+   cover a safety multiple of the dispatch cost.  Kernels feed measured
+   sequential runs back through [observe], so the threshold is driven by
+   this host's numbers rather than a baked-in constant. *)
+module Grain = struct
+  type gauge = { name : string; op_ns : float Atomic.t }
+
+  let gauge ~name ~default_op_ns =
+    { name; op_ns = Atomic.make (Float.max 0.001 default_op_ns) }
+
+  let name g = g.name
+  let op_ns g = Atomic.get g.op_ns
+
+  let dispatch_cache = Atomic.make 0.0
+
+  let measure_dispatch t =
+    let reps = 11 in
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (run t (List.init t.pjobs (fun _ () -> ())));
+      let t1 = Unix.gettimeofday () in
+      if t1 -. t0 < !best then best := t1 -. t0
+    done;
+    (* floor at 1us: a sub-resolution measurement must not convince the
+       tuner that dispatch is free *)
+    Float.max 1e3 (!best *. 1e9)
+
+  let dispatch_ns t =
+    match t.shared with
+    | None -> 0.0
+    | Some _ ->
+        let cached = Atomic.get dispatch_cache in
+        if cached > 0.0 then cached
+        else begin
+          let m = measure_dispatch t in
+          (* racing domains both measure; either result is fine *)
+          Atomic.set dispatch_cache m;
+          m
+        end
+
+  (* The estimated saving must exceed this multiple of the dispatch cost
+     before parallelism is chosen: estimates are rough and losing to
+     jobs=1 is the failure mode the bench gate guards. *)
+  let overhead_factor = 4.0
+
+  let worth_parallel t g ~ops =
+    (* a pool can be oversubscribed (jobs=4 on a 1-core host): only the
+       hardware parallelism can actually shorten the wall clock *)
+    let eff = min t.pjobs (Domain.recommended_domain_count ()) in
+    eff > 1 && ops > 0
+    &&
+    let est_seq = float_of_int ops *. op_ns g in
+    let j = float_of_int eff in
+    est_seq *. (j -. 1.0) /. j > overhead_factor *. dispatch_ns t
+
+  let choose t g ~ops = if worth_parallel t g ~ops then t else sequential
+
+  (* Feedback from a measured *sequential* run (parallel wall times say
+     nothing about the sequential cost the decision needs).  Exponential
+     blend so one noisy run cannot whipsaw the threshold. *)
+  let observe g ~ops ~wall_s =
+    if ops > 0 && wall_s > 0.0 then begin
+      let measured = wall_s *. 1e9 /. float_of_int ops in
+      let old = Atomic.get g.op_ns in
+      Atomic.set g.op_ns (0.5 *. (old +. measured))
+    end
+end
 
 let default_jobs () =
   match Sys.getenv_opt "BOSPHORUS_JOBS" with

@@ -1,8 +1,10 @@
 (** Flat clause arena.
 
-    All clause literals live in one growable [int array] with a two-word
-    header (size, learnt/deleted/temporary flags, LBD); clause activities
-    live in a parallel unboxed [float array].  Clauses are addressed by
+    All clause literals live in one growable off-heap [Bigarray] word
+    store with a two-word header (size, learnt/deleted/temporary flags,
+    LBD); clause activities live in a parallel float64 [Bigarray].  The
+    backing memory is malloc'd outside the scanned OCaml heap, so the GC
+    neither scans nor moves the clause database.  Clauses are addressed by
     their word offset ({!cref}), so watcher lists and reason references
     are plain ints.  Deletion marks the header; the space is reclaimed by
     {!move}-based compaction, which leaves forwarding pointers so holders
@@ -32,6 +34,12 @@ val capacity_bytes : t -> int
 val alloc : t -> learnt:bool -> temp:bool -> int array -> cref
 
 val alloc_list : t -> learnt:bool -> temp:bool -> int list -> cref
+
+(** [alloc_blank t ~learnt ~temp n] appends a clause of [n] zero literals
+    to be filled in place with {!set_lit} — the allocation-free learning
+    path writes straight from its scratch vector instead of materialising
+    an intermediate array. *)
+val alloc_blank : t -> learnt:bool -> temp:bool -> int -> cref
 val n_lits : t -> cref -> int
 val learnt : t -> cref -> bool
 val is_deleted : t -> cref -> bool
@@ -42,6 +50,12 @@ val lbd : t -> cref -> int
 val set_lbd : t -> cref -> int -> unit
 val activity : t -> cref -> float
 val set_activity : t -> cref -> float -> unit
+
+(** The live float64 activity store, indexed by {!cref} — hot paths read
+    and write it directly so float traffic stays unboxed across the
+    module boundary.  Invalidated by any clause allocation that grows the
+    arena: re-fetch per use, never cache across an [alloc]. *)
+val act_store : t -> (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
 
 (** Mark a clause deleted (idempotent); watchers drop it lazily. *)
 val mark_deleted : t -> cref -> unit

@@ -1,30 +1,42 @@
-(* Growable flat [int array] vector.  Unlike the polymorphic {!Vec}, the
-   payload is unboxed, so watcher lists and clause-reference lists stay in
-   one contiguous block of memory — the point of the clause arena. *)
+(* Growable flat [int] vector over an off-heap word store.  The payload
+   lives in a [Bigarray.Array1] of native ints (c_layout): watcher lists,
+   the trail and clause-reference lists sit in malloc'd memory the GC
+   never scans or moves, and element access compiles to a direct
+   load/store with no write barrier.  Unlike the polymorphic {!Vec}, the
+   payload is unboxed and contiguous — the point of the clause arena. *)
 
-type t = { mutable data : int array; mutable size : int }
+module A1 = Bigarray.Array1
 
-let create ?(cap = 8) () = { data = Array.make (Int.max 1 cap) 0; size = 0 }
+type buf = (int, Bigarray.int_elt, Bigarray.c_layout) A1.t
+
+type t = { mutable data : buf; mutable size : int }
+
+let make_buf n : buf =
+  let b = A1.create Bigarray.int Bigarray.c_layout n in
+  A1.fill b 0;
+  b
+
+let create ?(cap = 8) () = { data = make_buf (Int.max 1 cap); size = 0 }
 
 let size v = v.size
 
 let grow v needed =
-  let cap = Array.length v.data in
+  let cap = A1.dim v.data in
   if needed > cap then begin
-    let data = Array.make (Int.max needed (2 * cap)) 0 in
-    Array.blit v.data 0 data 0 v.size;
+    let data = make_buf (Int.max needed (2 * cap)) in
+    A1.blit (A1.sub v.data 0 v.size) (A1.sub data 0 v.size);
     v.data <- data
   end
 
 let push v x =
   grow v (v.size + 1);
-  Array.unsafe_set v.data v.size x;
+  A1.unsafe_set v.data v.size x;
   v.size <- v.size + 1
 
 let push2 v x y =
   grow v (v.size + 2);
-  Array.unsafe_set v.data v.size x;
-  Array.unsafe_set v.data (v.size + 1) y;
+  A1.unsafe_set v.data v.size x;
+  A1.unsafe_set v.data (v.size + 1) y;
   v.size <- v.size + 2
 
 let check v i =
@@ -33,16 +45,16 @@ let check v i =
 
 let get v i =
   check v i;
-  Array.unsafe_get v.data i
+  A1.unsafe_get v.data i
 
 let set v i x =
   check v i;
-  Array.unsafe_set v.data i x
+  A1.unsafe_set v.data i x
 
 (* Unchecked accessors for the propagation inner loop; callers maintain the
    bound themselves. *)
-let unsafe_get v i = Array.unsafe_get v.data i
-let unsafe_set v i x = Array.unsafe_set v.data i x
+let unsafe_get v i = A1.unsafe_get v.data i
+let unsafe_set v i x = A1.unsafe_set v.data i x
 
 let shrink v n =
   if n < 0 || n > v.size then invalid_arg "Ivec.shrink";
@@ -52,21 +64,21 @@ let clear v = v.size <- 0
 
 let iter f v =
   for i = 0 to v.size - 1 do
-    f (Array.unsafe_get v.data i)
+    f (A1.unsafe_get v.data i)
   done
 
 let filter_in_place f v =
   let j = ref 0 in
   for i = 0 to v.size - 1 do
-    let x = Array.unsafe_get v.data i in
+    let x = A1.unsafe_get v.data i in
     if f x then begin
-      Array.unsafe_set v.data !j x;
+      A1.unsafe_set v.data !j x;
       incr j
     end
   done;
   v.size <- !j
 
-let to_list v = List.init v.size (fun i -> v.data.(i))
+let to_list v = List.init v.size (fun i -> A1.get v.data i)
 
 let of_list xs =
   let v = create () in
@@ -74,6 +86,8 @@ let of_list xs =
   v
 
 let sort_in_place cmp v =
-  let live = Array.sub v.data 0 v.size in
+  let live = Array.init v.size (fun i -> A1.unsafe_get v.data i) in
   Array.sort cmp live;
-  Array.blit live 0 v.data 0 v.size
+  for i = 0 to v.size - 1 do
+    A1.unsafe_set v.data i (Array.unsafe_get live i)
+  done

@@ -27,7 +27,44 @@ let default_config =
    ([Arena.cref]); watcher lists are flat (cref, blocker) int pairs in
    {!Ivec}s, and reason references are crefs.  Deleted clauses keep their
    watchers until propagation visits them (lazy detach) — the arena is
-   compacted, with a full watch rebuild, once a quarter of it is dead. *)
+   compacted, with a full watch rebuild, once a quarter of it is dead.
+
+   All per-variable maps (assignment codes, levels, reasons, the trail,
+   saved phases, activities, seen flags and the analysis stamp arrays)
+   are off-heap [Bigarray]s, and the propagate/analyze/search loop is
+   written to allocate nothing in steady state: no closures, no tuples,
+   no options, no boxed floats — inner loops are top-level recursive
+   helpers over int state, conflicts are signalled by int return codes,
+   and conflict analysis reuses preallocated scratch vectors.  The GC
+   therefore neither scans nor moves any hot solver state, and BCP runs
+   without triggering minor collections. *)
+
+module A1 = Bigarray.Array1
+
+type iarr = (int, Bigarray.int_elt, Bigarray.c_layout) A1.t
+type farr = (float, Bigarray.float64_elt, Bigarray.c_layout) A1.t
+
+let make_iarr n x : iarr =
+  let b = A1.create Bigarray.int Bigarray.c_layout (Int.max 1 n) in
+  A1.fill b x;
+  b
+
+let make_farr n : farr =
+  let b = A1.create Bigarray.float64 Bigarray.c_layout (Int.max 1 n) in
+  A1.fill b 0.0;
+  b
+
+(* Copy-grow: a fresh store of [n] slots filled with [x], the first
+   [dim old] slots blitted from [old]. *)
+let grow_iarr (old : iarr) n x : iarr =
+  let b = make_iarr n x in
+  A1.blit old (A1.sub b 0 (A1.dim old));
+  b
+
+let grow_farr (old : farr) n : farr =
+  let b = make_farr n in
+  A1.blit old (A1.sub b 0 (A1.dim old));
+  b
 
 (* Native XOR constraint: vars.(0) (+) ... (+) vars.(n-1) = parity, watched
    on two positions (w0, w1) like clause literals — the in-search XOR
@@ -55,25 +92,37 @@ type t = {
   learnts : Ivec.t; (* learnt clause crefs (live only) *)
   binlog : Ivec.t; (* grow-only log of learnt binaries, packed lit pairs *)
   mutable watches : Ivec.t array; (* literal -> (cref, blocker) pairs *)
-  mutable assigns : int array; (* variable -> code_true/false/unknown *)
-  mutable phase : bool array; (* saved phase per variable *)
-  mutable activity : float array;
-  mutable reason : int array; (* variable -> cref or Arena.none *)
-  mutable level : int array;
-  mutable trail : int array;
+  mutable assigns : iarr; (* variable -> code_true/false/unknown *)
+  mutable phase : iarr; (* saved phase per variable, 0/1 *)
+  mutable activity : farr;
+  mutable reason : iarr; (* variable -> cref or Arena.none *)
+  mutable level : iarr;
+  mutable trail : iarr;
   mutable trail_size : int;
   trail_lim : Ivec.t; (* trail index at each decision level *)
   mutable qhead : int;
   mutable heap : Var_heap.t;
   mutable ok : bool;
-  mutable var_inc : float;
-  mutable cla_inc : float;
-  mutable seen : bool array;
+  incs : farr; (* slot 0: var_inc, slot 1: cla_inc — off-heap so the
+                   per-conflict decays never box a float field write *)
+  mutable seen : iarr; (* variable -> 0/1 *)
   mutable max_learnts : float;
   mutable xor_watches : xor_row list array; (* indexed by variable *)
   mutable n_xors : int;
   mutable proof_enabled : bool;
   mutable proof_log : int array list; (* reversed; packed literals *)
+  (* --- preallocated scratch of the zero-allocation hot path --- *)
+  mutable prop_conflict : int; (* conflicting cref of the last propagate *)
+  analyze_scratch : Ivec.t; (* non-UIP learnt literals, in discovery order *)
+  learnt_scratch : Ivec.t; (* the learnt clause being built *)
+  to_clear : Ivec.t; (* variables whose seen flag needs resetting *)
+  mutable analyze_bt : int; (* backtrack level of the last analysis *)
+  mutable analyze_lbd : int; (* LBD of the last learnt clause *)
+  mutable lbd_stamp : iarr; (* decision level -> stamp epoch *)
+  mutable stamp : int; (* current lbd_stamp epoch *)
+  mutable redu_seen : iarr; (* variable -> redu_epoch when memoised *)
+  mutable redu_val : iarr; (* variable -> memoised redundancy, 0/1 *)
+  mutable redu_epoch : int;
   stats : stats;
 }
 
@@ -83,7 +132,7 @@ let lit_neg p = p lxor 1
 let create ?(config = default_config) ~nvars () =
   if nvars < 0 then invalid_arg "Solver.create";
   let n = Int.max nvars 1 in
-  let activity = Array.make n 0.0 in
+  let activity = make_farr n in
   let t =
     {
       config;
@@ -93,25 +142,35 @@ let create ?(config = default_config) ~nvars () =
       learnts = Ivec.create ();
       binlog = Ivec.create ();
       watches = Array.init (2 * n) (fun _ -> Ivec.create ());
-      assigns = Array.make n code_unknown;
-      phase = Array.make n false;
+      assigns = make_iarr n code_unknown;
+      phase = make_iarr n 0;
       activity;
-      reason = Array.make n Arena.none;
-      level = Array.make n 0;
-      trail = Array.make n 0;
+      reason = make_iarr n Arena.none;
+      level = make_iarr n 0;
+      trail = make_iarr n 0;
       trail_size = 0;
       trail_lim = Ivec.create ();
       qhead = 0;
       heap = Var_heap.create n activity;
       ok = true;
-      var_inc = 1.0;
-      cla_inc = 1.0;
-      seen = Array.make n false;
+      incs = (let b = make_farr 2 in A1.fill b 1.0; b);
+      seen = make_iarr n 0;
       max_learnts = 1000.0;
       xor_watches = Array.make n [];
       n_xors = 0;
       proof_enabled = false;
       proof_log = [];
+      prop_conflict = Arena.none;
+      analyze_scratch = Ivec.create ();
+      learnt_scratch = Ivec.create ();
+      to_clear = Ivec.create ();
+      analyze_bt = 0;
+      analyze_lbd = 0;
+      lbd_stamp = make_iarr (n + 1) 0;
+      stamp = 0;
+      redu_seen = make_iarr n 0;
+      redu_val = make_iarr n 0;
+      redu_epoch = 0;
       stats = fresh_stats ();
     }
   in
@@ -123,23 +182,19 @@ let create ?(config = default_config) ~nvars () =
 let nvars t = t.nvars
 
 let grow_arrays t cap =
-  let old = Array.length t.assigns in
+  let old = A1.dim t.assigns in
   if cap > old then begin
     let n = Int.max cap (2 * old) in
-    let copy_arr make blit_src =
-      let a = make n in
-      blit_src a;
-      a
-    in
-    t.assigns <-
-      copy_arr (fun n -> Array.make n code_unknown) (fun a -> Array.blit t.assigns 0 a 0 old);
-    t.phase <- copy_arr (fun n -> Array.make n false) (fun a -> Array.blit t.phase 0 a 0 old);
-    t.activity <- copy_arr (fun n -> Array.make n 0.0) (fun a -> Array.blit t.activity 0 a 0 old);
-    t.reason <-
-      copy_arr (fun n -> Array.make n Arena.none) (fun a -> Array.blit t.reason 0 a 0 old);
-    t.level <- copy_arr (fun n -> Array.make n 0) (fun a -> Array.blit t.level 0 a 0 old);
-    t.trail <- copy_arr (fun n -> Array.make n 0) (fun a -> Array.blit t.trail 0 a 0 old);
-    t.seen <- copy_arr (fun n -> Array.make n false) (fun a -> Array.blit t.seen 0 a 0 old);
+    t.assigns <- grow_iarr t.assigns n code_unknown;
+    t.phase <- grow_iarr t.phase n 0;
+    t.activity <- grow_farr t.activity n;
+    t.reason <- grow_iarr t.reason n Arena.none;
+    t.level <- grow_iarr t.level n 0;
+    t.trail <- grow_iarr t.trail n 0;
+    t.seen <- grow_iarr t.seen n 0;
+    t.lbd_stamp <- grow_iarr t.lbd_stamp (n + 1) 0;
+    t.redu_seen <- grow_iarr t.redu_seen n 0;
+    t.redu_val <- grow_iarr t.redu_val n 0;
     let watches = Array.init (2 * n) (fun i ->
         if i < 2 * old then t.watches.(i) else Ivec.create ())
     in
@@ -159,11 +214,11 @@ let new_var t =
 
 let lbool_of_code c = if c = code_true then True else if c = code_false then False else Unknown
 
-let var_value t v = lbool_of_code t.assigns.(v)
+let var_value t v = lbool_of_code (A1.get t.assigns v)
 
 (* 0 = true, 1 = false, 2 = unknown *)
 let lit_code t p =
-  let a = Array.unsafe_get t.assigns (p lsr 1) in
+  let a = A1.unsafe_get t.assigns (p lsr 1) in
   if a = code_unknown then code_unknown else a lxor (p land 1)
 
 let decision_level t = Ivec.size t.trail_lim
@@ -188,52 +243,60 @@ let proof t =
 let var_rescale = 1e100
 
 let bump_var t v =
-  t.activity.(v) <- t.activity.(v) +. t.var_inc;
-  if t.activity.(v) > var_rescale then begin
+  A1.unsafe_set t.activity v (A1.unsafe_get t.activity v +. A1.unsafe_get t.incs 0);
+  if A1.unsafe_get t.activity v > var_rescale then begin
     for i = 0 to t.nvars - 1 do
-      t.activity.(i) <- t.activity.(i) *. 1e-100
+      A1.unsafe_set t.activity i (A1.unsafe_get t.activity i *. 1e-100)
     done;
-    t.var_inc <- t.var_inc *. 1e-100
+    A1.unsafe_set t.incs 0 (A1.unsafe_get t.incs 0 *. 1e-100)
   end;
   Var_heap.update t.heap v
 
-let decay_var_activity t = t.var_inc <- t.var_inc /. t.config.var_decay
+let decay_var_activity t =
+  A1.unsafe_set t.incs 0 (A1.unsafe_get t.incs 0 /. t.config.var_decay)
 
+(* Clause activities are read/written through the arena's raw float store
+   so no boxed floats cross the Arena call boundary on the analysis
+   path. *)
 let bump_clause t c =
-  let a = t.arena in
-  Arena.set_activity a c (Arena.activity a c +. t.cla_inc);
-  if Arena.activity a c > 1e20 then begin
-    Ivec.iter (fun c -> Arena.set_activity a c (Arena.activity a c *. 1e-20)) t.learnts;
-    t.cla_inc <- t.cla_inc *. 1e-20
+  let act = Arena.act_store t.arena in
+  A1.unsafe_set act c (A1.unsafe_get act c +. A1.unsafe_get t.incs 1);
+  if A1.unsafe_get act c > 1e20 then begin
+    for i = 0 to Ivec.size t.learnts - 1 do
+      let c = Ivec.unsafe_get t.learnts i in
+      A1.unsafe_set act c (A1.unsafe_get act c *. 1e-20)
+    done;
+    A1.unsafe_set t.incs 1 (A1.unsafe_get t.incs 1 *. 1e-20)
   end
 
-let decay_clause_activity t = t.cla_inc <- t.cla_inc /. t.config.clause_decay
+let decay_clause_activity t =
+  A1.unsafe_set t.incs 1 (A1.unsafe_get t.incs 1 /. t.config.clause_decay)
 
 (* ---------------- assignment ---------------- *)
 
 let enqueue t p reason =
   let v = lit_var p in
-  assert (t.assigns.(v) = code_unknown);
-  t.assigns.(v) <- p land 1;
+  assert (A1.unsafe_get t.assigns v = code_unknown);
+  A1.unsafe_set t.assigns v (p land 1);
   (* code_true for a positive literal *)
-  t.level.(v) <- decision_level t;
-  t.reason.(v) <- reason;
-  t.trail.(t.trail_size) <- p;
+  A1.unsafe_set t.level v (decision_level t);
+  A1.unsafe_set t.reason v reason;
+  A1.unsafe_set t.trail t.trail_size p;
   t.trail_size <- t.trail_size + 1
 
 let cancel_until t lvl =
   if decision_level t > lvl then begin
     let bound = Ivec.get t.trail_lim lvl in
     for i = t.trail_size - 1 downto bound do
-      let p = t.trail.(i) in
+      let p = A1.unsafe_get t.trail i in
       let v = lit_var p in
-      t.phase.(v) <- t.assigns.(v) = code_true;
-      t.assigns.(v) <- code_unknown;
-      let r = t.reason.(v) in
+      A1.unsafe_set t.phase v (if A1.unsafe_get t.assigns v = code_true then 1 else 0);
+      A1.unsafe_set t.assigns v code_unknown;
+      let r = A1.unsafe_get t.reason v in
       if r <> Arena.none && Arena.is_temp t.arena r then
         (* transient XOR reason clauses die with their assignment *)
         Arena.mark_deleted t.arena r;
-      t.reason.(v) <- Arena.none;
+      A1.unsafe_set t.reason v Arena.none;
       Var_heap.insert t.heap v
     done;
     t.trail_size <- bound;
@@ -257,11 +320,11 @@ let locked t c =
   Arena.n_lits a c > 0
   &&
   let p = Arena.lit a c 0 in
-  t.reason.(lit_var p) = c && lit_code t p = code_true
+  A1.unsafe_get t.reason (lit_var p) = c && lit_code t p = code_true
 
 (* ---------------- native XOR constraints ---------------- *)
 
-let var_bool t v = t.assigns.(v) = code_true
+let var_bool t v = A1.unsafe_get t.assigns v = code_true
 
 (* Reason/conflict clause for an XOR row under the current assignment: the
    currently-false literal of every assigned variable, with the implied
@@ -303,7 +366,8 @@ let propagate_xor t v =
         let rec find k =
           if k >= n then None
           else if
-            k <> row.w0 && k <> row.w1 && t.assigns.(row.vars.(k)) = code_unknown
+            k <> row.w0 && k <> row.w1
+            && A1.unsafe_get t.assigns row.vars.(k) = code_unknown
           then Some k
           else find (k + 1)
         in
@@ -317,7 +381,7 @@ let propagate_xor t v =
             (* keep watching v *)
             t.xor_watches.(v) <- row :: t.xor_watches.(v);
             let ov = row.vars.(other_w) in
-            if t.assigns.(ov) = code_unknown then begin
+            if A1.unsafe_get t.assigns ov = code_unknown then begin
               (* unit: the other watch is implied *)
               let acc = ref row.parity in
               Array.iter (fun x -> if x <> ov && var_bool t x then acc := not !acc) row.vars;
@@ -343,195 +407,269 @@ let propagate_xor t v =
 
 (* ---------------- propagation ---------------- *)
 
+(* The BCP inner loops are top-level recursive helpers over int state —
+   no closures, no refs, no tuples — so a propagation step allocates
+   nothing.  A conflict is signalled through [t.prop_conflict] (int
+   field) instead of an exception or option. *)
+
+(* First position >= [k] in clause [c] holding a non-false literal, or
+   -1. *)
+let rec find_watch t c k n =
+  if k >= n then -1
+  else if lit_code t (Arena.lit t.arena c k) <> code_false then k
+  else find_watch t c (k + 1) n
+
+(* After a conflict: keep every unexamined watcher pair, copying
+   [i, n_ws) down to write position [j]; returns the final size. *)
+let rec copy_rest ws i j n_ws =
+  if i >= n_ws then j
+  else begin
+    Ivec.unsafe_set ws j (Ivec.unsafe_get ws i);
+    Ivec.unsafe_set ws (j + 1) (Ivec.unsafe_get ws (i + 1));
+    copy_rest ws (i + 2) (j + 2) n_ws
+  end
+
+(* Scan the watcher pairs of the just-falsified literal: [i] reads, [j]
+   writes back the watchers that stay; returns the compacted size.
+   [false_lit] is the literal that became false.  Sets [t.prop_conflict]
+   and drains the queue on conflict. *)
+let rec scan_watchers t ws false_lit i j n_ws =
+  if i >= n_ws then j
+  else begin
+    let c = Ivec.unsafe_get ws i in
+    let blocker = Ivec.unsafe_get ws (i + 1) in
+    if lit_code t blocker = code_true then begin
+      Ivec.unsafe_set ws j c;
+      Ivec.unsafe_set ws (j + 1) blocker;
+      scan_watchers t ws false_lit (i + 2) (j + 2) n_ws
+    end
+    else if Arena.is_deleted t.arena c then begin
+      (* lazy detach: simply drop the watcher *)
+      t.stats.lazy_detach_drops <- t.stats.lazy_detach_drops + 1;
+      scan_watchers t ws false_lit (i + 2) j n_ws
+    end
+    else begin
+      let a = t.arena in
+      (* normalise: the false watch goes to position 1 *)
+      if Arena.lit a c 0 = false_lit then begin
+        Arena.set_lit a c 0 (Arena.lit a c 1);
+        Arena.set_lit a c 1 false_lit
+      end;
+      let first = Arena.lit a c 0 in
+      if first <> blocker && lit_code t first = code_true then begin
+        (* satisfied; keep watching with a better blocker *)
+        Ivec.unsafe_set ws j c;
+        Ivec.unsafe_set ws (j + 1) first;
+        scan_watchers t ws false_lit (i + 2) (j + 2) n_ws
+      end
+      else begin
+        (* look for a new literal to watch *)
+        let k = find_watch t c 2 (Arena.n_lits a c) in
+        if k >= 0 then begin
+          let lk = Arena.lit a c k in
+          Arena.set_lit a c k false_lit;
+          Arena.set_lit a c 1 lk;
+          Ivec.push2 t.watches.(lit_neg lk) c first;
+          scan_watchers t ws false_lit (i + 2) j n_ws
+        end
+        else begin
+          (* unit or conflicting; keep this watcher *)
+          Ivec.unsafe_set ws j c;
+          Ivec.unsafe_set ws (j + 1) first;
+          if lit_code t first = code_false then begin
+            t.prop_conflict <- c;
+            t.qhead <- t.trail_size;
+            (* keep the unexamined watchers *)
+            copy_rest ws (i + 2) (j + 2) n_ws
+          end
+          else begin
+            enqueue t first c;
+            scan_watchers t ws false_lit (i + 2) (j + 2) n_ws
+          end
+        end
+      end
+    end
+  end
+
 (* Two-watched-literal Boolean constraint propagation over the flat arena.
    Returns the conflicting clause's cref, or [Arena.none].  Watchers of
    deleted clauses are dropped here (lazy detach) instead of being scanned
    out eagerly at deletion time. *)
 let propagate t =
-  let conflict = ref Arena.none in
-  while !conflict = Arena.none && t.qhead < t.trail_size do
-    let p = t.trail.(t.qhead) in
+  t.prop_conflict <- Arena.none;
+  while t.prop_conflict = Arena.none && t.qhead < t.trail_size do
+    let p = A1.unsafe_get t.trail t.qhead in
     t.qhead <- t.qhead + 1;
     t.stats.propagations <- t.stats.propagations + 1;
     (* p became true; clauses registered under p watch a literal that just
-       became false.  The watcher pairs are compacted in place: [i] scans,
-       [j] writes back the watchers that stay. *)
-    let ws = t.watches.(p) in
-    let a = t.arena in
-    let false_lit = lit_neg p in
-    let n_ws = Ivec.size ws in
-    let i = ref 0 and j = ref 0 in
-    let keep c blocker =
-      Ivec.unsafe_set ws !j c;
-      Ivec.unsafe_set ws (!j + 1) blocker;
-      j := !j + 2
-    in
-    while !i < n_ws do
-      let c = Ivec.unsafe_get ws !i in
-      let blocker = Ivec.unsafe_get ws (!i + 1) in
-      i := !i + 2;
-      if lit_code t blocker = code_true then keep c blocker
-      else if Arena.is_deleted a c then
-        (* lazy detach: simply drop the watcher *)
-        t.stats.lazy_detach_drops <- t.stats.lazy_detach_drops + 1
-      else begin
-        (* normalise: the false watch goes to position 1 *)
-        if Arena.lit a c 0 = false_lit then begin
-          Arena.set_lit a c 0 (Arena.lit a c 1);
-          Arena.set_lit a c 1 false_lit
-        end;
-        let first = Arena.lit a c 0 in
-        if first <> blocker && lit_code t first = code_true then
-          (* satisfied; keep watching with a better blocker *)
-          keep c first
-        else begin
-          (* look for a new literal to watch *)
-          let n = Arena.n_lits a c in
-          let rec find k =
-            if k >= n then -1
-            else if lit_code t (Arena.lit a c k) <> code_false then k
-            else find (k + 1)
-          in
-          let k = find 2 in
-          if k >= 0 then begin
-            let lk = Arena.lit a c k in
-            Arena.set_lit a c k false_lit;
-            Arena.set_lit a c 1 lk;
-            Ivec.push2 t.watches.(lit_neg lk) c first
-          end
-          else begin
-            (* unit or conflicting; keep this watcher *)
-            keep c first;
-            if lit_code t first = code_false then begin
-              conflict := c;
-              t.qhead <- t.trail_size;
-              (* keep the unexamined watchers *)
-              while !i < n_ws do
-                keep (Ivec.unsafe_get ws !i) (Ivec.unsafe_get ws (!i + 1));
-                i := !i + 2
-              done
-            end
-            else enqueue t first c
-          end
-        end
-      end
-    done;
-    Ivec.shrink ws !j;
-    if !conflict = Arena.none && t.n_xors > 0 then begin
+       became false.  The watcher pairs are compacted in place. *)
+    let ws = Array.unsafe_get t.watches p in
+    Ivec.shrink ws (scan_watchers t ws (lit_neg p) 0 0 (Ivec.size ws));
+    if t.prop_conflict = Arena.none && t.n_xors > 0 then begin
       let c = propagate_xor t (lit_var p) in
       if c <> Arena.none then begin
-        conflict := c;
+        t.prop_conflict <- c;
         t.qhead <- t.trail_size
       end
     end
   done;
-  !conflict
+  t.prop_conflict
 
 (* ---------------- conflict analysis (first UIP) ---------------- *)
 
 (* Recursive learnt-clause minimisation (MiniSat's deep litRedundant): a
    literal is redundant if, walking its implication ancestry, every branch
    terminates in a literal already in the clause (seen) or at level 0.
-   Results are memoised per call; a depth cap bounds pathological graphs
-   (failing the cap just keeps the literal, which is always sound). *)
-let literal_redundant t q =
-  let memo : (int, bool) Hashtbl.t = Hashtbl.create 16 in
-  let a = t.arena in
-  let rec redundant depth q =
-    depth <= 64
-    &&
-    let r = t.reason.(lit_var q) in
-    r <> Arena.none
-    &&
-    let n = Arena.n_lits a r in
-    let rec check i =
-      i >= n
-      ||
-      let l = Arena.lit a r i in
-      let v = lit_var l in
-      (v = lit_var q || t.level.(v) = 0 || t.seen.(v)
-      ||
-      match Hashtbl.find_opt memo v with
-      | Some b -> b
-      | None ->
-          let b = redundant (depth + 1) l in
-          Hashtbl.replace memo v b;
-          b)
-      && check (i + 1)
-    in
-    check 0
-  in
-  redundant 0 q
+   Results are memoised per top-level query in flat stamp arrays
+   ([redu_seen]/[redu_val], epoch-invalidated — no per-call hash table);
+   a depth cap bounds pathological graphs (failing the cap just keeps the
+   literal, which is always sound). *)
+let rec lit_redundant t depth q =
+  depth <= 64
+  &&
+  let r = A1.unsafe_get t.reason (q lsr 1) in
+  r <> Arena.none && redundant_lits t r 0 (Arena.n_lits t.arena r) depth q
 
-let analyze t confl =
-  let a = t.arena in
-  let learnt = ref [] in
-  let path_count = ref 0 in
-  let p = ref (-1) in
-  let index = ref (t.trail_size - 1) in
-  let confl = ref confl in
-  let to_clear = ref [] in
-  let continue = ref true in
-  while !continue do
-    let c = !confl in
-    if Arena.learnt a c then bump_clause t c;
-    let start = if !p = -1 then 0 else 1 in
-    for i = start to Arena.n_lits a c - 1 do
-      let q = Arena.lit a c i in
-      let v = lit_var q in
-      if (not t.seen.(v)) && t.level.(v) > 0 then begin
-        t.seen.(v) <- true;
-        to_clear := v :: !to_clear;
-        bump_var t v;
-        if t.level.(v) >= decision_level t then incr path_count
-        else learnt := q :: !learnt
+and redundant_lits t r i n depth q =
+  i >= n
+  ||
+  let l = Arena.lit t.arena r i in
+  let v = l lsr 1 in
+  (v = q lsr 1
+  || A1.unsafe_get t.level v = 0
+  || A1.unsafe_get t.seen v = 1
+  ||
+  if A1.unsafe_get t.redu_seen v = t.redu_epoch then
+    A1.unsafe_get t.redu_val v = 1
+  else begin
+    let b = lit_redundant t (depth + 1) l in
+    A1.unsafe_set t.redu_seen v t.redu_epoch;
+    A1.unsafe_set t.redu_val v (if b then 1 else 0);
+    b
+  end)
+  && redundant_lits t r (i + 1) n depth q
+
+let literal_redundant t q =
+  t.redu_epoch <- t.redu_epoch + 1;
+  lit_redundant t 0 q
+
+(* Mark the literals of conflict/reason clause [c] from position [i]:
+   current-level literals count toward the UIP path, lower-level ones go
+   into the learnt scratch.  Returns the updated path count. *)
+let rec analyze_mark t c i n path_count =
+  if i >= n then path_count
+  else begin
+    let q = Arena.lit t.arena c i in
+    let v = q lsr 1 in
+    if A1.unsafe_get t.seen v = 0 && A1.unsafe_get t.level v > 0 then begin
+      A1.unsafe_set t.seen v 1;
+      Ivec.push t.to_clear v;
+      bump_var t v;
+      if A1.unsafe_get t.level v >= decision_level t then
+        analyze_mark t c (i + 1) n (path_count + 1)
+      else begin
+        Ivec.push t.analyze_scratch q;
+        analyze_mark t c (i + 1) n path_count
       end
-    done;
-    (* next clause to inspect: walk the trail backwards to the most recent
-       seen literal *)
-    while not t.seen.(lit_var t.trail.(!index)) do
-      decr index
-    done;
-    p := t.trail.(!index);
-    decr index;
-    t.seen.(lit_var !p) <- false;
-    decr path_count;
-    if !path_count <= 0 then continue := false
-    else begin
-      let r = t.reason.(lit_var !p) in
-      assert (r <> Arena.none);
-      (* only the UIP can lack a reason *)
-      confl := r
     end
-  done;
-  let learnt =
-    if t.config.minimise_learnts then
-      List.filter (fun q -> not (literal_redundant t q)) !learnt
-    else !learnt
+    else analyze_mark t c (i + 1) n path_count
+  end
+
+(* Most recent trail position at or below [index] whose variable is
+   seen. *)
+let rec analyze_find_seen t index =
+  if A1.unsafe_get t.seen (A1.unsafe_get t.trail index lsr 1) = 1 then index
+  else analyze_find_seen t (index - 1)
+
+(* First-UIP resolution walk; returns the asserting (UIP) literal. *)
+let rec analyze_walk t confl p_prev index path_count =
+  if Arena.learnt t.arena confl then bump_clause t confl;
+  let start = if p_prev = -1 then 0 else 1 in
+  let path_count =
+    analyze_mark t confl start (Arena.n_lits t.arena confl) path_count
   in
-  let learnt = Array.of_list (lit_neg !p :: learnt) in
-  (* compute backtrack level: highest level among learnt.(1..) *)
-  let bt_level =
-    if Array.length learnt = 1 then 0
+  (* next clause to inspect: walk the trail backwards to the most recent
+     seen literal *)
+  let index = analyze_find_seen t index in
+  let p = A1.unsafe_get t.trail index in
+  A1.unsafe_set t.seen (p lsr 1) 0;
+  let path_count = path_count - 1 in
+  if path_count <= 0 then p
+  else begin
+    let r = A1.unsafe_get t.reason (p lsr 1) in
+    assert (r <> Arena.none);
+    (* only the UIP can lack a reason *)
+    analyze_walk t r p (index - 1) path_count
+  end
+
+(* Append the collected literals to the learnt scratch newest-first
+   (reverse discovery order — the order the list-based analysis
+   produced), filtering redundant ones when minimisation is on. *)
+let rec analyze_filter t i minimise =
+  if i >= 0 then begin
+    let q = Ivec.unsafe_get t.analyze_scratch i in
+    if (not minimise) || not (literal_redundant t q) then
+      Ivec.push t.learnt_scratch q;
+    analyze_filter t (i - 1) minimise
+  end
+
+(* Index of the highest-level literal among learnt positions [i, n); the
+   running best is [best]. *)
+let rec learnt_max_level_idx t i n best =
+  if i >= n then best
+  else begin
+    let better =
+      A1.unsafe_get t.level (Ivec.unsafe_get t.learnt_scratch i lsr 1)
+      > A1.unsafe_get t.level (Ivec.unsafe_get t.learnt_scratch best lsr 1)
+    in
+    learnt_max_level_idx t (i + 1) n (if better then i else best)
+  end
+
+(* Literal block distance of the learnt scratch: distinct decision levels,
+   counted with the epoch-stamped level array (no sets). *)
+let rec learnt_lbd_count t i n acc =
+  if i >= n then acc
+  else begin
+    let lvl = A1.unsafe_get t.level (Ivec.unsafe_get t.learnt_scratch i lsr 1) in
+    if A1.unsafe_get t.lbd_stamp lvl = t.stamp then learnt_lbd_count t (i + 1) n acc
     else begin
-      let max_i = ref 1 in
-      for i = 2 to Array.length learnt - 1 do
-        if t.level.(lit_var learnt.(i)) > t.level.(lit_var learnt.(!max_i)) then max_i := i
-      done;
-      let tmp = learnt.(1) in
-      learnt.(1) <- learnt.(!max_i);
-      learnt.(!max_i) <- tmp;
-      t.level.(lit_var learnt.(1))
+      A1.unsafe_set t.lbd_stamp lvl t.stamp;
+      learnt_lbd_count t (i + 1) n (acc + 1)
     end
-  in
-  (* literal block distance: number of distinct decision levels *)
-  let module Iset = Set.Make (Int) in
-  let lbd =
-    Array.fold_left (fun s q -> Iset.add t.level.(lit_var q) s) Iset.empty learnt
-    |> Iset.cardinal
-  in
-  List.iter (fun v -> t.seen.(v) <- false) !to_clear;
-  (learnt, bt_level, lbd)
+  end
+
+let rec clear_seen t i n =
+  if i < n then begin
+    A1.unsafe_set t.seen (Ivec.unsafe_get t.to_clear i) 0;
+    clear_seen t (i + 1) n
+  end
+
+(* First-UIP conflict analysis.  The learnt clause is left in
+   [t.learnt_scratch] (asserting literal first), the backtrack level in
+   [t.analyze_bt] and the clause's LBD in [t.analyze_lbd] — scratch state
+   instead of a returned tuple, so a conflict allocates nothing. *)
+let analyze t confl =
+  Ivec.clear t.analyze_scratch;
+  Ivec.clear t.to_clear;
+  let p = analyze_walk t confl (-1) (t.trail_size - 1) 0 in
+  Ivec.clear t.learnt_scratch;
+  Ivec.push t.learnt_scratch (lit_neg p);
+  (* redundancy filtering consults the still-set seen flags *)
+  analyze_filter t (Ivec.size t.analyze_scratch - 1) t.config.minimise_learnts;
+  let nl = Ivec.size t.learnt_scratch in
+  (* compute backtrack level: highest level among learnt positions 1.. *)
+  t.analyze_bt <-
+    (if nl = 1 then 0
+     else begin
+       let max_i = learnt_max_level_idx t 2 nl 1 in
+       let tmp = Ivec.unsafe_get t.learnt_scratch 1 in
+       Ivec.unsafe_set t.learnt_scratch 1 (Ivec.unsafe_get t.learnt_scratch max_i);
+       Ivec.unsafe_set t.learnt_scratch max_i tmp;
+       A1.unsafe_get t.level (Ivec.unsafe_get t.learnt_scratch 1 lsr 1)
+     end);
+  t.stamp <- t.stamp + 1;
+  t.analyze_lbd <- learnt_lbd_count t 0 nl 0;
+  clear_seen t 0 (Ivec.size t.to_clear)
 
 (* ---------------- clause addition ---------------- *)
 
@@ -614,8 +752,8 @@ let add_xor t ~vars ~parity =
     let parity, free =
       List.fold_left
         (fun (parity, free) v ->
-          if t.assigns.(v) = code_unknown then (parity, v :: free)
-          else if t.assigns.(v) = code_true then (not parity, free)
+          if A1.get t.assigns v = code_unknown then (parity, v :: free)
+          else if A1.get t.assigns v = code_true then (not parity, free)
           else (parity, free))
         (parity, []) distinct
     in
@@ -656,8 +794,8 @@ let compact t =
   remap t.clauses;
   remap t.learnts;
   for v = 0 to t.nvars - 1 do
-    let r = t.reason.(v) in
-    if r <> Arena.none then t.reason.(v) <- Arena.move old ~into r
+    let r = A1.get t.reason v in
+    if r <> Arena.none then A1.set t.reason v (Arena.move old ~into r)
   done;
   t.arena <- into;
   Array.iter Ivec.clear t.watches;
@@ -674,11 +812,17 @@ let maybe_compact t =
 let reduce_db t =
   Obs.Trace.with_span ~name:"sat.reduce_db" @@ fun () ->
   let a = t.arena in
-  (* order: worse clauses first (higher LBD, then lower activity) *)
+  (* order: worse clauses first (higher LBD, then lower activity); the
+     activity tiebreak reads the raw float store — a cross-module
+     [Arena.activity] call would box two floats per comparison, and the
+     sort makes ~n log n of them *)
+  let st = Arena.act_store a in
   let cmp c1 c2 =
     let l1 = Arena.lbd a c1 and l2 = Arena.lbd a c2 in
     if l1 <> l2 then Int.compare l2 l1
-    else Float.compare (Arena.activity a c1) (Arena.activity a c2)
+    else
+      let a1 = A1.unsafe_get st c1 and a2 = A1.unsafe_get st c2 in
+      if a1 < a2 then -1 else if a1 > a2 then 1 else 0
   in
   Ivec.sort_in_place cmp t.learnts;
   let target = Ivec.size t.learnts / 2 in
@@ -718,91 +862,109 @@ let luby y x =
 
 (* ---------------- search ---------------- *)
 
-type search_outcome = Done of result | Restart
+(* Search outcomes as int codes — the search loop is allocation-free, so
+   no variant constructors on its exit paths. *)
+let sr_restart = 0
 
-let record_learnt t learnt lbd =
-  log_derived t (Array.copy learnt);
-  match Array.length learnt with
-  | 0 -> assert false
-  | 1 -> enqueue t learnt.(0) Arena.none
-  | n ->
-      let c = Arena.alloc t.arena ~learnt:true ~temp:false learnt in
-      Arena.set_lbd t.arena c lbd;
-      Ivec.push t.learnts c;
-      if n = 2 then Ivec.push2 t.binlog learnt.(0) learnt.(1);
-      attach t c;
-      bump_clause t c;
-      t.stats.learnt_clauses <- t.stats.learnt_clauses + 1;
-      enqueue t learnt.(0) c
+let sr_sat = 1
+let sr_unsat = 2
+let sr_undecided = 3
 
-let pick_branch_var t =
-  let rec go () =
-    if Var_heap.is_empty t.heap then None
-    else
-      let v = Var_heap.remove_max t.heap in
-      if t.assigns.(v) = code_unknown then Some v else go ()
-  in
-  go ()
+(* Record the learnt clause sitting in [t.learnt_scratch] (written by
+   {!analyze}): allocate it in the arena literal-by-literal — no
+   intermediate array — attach, bump, and enqueue the asserting
+   literal. *)
+let record_learnt t lbd =
+  let nl = Ivec.size t.learnt_scratch in
+  if t.proof_enabled then
+    log_derived t (Array.init nl (fun i -> Ivec.unsafe_get t.learnt_scratch i));
+  assert (nl > 0);
+  if nl = 1 then enqueue t (Ivec.unsafe_get t.learnt_scratch 0) Arena.none
+  else begin
+    let c = Arena.alloc_blank t.arena ~learnt:true ~temp:false nl in
+    for i = 0 to nl - 1 do
+      Arena.set_lit t.arena c i (Ivec.unsafe_get t.learnt_scratch i)
+    done;
+    Arena.set_lbd t.arena c lbd;
+    Ivec.push t.learnts c;
+    if nl = 2 then
+      Ivec.push2 t.binlog
+        (Ivec.unsafe_get t.learnt_scratch 0)
+        (Ivec.unsafe_get t.learnt_scratch 1);
+    attach t c;
+    bump_clause t c;
+    t.stats.learnt_clauses <- t.stats.learnt_clauses + 1;
+    enqueue t (Ivec.unsafe_get t.learnt_scratch 0) c
+  end
+
+(* Next unassigned variable by activity, or -1 when all are assigned. *)
+let rec pick_branch_var t =
+  if Var_heap.is_empty t.heap then -1
+  else begin
+    let v = Var_heap.remove_max t.heap in
+    if A1.unsafe_get t.assigns v = code_unknown then v else pick_branch_var t
+  end
 
 let model_of t =
   Array.init t.nvars (fun v ->
-      if t.assigns.(v) = code_true then true
-      else if t.assigns.(v) = code_false then false
-      else t.phase.(v))
+      if A1.get t.assigns v = code_true then true
+      else if A1.get t.assigns v = code_false then false
+      else A1.get t.phase v = 1)
 
-let search t ~restart_limit ~budget_left ~deadline ~interrupt =
-  let conflicts_here = ref 0 in
-  let outcome = ref None in
-  let deadline_passed () =
-    match deadline with
-    | Some d when t.stats.conflicts land 255 = 0 -> Unix.gettimeofday () > d
-    | Some _ | None -> false
-  in
-  let interrupted () =
-    match interrupt with
-    | Some f when t.stats.conflicts land 127 = 0 -> f ()
-    | Some _ | None -> false
-  in
-  while Option.is_none !outcome do
-    let confl = propagate t in
-    if confl <> Arena.none then begin
-      t.stats.conflicts <- t.stats.conflicts + 1;
-      incr conflicts_here;
-      if decision_level t = 0 then begin
-        mark_unsat t;
-        outcome := Some (Done Unsat)
-      end
-      else begin
-        let learnt, bt_level, lbd = analyze t confl in
-        if Arena.is_temp t.arena confl then Arena.mark_deleted t.arena confl;
-        cancel_until t bt_level;
-        record_learnt t learnt lbd;
-        decay_var_activity t;
-        decay_clause_activity t;
-        match budget_left with
-        | Some b when t.stats.conflicts >= b -> outcome := Some (Done Undecided)
-        | Some _ | None ->
-            if deadline_passed () || interrupted () then
-              outcome := Some (Done Undecided)
-            else if !conflicts_here >= restart_limit then outcome := Some Restart
-      end
+let no_interrupt () = false
+
+(* Absent deadlines are +infinity and absent budgets are max_int, so the
+   hot checks are plain comparisons with no options to match. *)
+let deadline_passed t deadline =
+  deadline < infinity
+  && t.stats.conflicts land 255 = 0
+  && Unix.gettimeofday () > deadline
+
+let interrupted t interrupt =
+  t.stats.conflicts land 127 = 0 && interrupt ()
+
+(* CDCL search until SAT/UNSAT, a budget/deadline/interrupt stop, or
+   [restart_limit] conflicts (-> [sr_restart]).  A tail-recursive loop
+   over int state: one iteration = one propagation fixpoint plus either a
+   conflict (analyze, backtrack, learn) or a decision. *)
+let rec search t ~restart_limit ~conflicts_here ~budget_left ~deadline ~interrupt =
+  let confl = propagate t in
+  if confl <> Arena.none then begin
+    t.stats.conflicts <- t.stats.conflicts + 1;
+    if decision_level t = 0 then begin
+      mark_unsat t;
+      sr_unsat
     end
     else begin
-      if float_of_int (Ivec.size t.learnts) >= t.max_learnts then begin
-        reduce_db t;
-        t.max_learnts <- t.max_learnts *. t.config.learntsize_inc
-      end;
-      match pick_branch_var t with
-      | None -> outcome := Some (Done (Sat (model_of t)))
-      | Some v ->
-          t.stats.decisions <- t.stats.decisions + 1;
-          Ivec.push t.trail_lim t.trail_size;
-          t.stats.max_decision_level <- Int.max t.stats.max_decision_level (decision_level t);
-          let p = (2 * v) + if t.phase.(v) then 0 else 1 in
-          enqueue t p Arena.none
+      analyze t confl;
+      if Arena.is_temp t.arena confl then Arena.mark_deleted t.arena confl;
+      cancel_until t t.analyze_bt;
+      record_learnt t t.analyze_lbd;
+      decay_var_activity t;
+      decay_clause_activity t;
+      if t.stats.conflicts >= budget_left then sr_undecided
+      else if deadline_passed t deadline || interrupted t interrupt then sr_undecided
+      else if conflicts_here + 1 >= restart_limit then sr_restart
+      else
+        search t ~restart_limit ~conflicts_here:(conflicts_here + 1) ~budget_left
+          ~deadline ~interrupt
     end
-  done;
-  Option.get !outcome
+  end
+  else begin
+    if float_of_int (Ivec.size t.learnts) >= t.max_learnts then begin
+      reduce_db t;
+      t.max_learnts <- t.max_learnts *. t.config.learntsize_inc
+    end;
+    let v = pick_branch_var t in
+    if v < 0 then sr_sat
+    else begin
+      t.stats.decisions <- t.stats.decisions + 1;
+      Ivec.push t.trail_lim t.trail_size;
+      t.stats.max_decision_level <- Int.max t.stats.max_decision_level (decision_level t);
+      enqueue t ((2 * v) + (1 - A1.unsafe_get t.phase v)) Arena.none;
+      search t ~restart_limit ~conflicts_here ~budget_left ~deadline ~interrupt
+    end
+  end
 
 (* ---------------- audit: internal consistency ---------------- *)
 
@@ -874,12 +1036,12 @@ let invariant_violations t =
     err "propagation head %d beyond the trail size %d" t.qhead t.trail_size;
   let seen_vars = Hashtbl.create 64 in
   for i = 0 to t.trail_size - 1 do
-    let p = t.trail.(i) in
+    let p = A1.get t.trail i in
     let v = lit_var p in
     if Hashtbl.mem seen_vars v then err "variable %d appears twice on the trail" v;
     Hashtbl.replace seen_vars v ();
     let expected = p land 1 in
-    if t.assigns.(v) <> expected then
+    if A1.get t.assigns v <> expected then
       err "trail literal %d disagrees with the assignment of variable %d" p v
   done;
   Array.iteri
@@ -921,8 +1083,13 @@ let solve_inner ?conflict_budget ?time_budget_s ?interrupt t =
     t.max_learnts <-
       Float.max 1000.0
         (t.config.learntsize_factor *. float_of_int (Ivec.size t.clauses));
-    let budget_left = Option.map (fun b -> t.stats.conflicts + b) conflict_budget in
-    let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) time_budget_s in
+    let budget_left =
+      match conflict_budget with Some b -> t.stats.conflicts + b | None -> max_int
+    in
+    let deadline =
+      match time_budget_s with Some s -> Unix.gettimeofday () +. s | None -> infinity
+    in
+    let interrupt = match interrupt with Some f -> f | None -> no_interrupt in
     if propagate t <> Arena.none then begin
       mark_unsat t;
       Unsat
@@ -936,14 +1103,24 @@ let solve_inner ?conflict_budget ?time_budget_s ?interrupt t =
             int_of_float
               (float_of_int t.config.restart_first *. (t.config.restart_inc ** float_of_int restart_no))
         in
-        match search t ~restart_limit:(Int.max 1 limit) ~budget_left ~deadline ~interrupt with
-        | Done r -> r
-        | Restart ->
-            t.stats.restarts <- t.stats.restarts + 1;
-            cancel_until t 0;
-            run (restart_no + 1)
+        let r =
+          search t ~restart_limit:(Int.max 1 limit) ~conflicts_here:0 ~budget_left
+            ~deadline ~interrupt
+        in
+        if r = sr_restart then begin
+          t.stats.restarts <- t.stats.restarts + 1;
+          cancel_until t 0;
+          run (restart_no + 1)
+        end
+        else r
       in
-      let result = run 0 in
+      let rc = run 0 in
+      (* extract the model before the final backtrack wipes it *)
+      let result =
+        if rc = sr_sat then Sat (model_of t)
+        else if rc = sr_unsat then Unsat
+        else Undecided
+      in
       cancel_until t 0;
       result
     end
@@ -993,7 +1170,7 @@ let probe t l =
           else
             `Implied
               (List.init (t.trail_size - base - 1) (fun i ->
-                   Cnf.Lit.of_index t.trail.(base + 1 + i)))
+                   Cnf.Lit.of_index (A1.get t.trail (base + 1 + i))))
         in
         cancel_until t 0;
         outcome
@@ -1001,12 +1178,41 @@ let probe t l =
     end
   end
 
+(* Allocation-gate hook (bench micro --alloc-gate and the GC regression
+   test): redo the implication chain of decision literal [p] [reps]
+   times — push a decision level, enqueue, propagate to fixpoint,
+   backtrack — and return the total number of literals assigned.  After a
+   warm-up burst has grown every store to its high-water capacity, a
+   repeat burst must allocate exactly zero minor words. *)
+let rec burst_propagate_loop t p reps acc =
+  if reps = 0 then acc
+  else if lit_code t p <> code_unknown then acc
+  else begin
+    Ivec.push t.trail_lim t.trail_size;
+    let base = t.trail_size in
+    let _confl = propagate_after_enqueue t p in
+    let assigned = t.trail_size - base in
+    cancel_until t 0;
+    burst_propagate_loop t p (reps - 1) (acc + assigned)
+  end
+
+and propagate_after_enqueue t p =
+  enqueue t p Arena.none;
+  propagate t
+
+let burst_propagate t l ~reps =
+  if not t.ok then 0
+  else begin
+    cancel_until t 0;
+    burst_propagate_loop t (Cnf.Lit.to_index l) reps 0
+  end
+
 let okay t = t.ok
 
 let root_units t =
   (* after cancel_until 0 the entire trail is level-0 facts *)
   let upto = if decision_level t = 0 then t.trail_size else Ivec.get t.trail_lim 0 in
-  List.init upto (fun i -> Cnf.Lit.of_index t.trail.(i))
+  List.init upto (fun i -> Cnf.Lit.of_index (A1.get t.trail i))
 
 let n_root_units t =
   if decision_level t = 0 then t.trail_size else Ivec.get t.trail_lim 0
@@ -1014,7 +1220,7 @@ let n_root_units t =
 let root_units_from t k =
   let upto = n_root_units t in
   let k = Int.max 0 (Int.min k upto) in
-  List.init (upto - k) (fun i -> Cnf.Lit.of_index t.trail.(k + i))
+  List.init (upto - k) (fun i -> Cnf.Lit.of_index (A1.get t.trail (k + i)))
 
 let n_learnt_binaries t = Ivec.size t.binlog / 2
 

@@ -91,6 +91,14 @@ val probe : t -> Cnf.Lit.t -> [ `Conflict | `Implied of Cnf.Lit.t list | `Unusab
     level. *)
 val okay : t -> bool
 
+(** [burst_propagate t l ~reps] redoes the implication chain of decision
+    literal [l] [reps] times (decide, propagate to fixpoint, backtrack to
+    level 0) and returns the total number of literals assigned across the
+    burst.  The hook behind the allocation regression gate: after a
+    warm-up burst has grown all solver stores to steady state, a repeat
+    burst must allocate exactly zero minor-heap words. *)
+val burst_propagate : t -> Cnf.Lit.t -> reps:int -> int
+
 (** Literals forced at decision level 0 so far (learnt unit facts). *)
 val root_units : t -> Cnf.Lit.t list
 

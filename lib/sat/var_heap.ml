@@ -1,19 +1,39 @@
+(* Max-heap over variable indices keyed by VSIDS activity.  All three
+   stores (heap slots, positions, activities) are off-heap Bigarrays: the
+   heap is consulted on every decision, so like the clause arena it stays
+   out of the GC's scan set, and float activity reads stay unboxed. *)
+
+module A1 = Bigarray.Array1
+
+type iarr = (int, Bigarray.int_elt, Bigarray.c_layout) A1.t
+type farr = (float, Bigarray.float64_elt, Bigarray.c_layout) A1.t
+
 type t = {
-  mutable heap : int array; (* heap slots -> variable *)
-  mutable pos : int array; (* variable -> heap slot, or -1 *)
+  mutable heap : iarr; (* heap slots -> variable *)
+  mutable pos : iarr; (* variable -> heap slot, or -1 *)
   mutable size : int;
-  mutable activity : float array;
+  mutable activity : farr;
 }
 
+let make_iarr n fillv : iarr =
+  let b = A1.create Bigarray.int Bigarray.c_layout n in
+  A1.fill b fillv;
+  b
+
 let create n activity =
-  { heap = Array.make (Int.max 1 n) 0; pos = Array.make (Int.max 1 n) (-1); size = 0; activity }
+  {
+    heap = make_iarr (Int.max 1 n) 0;
+    pos = make_iarr (Int.max 1 n) (-1);
+    size = 0;
+    activity;
+  }
 
 let grow h n activity =
-  let cap = Array.length h.pos in
+  let cap = A1.dim h.pos in
   if n > cap then begin
-    let heap = Array.make n 0 and pos = Array.make n (-1) in
-    Array.blit h.heap 0 heap 0 h.size;
-    Array.blit h.pos 0 pos 0 cap;
+    let heap = make_iarr n 0 and pos = make_iarr n (-1) in
+    A1.blit (A1.sub h.heap 0 h.size) (A1.sub heap 0 h.size);
+    A1.blit h.pos (A1.sub pos 0 cap);
     h.heap <- heap;
     h.pos <- pos
   end;
@@ -21,24 +41,25 @@ let grow h n activity =
   h
 
 let is_empty h = h.size = 0
-let mem h v = v < Array.length h.pos && h.pos.(v) >= 0
+let mem h v = v < A1.dim h.pos && A1.unsafe_get h.pos v >= 0
 
 (* Higher activity first; ties broken by lower variable index for
    determinism. *)
 let before h a b =
-  h.activity.(a) > h.activity.(b) || (h.activity.(a) = h.activity.(b) && a < b)
+  A1.unsafe_get h.activity a > A1.unsafe_get h.activity b
+  || (A1.unsafe_get h.activity a = A1.unsafe_get h.activity b && a < b)
 
 let swap h i j =
-  let a = h.heap.(i) and b = h.heap.(j) in
-  h.heap.(i) <- b;
-  h.heap.(j) <- a;
-  h.pos.(b) <- i;
-  h.pos.(a) <- j
+  let a = A1.unsafe_get h.heap i and b = A1.unsafe_get h.heap j in
+  A1.unsafe_set h.heap i b;
+  A1.unsafe_set h.heap j a;
+  A1.unsafe_set h.pos b i;
+  A1.unsafe_set h.pos a j
 
 let rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if before h h.heap.(i) h.heap.(parent) then begin
+    if before h (A1.unsafe_get h.heap i) (A1.unsafe_get h.heap parent) then begin
       swap h i parent;
       sift_up h parent
     end
@@ -46,41 +67,48 @@ let rec sift_up h i =
 
 let rec sift_down h i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let best = ref i in
-  if l < h.size && before h h.heap.(l) h.heap.(!best) then best := l;
-  if r < h.size && before h h.heap.(r) h.heap.(!best) then best := r;
-  if !best <> i then begin
-    swap h i !best;
-    sift_down h !best
+  let best =
+    if l < h.size && before h (A1.unsafe_get h.heap l) (A1.unsafe_get h.heap i)
+    then l
+    else i
+  in
+  let best =
+    if r < h.size && before h (A1.unsafe_get h.heap r) (A1.unsafe_get h.heap best)
+    then r
+    else best
+  in
+  if best <> i then begin
+    swap h i best;
+    sift_down h best
   end
 
 let insert h v =
   if not (mem h v) then begin
-    h.heap.(h.size) <- v;
-    h.pos.(v) <- h.size;
+    A1.unsafe_set h.heap h.size v;
+    A1.unsafe_set h.pos v h.size;
     h.size <- h.size + 1;
     sift_up h (h.size - 1)
   end
 
 let remove_max h =
   if h.size = 0 then invalid_arg "Var_heap.remove_max: empty";
-  let top = h.heap.(0) in
+  let top = A1.unsafe_get h.heap 0 in
   h.size <- h.size - 1;
-  h.pos.(top) <- -1;
+  A1.unsafe_set h.pos top (-1);
   if h.size > 0 then begin
-    h.heap.(0) <- h.heap.(h.size);
-    h.pos.(h.heap.(0)) <- 0;
+    A1.unsafe_set h.heap 0 (A1.unsafe_get h.heap h.size);
+    A1.unsafe_set h.pos (A1.unsafe_get h.heap 0) 0;
     sift_down h 0
   end;
   top
 
 let update h v =
   if mem h v then begin
-    sift_up h h.pos.(v);
-    sift_down h h.pos.(v)
+    sift_up h (A1.unsafe_get h.pos v);
+    sift_down h (A1.unsafe_get h.pos v)
   end
 
 let rebuild h vars =
-  Array.fill h.pos 0 (Array.length h.pos) (-1);
+  A1.fill h.pos (-1);
   h.size <- 0;
   List.iter (insert h) vars

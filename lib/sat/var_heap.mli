@@ -1,17 +1,22 @@
 (** Max-heap over variable indices keyed by VSIDS activity.
 
     The heap stores a subset of variables 0..n-1 with position tracking so
-    that {!decrease}/{!increase} after an activity change is O(log n). *)
+    that {!update} after an activity change is O(log n).  All stores are
+    off-heap [Bigarray]s — the GC never scans them, and decision-loop
+    accesses are unboxed loads/stores. *)
 
 type t
 
+(** Off-heap float64 activity store shared with the solver. *)
+type farr = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
 (** [create n activity] builds an empty heap for variables [0..n-1]; the
-    live [activity] array is consulted on every comparison. *)
-val create : int -> float array -> t
+    live [activity] store is consulted on every comparison. *)
+val create : int -> farr -> t
 
 (** [grow h n activity] extends capacity to [n] variables, rebinding the
-    activity array (which may have been reallocated). *)
-val grow : t -> int -> float array -> t
+    activity store (which may have been reallocated). *)
+val grow : t -> int -> farr -> t
 
 val is_empty : t -> bool
 val mem : t -> int -> bool

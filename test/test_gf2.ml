@@ -337,6 +337,136 @@ let test_m4rm_parallel_large () =
     (Format.asprintf "%a" Gf2.Matrix.pp seq)
     (Format.asprintf "%a" Gf2.Matrix.pp par)
 
+(* ------------------------------------------------------------------ *)
+(* Bigarray word store: model-based checks across word boundaries      *)
+(* ------------------------------------------------------------------ *)
+
+(* Bits per backing word, derived through the public API so the test
+   does not hard-code the representation. *)
+let word_bits =
+  let n = ref 1 in
+  while Gf2.Bitvec.words_for !n <= 1 do
+    incr n
+  done;
+  !n - 1
+
+let boundary_lengths = [ 0; 1; 62; 63; 64; 65; 127; 128; 200 ]
+
+(* Random set/flip traffic against a bool-array model, then a full
+   readback of every accessor — exercised at each length that straddles a
+   word boundary for either 63- or 64-bit backing words. *)
+let test_bitvec_model_lengths () =
+  let rng = Random.State.make [| 77 |] in
+  List.iter
+    (fun n ->
+      let v = Gf2.Bitvec.create n in
+      let model = Array.make (Int.max 1 n) false in
+      for _ = 1 to 500 do
+        if n > 0 then begin
+          let i = Random.State.int rng n in
+          if Random.State.bool rng then begin
+            let b = Random.State.bool rng in
+            Gf2.Bitvec.set v i b;
+            model.(i) <- b
+          end
+          else begin
+            Gf2.Bitvec.flip v i;
+            model.(i) <- not model.(i)
+          end
+        end
+      done;
+      let expected = List.filter (fun i -> model.(i)) (List.init n Fun.id) in
+      for i = 0 to n - 1 do
+        check (Printf.sprintf "n=%d get %d" n i) model.(i) (Gf2.Bitvec.get v i)
+      done;
+      check_int (Printf.sprintf "n=%d popcount" n) (List.length expected)
+        (Gf2.Bitvec.popcount v);
+      Alcotest.(check (list int))
+        (Printf.sprintf "n=%d to_list" n)
+        expected (Gf2.Bitvec.to_list v);
+      Alcotest.(check (option int))
+        (Printf.sprintf "n=%d first_set" n)
+        (List.nth_opt expected 0) (Gf2.Bitvec.first_set v);
+      check (Printf.sprintf "n=%d is_zero" n) (expected = []) (Gf2.Bitvec.is_zero v);
+      check (Printf.sprintf "n=%d equal copy" n) true
+        (Gf2.Bitvec.equal v (Gf2.Bitvec.copy v)))
+    boundary_lengths
+
+(* xor_into_range against a per-bit model: only bits whose word index
+   falls in [lo_word, hi_word) are xored, out-of-range word indices clip,
+   and the full range reproduces xor_into exactly. *)
+let test_bitvec_xor_into_range () =
+  let rng = Random.State.make [| 78 |] in
+  List.iter
+    (fun n ->
+      let nw = Gf2.Bitvec.words_for n in
+      check_int
+        (Printf.sprintf "words_for %d" n)
+        ((n + word_bits - 1) / word_bits)
+        nw;
+      for _ = 1 to 25 do
+        let random_vec () =
+          Gf2.Bitvec.of_list n
+            (List.filter (fun _ -> Random.State.bool rng) (List.init n Fun.id))
+        in
+        let src = random_vec () and dst = random_vec () in
+        let lo_word = Random.State.int rng (nw + 2) in
+        let hi_word = lo_word + Random.State.int rng (nw + 2 - lo_word) in
+        let expected =
+          List.init n (fun i ->
+              let w = i / word_bits in
+              if w >= lo_word && w < hi_word then
+                Gf2.Bitvec.get dst i <> Gf2.Bitvec.get src i
+              else Gf2.Bitvec.get dst i)
+        in
+        Gf2.Bitvec.xor_into_range ~src ~dst ~lo_word ~hi_word;
+        List.iteri
+          (fun i b ->
+            check (Printf.sprintf "n=%d [%d,%d) bit %d" n lo_word hi_word i) b
+              (Gf2.Bitvec.get dst i))
+          expected;
+        (* full-range call = xor_into *)
+        let a = random_vec () and b1 = random_vec () in
+        let b2 = Gf2.Bitvec.copy b1 in
+        Gf2.Bitvec.xor_into ~src:a ~dst:b1;
+        Gf2.Bitvec.xor_into_range ~src:a ~dst:b2 ~lo_word:0 ~hi_word:nw;
+        check (Printf.sprintf "n=%d full range = xor_into" n) true
+          (Gf2.Bitvec.equal b1 b2)
+      done)
+    boundary_lengths
+
+(* cache-blocked parallel M4RM on a non-word-aligned shape: bit-identical
+   to jobs=1 and to plain Gauss-Jordan *)
+let test_m4rm_nonaligned_parallel () =
+  let rng = Random.State.make [| 79 |] in
+  let rows = 90 and cols = 130 in
+  let m = Gf2.Matrix.create ~rows ~cols in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      if Random.State.bool rng then Gf2.Matrix.set m i j true
+    done
+  done;
+  let g = Gf2.Matrix.copy m in
+  let rank_g = Gf2.Matrix.rref g in
+  let m1 = Gf2.Matrix.copy m in
+  let rank1 = Gf2.Matrix.rref_m4rm ~jobs:1 m1 in
+  let m3 = Gf2.Matrix.copy m in
+  let rank3 = Gf2.Matrix.rref_m4rm ~jobs:3 m3 in
+  check_int "m4rm jobs=1 rank = rref rank" rank_g rank1;
+  check_int "m4rm jobs=3 rank" rank_g rank3;
+  let render m = Format.asprintf "%a" Gf2.Matrix.pp m in
+  Alcotest.(check string) "jobs=1 = rref" (render g) (render m1);
+  Alcotest.(check string) "jobs=3 = jobs=1" (render m1) (render m3)
+
+let test_m4rm_parallel_worthwhile_gate () =
+  (* jobs=1 never dispatches; huge shapes at jobs>1 eventually do — on a
+     host that can actually run domains in parallel *)
+  check "jobs=1 is never worthwhile" false
+    (Gf2.Matrix.m4rm_parallel_worthwhile ~rows:4096 ~cols:4096 ~jobs:1 ());
+  check "huge shape at jobs=4 dispatches iff the host can parallelize"
+    (Domain.recommended_domain_count () > 1)
+    (Gf2.Matrix.m4rm_parallel_worthwhile ~rows:1_000_000 ~cols:65_536 ~jobs:4 ())
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -364,6 +494,9 @@ let suite =
         Alcotest.test_case "of_list toggles duplicates" `Quick test_bitvec_of_list_toggles;
         Alcotest.test_case "copy independence" `Quick test_bitvec_copy_independent;
         Alcotest.test_case "iter/fold over set bits" `Quick test_bitvec_fold_iter;
+        Alcotest.test_case "model equivalence at word boundaries" `Quick
+          test_bitvec_model_lengths;
+        Alcotest.test_case "xor_into_range model" `Quick test_bitvec_xor_into_range;
       ] );
     ( "gf2.matrix",
       [
@@ -378,6 +511,9 @@ let suite =
         Alcotest.test_case "in_row_space" `Quick test_matrix_in_row_space;
         Alcotest.test_case "four russians RREF" `Quick test_m4rm_matches_rref;
         Alcotest.test_case "parallel M4RM on 200x200" `Quick test_m4rm_parallel_large;
+        Alcotest.test_case "non-aligned parallel M4RM" `Quick
+          test_m4rm_nonaligned_parallel;
+        Alcotest.test_case "granularity gate" `Quick test_m4rm_parallel_worthwhile_gate;
       ] );
     ("gf2.properties", qcheck_cases);
   ]

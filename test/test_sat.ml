@@ -892,6 +892,152 @@ let arena_suite =
       ] );
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Off-heap stores: Bigarray-backed Ivec/Arena vs reference models,     *)
+(* and the zero-allocation BCP regression check.                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Random op traffic against a plain int-array model: the Bigarray
+   rewrite must be observationally identical to the boxed-array vector
+   it replaced. *)
+let test_ivec_model () =
+  let rng = Random.State.make [| 91 |] in
+  let v = Sat.Ivec.create ~cap:2 () in
+  let model = ref [||] in
+  let append xs x = Array.append xs [| x |] in
+  for step = 1 to 3_000 do
+    let n = Array.length !model in
+    (match Random.State.int rng 8 with
+    | 0 | 1 ->
+        let x = Random.State.int rng 1000 - 500 in
+        Sat.Ivec.push v x;
+        model := append !model x
+    | 2 ->
+        let x = Random.State.int rng 1000 and y = Random.State.int rng 1000 in
+        Sat.Ivec.push2 v x y;
+        model := append (append !model x) y
+    | 3 when n > 0 ->
+        let i = Random.State.int rng n in
+        let x = Random.State.int rng 1000 in
+        Sat.Ivec.set v i x;
+        !model.(i) <- x
+    | 4 when n > 0 ->
+        let k = Random.State.int rng (n + 1) in
+        Sat.Ivec.shrink v k;
+        model := Array.sub !model 0 k
+    | 5 ->
+        let keep x = x land 1 = 0 in
+        Sat.Ivec.filter_in_place keep v;
+        model := Array.of_list (List.filter keep (Array.to_list !model))
+    | 6 ->
+        Sat.Ivec.sort_in_place Int.compare v;
+        let xs = Array.copy !model in
+        Array.sort Int.compare xs;
+        model := xs
+    | _ when n > 0 ->
+        let i = Random.State.int rng n in
+        check_int (Printf.sprintf "step %d get %d" step i) !model.(i) (Sat.Ivec.get v i)
+    | _ -> ());
+    check_int (Printf.sprintf "step %d size" step) (Array.length !model)
+      (Sat.Ivec.size v)
+  done;
+  Alcotest.(check (list int)) "final contents" (Array.to_list !model)
+    (Sat.Ivec.to_list v)
+
+(* Arena vs a reference model of clause records: random allocation
+   (array-based and blank/in-place), flag and metadata traffic, then a
+   full move-based compaction with forward remapping. *)
+let test_arena_model () =
+  let rng = Random.State.make [| 92 |] in
+  let a = Sat.Arena.create ~cap:16 () in
+  (* model: (cref, lits array, learnt, temp, deleted ref, lbd ref, act ref) *)
+  let model = ref [] in
+  for _ = 1 to 400 do
+    let n = Random.State.int rng 9 in
+    let lits = Array.init n (fun _ -> Random.State.int rng 1000) in
+    let learnt = Random.State.bool rng and temp = Random.State.bool rng in
+    let c =
+      if Random.State.bool rng then Sat.Arena.alloc a ~learnt ~temp lits
+      else begin
+        let c = Sat.Arena.alloc_blank a ~learnt ~temp n in
+        Array.iteri (fun i x -> Sat.Arena.set_lit a c i x) lits;
+        c
+      end
+    in
+    let lbd = Random.State.int rng 30 in
+    Sat.Arena.set_lbd a c lbd;
+    let act = float_of_int (Random.State.int rng 1000) in
+    Sat.Arena.set_activity a c act;
+    let deleted =
+      if Random.State.int rng 4 = 0 then begin
+        Sat.Arena.mark_deleted a c;
+        true
+      end
+      else false
+    in
+    model := (c, lits, learnt, temp, deleted, lbd, act) :: !model
+  done;
+  let check_clause arena (c, lits, learnt, temp, deleted, lbd, act) =
+    check_int "n_lits" (Array.length lits) (Sat.Arena.n_lits arena c);
+    Alcotest.(check (array int)) "lits" lits (Sat.Arena.lits_array arena c);
+    check "learnt" learnt (Sat.Arena.learnt arena c);
+    check "temp" temp (Sat.Arena.is_temp arena c);
+    check "deleted" deleted (Sat.Arena.is_deleted arena c);
+    check_int "lbd" lbd (Sat.Arena.lbd arena c);
+    Alcotest.(check (float 0.0)) "activity" act (Sat.Arena.activity arena c)
+  in
+  List.iter (check_clause a) !model;
+  (* compact the live clauses into a fresh arena; contents survive the
+     move (deletion marks clear by design) and forwarding is stable *)
+  let into = Sat.Arena.create () in
+  let live = List.filter (fun (_, _, _, _, d, _, _) -> not d) !model in
+  let moved =
+    List.map
+      (fun ((c, lits, learnt, temp, _, lbd, act) as _cl) ->
+        let c' = Sat.Arena.move a ~into c in
+        check "forwarded" true (Sat.Arena.forwarded a c);
+        check_int "forward is stable" c' (Sat.Arena.forward a c);
+        check_int "move twice returns same ref" c' (Sat.Arena.move a ~into c);
+        (c', lits, learnt, temp, false, lbd, act))
+      live
+  in
+  List.iter (check_clause into) moved
+
+(* The tentpole regression: once the solver's stores have reached steady
+   state, redoing an implication chain allocates exactly zero minor-heap
+   words — no closures, boxes, or scratch rebuilt per propagation.
+   [Gc.minor_words] itself boxes its float result, so the measurement's
+   own overhead is measured first and subtracted. *)
+let test_burst_propagate_zero_alloc () =
+  let n = 120 in
+  let s = S.create ~nvars:n () in
+  for i = 0 to n - 2 do
+    ignore
+      (S.add_clause s
+         [ L.make i ~negated:true; L.make (i + 1) ~negated:false ])
+  done;
+  let l0 = L.make 0 ~negated:false in
+  ignore (S.burst_propagate s l0 ~reps:10);
+  let a = Gc.minor_words () in
+  let b = Gc.minor_words () in
+  let overhead = b -. a in
+  let w0 = Gc.minor_words () in
+  let assigned = S.burst_propagate s l0 ~reps:500 in
+  let extra = Gc.minor_words () -. w0 -. overhead in
+  check_int "whole chain assigned every rep" (500 * n) assigned;
+  Alcotest.(check (float 0.0)) "zero minor words across the burst" 0.0 extra
+
+let offheap_suite =
+  [
+    ( "sat.offheap",
+      [
+        Alcotest.test_case "Ivec = int-array model" `Quick test_ivec_model;
+        Alcotest.test_case "Arena = clause-record model" `Quick test_arena_model;
+        Alcotest.test_case "steady-state BCP allocates zero words" `Quick
+          test_burst_propagate_zero_alloc;
+      ] );
+  ]
+
 let suite =
   main_suite @ probe_suite @ enumerate_suite @ proof_suite @ concurrency_suite
-  @ arena_suite
+  @ arena_suite @ offheap_suite

@@ -63,9 +63,18 @@ let test_vec_iter () =
 (* Var_heap                                                            *)
 (* ------------------------------------------------------------------ *)
 
+let farr_init n f =
+  let b = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout (Int.max 1 n) in
+  for i = 0 to n - 1 do
+    b.{i} <- f i
+  done;
+  b
+
+let farr_make n x = farr_init n (fun _ -> x)
+
 let test_heap_max_order () =
   let n = 10 in
-  let activity = Array.init n float_of_int in
+  let activity = farr_init n float_of_int in
   let h = H.create n activity in
   for v = 0 to n - 1 do
     H.insert h v
@@ -76,25 +85,25 @@ let test_heap_max_order () =
   check "empty" true (H.is_empty h)
 
 let test_heap_ties_by_index () =
-  let activity = Array.make 5 1.0 in
+  let activity = farr_make 5 1.0 in
   let h = H.create 5 activity in
   List.iter (H.insert h) [ 3; 1; 4; 0; 2 ];
   let order = List.init 5 (fun _ -> H.remove_max h) in
   Alcotest.(check (list int)) "ties broken by lower index" [ 0; 1; 2; 3; 4 ] order
 
 let test_heap_update () =
-  let activity = Array.init 4 float_of_int in
+  let activity = farr_init 4 float_of_int in
   let h = H.create 4 activity in
   for v = 0 to 3 do
     H.insert h v
   done;
   (* boost variable 0 past everyone *)
-  activity.(0) <- 100.0;
+  activity.{0} <- 100.0;
   H.update h 0;
   check_int "boosted to top" 0 (H.remove_max h)
 
 let test_heap_insert_idempotent () =
-  let activity = Array.make 3 0.0 in
+  let activity = farr_make 3 0.0 in
   let h = H.create 3 activity in
   H.insert h 1;
   H.insert h 1;
@@ -102,7 +111,7 @@ let test_heap_insert_idempotent () =
   check "now empty" true (H.is_empty h)
 
 let test_heap_mem_and_rebuild () =
-  let activity = Array.make 6 0.0 in
+  let activity = farr_make 6 0.0 in
   let h = H.create 6 activity in
   H.insert h 2;
   check "mem" true (H.mem h 2);
@@ -112,24 +121,24 @@ let test_heap_mem_and_rebuild () =
   check "rebuilt has new" true (H.mem h 4 && H.mem h 5)
 
 let test_heap_grow () =
-  let activity = Array.make 2 0.0 in
+  let activity = farr_make 2 0.0 in
   let h = H.create 2 activity in
   H.insert h 0;
-  let activity' = Array.make 8 0.0 in
-  activity'.(7) <- 9.0;
+  let activity' = farr_make 8 0.0 in
+  activity'.{7} <- 9.0;
   let h = H.grow h 8 activity' in
   H.insert h 7;
   check_int "new var wins" 7 (H.remove_max h);
   check_int "old var kept" 0 (H.remove_max h)
 
 let test_heap_decrease_key () =
-  let activity = Array.init 5 (fun v -> float_of_int (10 * (v + 1))) in
+  let activity = farr_init 5 (fun v -> float_of_int (10 * (v + 1))) in
   let h = H.create 5 activity in
   for v = 0 to 4 do
     H.insert h v
   done;
   (* demote the current maximum below everyone *)
-  activity.(4) <- 1.0;
+  activity.{4} <- 1.0;
   H.update h 4;
   let order = List.init 5 (fun _ -> H.remove_max h) in
   Alcotest.(check (list int)) "demoted var drains last" [ 3; 2; 1; 0; 4 ] order
@@ -139,17 +148,17 @@ let test_heap_rescale () =
      heap order must be unaffected, and updates issued afterwards must
      still land correctly at the tiny scale. *)
   let n = 8 in
-  let activity = Array.init n (fun v -> float_of_int (v * v + 1)) in
+  let activity = farr_init n (fun v -> float_of_int (v * v + 1)) in
   let h = H.create n activity in
   for v = 0 to n - 1 do
     H.insert h v
   done;
   for v = 0 to n - 1 do
-    activity.(v) <- activity.(v) *. 1e-100;
+    activity.{v} <- activity.{v} *. 1e-100;
     H.update h v
   done;
   (* post-rescale bump, as the solver does after var_decay overflow *)
-  activity.(2) <- activity.(2) +. 1e-98;
+  activity.{2} <- activity.{2} +. 1e-98;
   H.update h 2;
   let first = H.remove_max h in
   check_int "bumped var wins after rescale" 2 first;
@@ -182,7 +191,7 @@ let prop_heap_random_ops =
     (QCheck.make ~print:print_ops gen_ops)
     (fun ops ->
       let n = 16 in
-      let activity = Array.make n 0.0 in
+      let activity = farr_make n 0.0 in
       let h = H.create n activity in
       let model = Hashtbl.create 16 in
       let ok = ref true in
@@ -193,7 +202,7 @@ let prop_heap_random_ops =
               H.insert h v;
               Hashtbl.replace model v ()
           | `Update (v, a) ->
-              activity.(v) <- a;
+              activity.{v} <- a;
               if H.mem h v then H.update h v
           | `Remove_max ->
               if Hashtbl.length model = 0 then
@@ -206,8 +215,8 @@ let prop_heap_random_ops =
                       | None -> Some v
                       | Some b ->
                           if
-                            activity.(v) > activity.(b)
-                            || (activity.(v) = activity.(b) && v < b)
+                            activity.{v} > activity.{b}
+                            || (activity.{v} = activity.{b} && v < b)
                           then Some v
                           else acc)
                     model None
@@ -280,12 +289,13 @@ let prop_heap_is_sorting =
     QCheck.(list_of_size Gen.(int_range 1 30) (float_range 0.0 100.0))
     (fun floats ->
       let n = List.length floats in
-      let activity = Array.of_list floats in
+      let arr = Array.of_list floats in
+      let activity = farr_init n (fun i -> arr.(i)) in
       let h = H.create n activity in
       for v = 0 to n - 1 do
         H.insert h v
       done;
-      let drained = List.init n (fun _ -> activity.(H.remove_max h)) in
+      let drained = List.init n (fun _ -> activity.{H.remove_max h}) in
       drained = List.sort (fun a b -> Float.compare b a) drained)
 
 let suite =
