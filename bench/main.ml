@@ -16,15 +16,18 @@ let usage () =
     "usage: main.exe \
      [table1|example|fig2|table2|ablation|encoding-sweep|representations|incremental|micro]*\n\
     \       [--quick] [--family aes|simon|speck|bitcoin|sat] [--jobs N] [--json FILE]\n\
-    \       [--trace FILE] [--metrics FILE] [--alloc-gate]\n\
+    \       [--trace FILE] [--metrics FILE] [--alloc-gate] [--portfolio]\n\
      --alloc-gate: with micro, run only the GC-regression gate (exits 1 on \
-     regression)";
+     regression)\n\
+     --portfolio: with micro, run only the portfolio race (profiles alone vs \
+     portfolio-4 with clause sharing; gated)";
   exit 1
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "--quick" args in
   let alloc_gate = List.mem "--alloc-gate" args in
+  let portfolio = List.mem "--portfolio" args in
   let find_opt_arg key =
     let rec find = function
       | k :: v :: _ when k = key -> Some v
@@ -97,7 +100,7 @@ let () =
             | "encoding-sweep" -> Experiments.encoding_sweep ()
             | "representations" -> Experiments.representations ()
             | "incremental" -> Experiments.incremental ~quick ?json ()
-            | "micro" -> Micro.run ~quick ~jobs ~alloc_gate ?json ()
+            | "micro" -> Micro.run ~quick ~jobs ~alloc_gate ~portfolio ?json ()
             | other ->
                 Printf.eprintf "unknown experiment %S\n" other;
                 usage ())

@@ -385,8 +385,18 @@ let config_term =
                    rounds (solver-reported counts, not requested budgets); \
                    tripping it degrades the run like --timeout.")
   in
+  let portfolio =
+    Arg.(value & opt int default.portfolio
+         & info [ "portfolio" ] ~docv:"K"
+             ~doc:"Race K diversified SAT configurations per round on \
+                   dedicated domains, sharing learnt units and binaries \
+                   through a lock-free exchange; the first worker to decide \
+                   cancels the rest and its solver carries the round's \
+                   facts.  1 (the default) keeps the single-solver \
+                   semantics bit-for-bit.")
+  in
   let build m dm d k l l' c0 iters seed jobs timeout_s max_memory_monomials
-      max_total_conflicts =
+      max_total_conflicts portfolio =
     {
       default with
       xl_sample_bits = m;
@@ -402,11 +412,12 @@ let config_term =
       timeout_s;
       max_memory_monomials;
       max_total_conflicts;
+      portfolio = Int.max 1 portfolio;
     }
   in
   Term.(
     const build $ m $ dm $ d $ k $ l $ l' $ c0 $ iters $ seed $ jobs $ timeout
-    $ max_mem $ max_conf)
+    $ max_mem $ max_conf $ portfolio)
 
 let cmd =
   let doc = "bridge ANF and CNF solvers by iterative fact learning" in

@@ -20,6 +20,7 @@ type t = {
   timeout_s : float option;
   max_memory_monomials : int option;
   max_total_conflicts : int option;
+  portfolio : int;
 }
 
 let paper =
@@ -45,6 +46,7 @@ let paper =
     timeout_s = None;
     max_memory_monomials = None;
     max_total_conflicts = None;
+    portfolio = 1;
   }
 
 (* Laptop-scale defaults: same semantics, smaller linearised systems and

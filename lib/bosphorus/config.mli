@@ -76,6 +76,16 @@ type t = {
           conflict counts (not requested budgets).  Per-round budgets are
           still [sat_budget_*], clipped to what remains.  [None]
           (default): unlimited. *)
+  portfolio : int;
+      (** SAT-stage portfolio width ([--portfolio]): race K diversified
+          solver configurations on dedicated domains with lock-free
+          clause sharing and first-finisher cancellation (see
+          {!Sat.Portfolio}).  The winner's solver carries the round's
+          facts; with [incremental_sat] it becomes the surviving session
+          solver.  1 (the default) keeps the single-solver semantics
+          bit-for-bit.  Ignored when [audit_trail] is on — per-worker
+          DRUP logs are not exchange-aware, so audited runs stay
+          single-solver. *)
 }
 
 val default : t

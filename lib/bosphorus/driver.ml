@@ -279,38 +279,83 @@ let run_with_stages ?(config = Config.default) ~stages polys =
     | Some r -> min !sat_budget r
   in
   let budget_interrupt () = Harness.Budget.poll_quiet budget ~layer:"sat" in
+  (* Portfolio gate: race K diversified workers per SAT round when asked.
+     Audited runs stay single-solver — a worker's DRUP log omits the
+     clauses it imported, so it is not self-contained. *)
+  let use_portfolio = config.Config.portfolio > 1 && trail = None in
+  (* One SAT round on [solver]: either a lone solve (reference semantics)
+     or a portfolio race.  Returns the result, the surviving solver (the
+     race winner's — possibly a clone of [solver]), the losers' conflict
+     total (the ledger charges all work, not just the winner's) and the
+     exchanged units/binaries for fact harvesting. *)
+  let solve_round solver =
+    let conflict_budget = round_conflict_budget () in
+    let time_budget_s = Harness.Budget.remaining_time_s budget in
+    if not use_portfolio then
+      let result =
+        Sat.Solver.solve ~conflict_budget ?time_budget_s
+          ~interrupt:budget_interrupt solver
+      in
+      (result, solver, 0, [], [])
+    else begin
+      let conflicts0 = (Sat.Solver.stats solver).Sat.Types.conflicts in
+      let o =
+        Sat.Portfolio.race ~conflict_budget ?time_budget_s
+          ~interrupt:budget_interrupt
+          ~workers:(Sat.Portfolio.default_workers ~k:config.Config.portfolio)
+          solver
+      in
+      let total =
+        List.fold_left
+          (fun acc r ->
+            acc + (r.Sat.Portfolio.rstats.Sat.Types.conflicts - conflicts0))
+          0 o.Sat.Portfolio.reports
+      in
+      let winner_delta =
+        (Sat.Solver.stats o.Sat.Portfolio.solver).Sat.Types.conflicts
+        - conflicts0
+      in
+      ( o.Sat.Portfolio.result,
+        o.Sat.Portfolio.solver,
+        total - winner_delta,
+        o.Sat.Portfolio.units,
+        o.Sat.Portfolio.binaries )
+    end
+  in
   (* From-scratch SAT stage: re-encode the whole master and solve in a
      fresh solver (the reference semantics; Config.incremental_sat=false). *)
   let sat_stage_fresh () =
     let snapshot = S.to_list master in
     let conv = Anf_to_cnf.convert ~config snapshot in
-    let solver = Sat.Solver.create ~nvars:(Cnf.Formula.nvars conv.Anf_to_cnf.formula) () in
+    let solver0 = Sat.Solver.create ~nvars:(Cnf.Formula.nvars conv.Anf_to_cnf.formula) () in
     incr sat_calls;
-    if trail <> None then Sat.Solver.enable_proof solver;
+    if trail <> None then Sat.Solver.enable_proof solver0;
+    let solver = ref solver0 and extra = ref 0 in
     let added =
-      if not (Sat.Solver.add_formula solver conv.Anf_to_cnf.formula) then begin
+      if not (Sat.Solver.add_formula solver0 conv.Anf_to_cnf.formula) then begin
         ignore (add_facts Facts.Sat_solver [ P.one ]);
         unsat := true;
         0
       end
       else begin
-        let result =
-          Sat.Solver.solve ~conflict_budget:(round_conflict_budget ())
-            ?time_budget_s:(Harness.Budget.remaining_time_s budget)
-            ~interrupt:budget_interrupt solver
-        in
-        let binaries = Sat.Solver.learnt_binaries solver in
+        let result, surv, xtra, xunits, xbins = solve_round solver0 in
+        solver := surv;
+        extra := xtra;
+        let binaries = Sat.Solver.learnt_binaries surv @ xbins in
         harvest ~anf_nvars:conv.Anf_to_cnf.anf_nvars
-          ~mono_of_var:conv.Anf_to_cnf.mono_of_var ~solver ~result
-          ~units:(Sat.Solver.root_units solver) ~binaries ~candidates:binaries
+          ~mono_of_var:conv.Anf_to_cnf.mono_of_var ~solver:surv ~result
+          ~units:(Sat.Solver.root_units surv @ xunits) ~binaries
+          ~candidates:binaries
       end
     in
-    let st = Sat.Solver.stats solver in
+    let st = Sat.Solver.stats !solver in
     push_round ~encoded:(List.length snapshot) ~reused:0
       ~delta_clauses:(List.length (Cnf.Formula.clauses conv.Anf_to_cnf.formula))
-      ~props:st.Sat.Types.propagations ~conflicts:st.Sat.Types.conflicts;
-    record_trail ~formula:conv.Anf_to_cnf.formula solver;
-    Harness.Budget.charge_conflicts budget ~layer:"sat" st.Sat.Types.conflicts;
+      ~props:st.Sat.Types.propagations
+      ~conflicts:(st.Sat.Types.conflicts + !extra);
+    record_trail ~formula:conv.Anf_to_cnf.formula !solver;
+    Harness.Budget.charge_conflicts budget ~layer:"sat"
+      (st.Sat.Types.conflicts + !extra);
     added
   in
   (* Incremental SAT stage: one conversion state and one solver persist
@@ -343,6 +388,7 @@ let run_with_stages ?(config = Config.default) ~stages polys =
         (fun c -> Sat.Solver.add_clause solver (Cnf.Clause.to_list c))
         delta.Anf_to_cnf.delta_clauses
     in
+    let surviving = ref solver and extra = ref 0 in
     let added =
       if not clauses_ok then begin
         ignore (add_facts Facts.Sat_solver [ P.one ]);
@@ -350,28 +396,32 @@ let run_with_stages ?(config = Config.default) ~stages polys =
         0
       end
       else begin
-        let result =
-          Sat.Solver.solve ~conflict_budget:(round_conflict_budget ())
-            ?time_budget_s:(Harness.Budget.remaining_time_s budget)
-            ~interrupt:budget_interrupt solver
+        let result, surv, xtra, xunits, xbins = solve_round solver in
+        (* Pin the race winner as the session solver: clones extend the
+           template's grow-only logs, so the high-water marks below stay
+           valid across the swap. *)
+        if surv != solver then inc_sat := Some (inc, surv);
+        surviving := surv;
+        extra := xtra;
+        let units = Sat.Solver.root_units_from surv !units_hwm @ xunits in
+        units_hwm := Sat.Solver.n_root_units surv;
+        let candidates =
+          Sat.Solver.learnt_binaries_from surv !bins_hwm @ xbins
         in
-        let units = Sat.Solver.root_units_from solver !units_hwm in
-        units_hwm := Sat.Solver.n_root_units solver;
-        let candidates = Sat.Solver.learnt_binaries_from solver !bins_hwm in
-        bins_hwm := Sat.Solver.n_learnt_binaries solver;
+        bins_hwm := Sat.Solver.n_learnt_binaries surv;
         harvest ~anf_nvars:conv.Anf_to_cnf.anf_nvars
-          ~mono_of_var:conv.Anf_to_cnf.mono_of_var ~solver ~result ~units
-          ~binaries:(Sat.Solver.learnt_binaries solver) ~candidates
+          ~mono_of_var:conv.Anf_to_cnf.mono_of_var ~solver:surv ~result ~units
+          ~binaries:(Sat.Solver.learnt_binaries surv @ xbins) ~candidates
       end
     in
-    let st = Sat.Solver.stats solver in
+    let st = Sat.Solver.stats !surviving in
     push_round ~encoded:delta.Anf_to_cnf.n_encoded ~reused:delta.Anf_to_cnf.n_reused
       ~delta_clauses:(List.length delta.Anf_to_cnf.delta_clauses)
       ~props:(st.Sat.Types.propagations - props0)
-      ~conflicts:(st.Sat.Types.conflicts - conflicts0);
-    record_trail ~formula:conv.Anf_to_cnf.formula solver;
+      ~conflicts:(st.Sat.Types.conflicts - conflicts0 + !extra);
+    record_trail ~formula:conv.Anf_to_cnf.formula !surviving;
     Harness.Budget.charge_conflicts budget ~layer:"sat"
-      (st.Sat.Types.conflicts - conflicts0);
+      (st.Sat.Types.conflicts - conflicts0 + !extra);
     added
   in
   let sat_stage () =

@@ -51,7 +51,7 @@ let build_gauge =
 
 let build_parallel_worthwhile ~n_polys ~jobs () =
   jobs > 1
-  && Runtime.Pool.Grain.worth_parallel (Runtime.Pool.get ~jobs) build_gauge
+  && Runtime.Pool.Grain.worth_parallel_jobs ~jobs build_gauge
        ~ops:n_polys
 
 let build ?(jobs = 1) polys =

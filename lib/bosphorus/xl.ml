@@ -68,7 +68,7 @@ let expand_ops ~n_polys ~n_multipliers = n_polys * (n_multipliers + 1)
 
 let expand_parallel_worthwhile ~n_polys ~n_multipliers ~jobs () =
   jobs > 1
-  && Runtime.Pool.Grain.worth_parallel (Runtime.Pool.get ~jobs) expand_gauge
+  && Runtime.Pool.Grain.worth_parallel_jobs ~jobs expand_gauge
        ~ops:(expand_ops ~n_polys ~n_multipliers)
 
 let expand ?(jobs = 1) ?budget ~multipliers polys =

@@ -161,9 +161,9 @@ let m4rm_parallel_worthwhile ?(k = 6) ~rows ~cols ~jobs () =
   jobs > 1
   && begin
        calibrate_m4rm ();
-       Runtime.Pool.Grain.worth_parallel
-         (Runtime.Pool.get ~jobs)
-         m4rm_gauge
+       (* decided from [jobs] alone: probing must not spawn idle domains
+          that would slow the sequential run it then falls back to *)
+       Runtime.Pool.Grain.worth_parallel_jobs ~jobs m4rm_gauge
          ~ops:(m4rm_ops ~rows ~cols ~k)
      end
 
@@ -191,14 +191,12 @@ let panel_words ~b = Int.max 64 ((1 lsl 15) / Int.max 1 (1 lsl (b - 3)))
    is. *)
 let rref_m4rm ?(k = 6) ?(jobs = 1) ?(poll = fun () -> ()) m =
   if k < 1 || k > 20 then invalid_arg "Matrix.rref_m4rm: k in 1..20";
-  let pool = Runtime.Pool.get ~jobs in
+  (* the pool is only obtained (and its domains only spawned) once the
+     gauge has decided the update is big enough to dispatch *)
   let pool =
-    if Runtime.Pool.jobs pool <= 1 then pool
-    else begin
-      calibrate_m4rm ();
-      Runtime.Pool.Grain.choose pool m4rm_gauge
-        ~ops:(m4rm_ops ~rows:m.nrows ~cols:m.ncols ~k)
-    end
+    if m4rm_parallel_worthwhile ~k ~rows:m.nrows ~cols:m.ncols ~jobs ()
+    then Runtime.Pool.get ~jobs
+    else Runtime.Pool.get ~jobs:1
   in
   let pivot_row = ref 0 in
   let col = ref 0 in

@@ -38,6 +38,24 @@ let now_us () = (Unix.gettimeofday () -. epoch) *. 1e6
 let registry : buf list ref = ref [] (* newest first *)
 let registry_m = Mutex.create ()
 
+(* Human-readable labels for trace tracks (Chrome "thread_name" metadata):
+   a portfolio worker names its own domain's track after its configuration
+   so the viewer shows "w1:lingeling" instead of a bare domain id.  Written
+   once per domain per race — registry mutex cost is irrelevant here. *)
+let track_names : (int, string) Hashtbl.t = Hashtbl.create 8
+
+let set_track_name name =
+  let tid = (Domain.self () :> int) in
+  Mutex.lock registry_m;
+  Hashtbl.replace track_names tid name;
+  Mutex.unlock registry_m
+
+let track_name_list () =
+  Mutex.lock registry_m;
+  let l = Hashtbl.fold (fun tid n acc -> (tid, n) :: acc) track_names [] in
+  Mutex.unlock registry_m;
+  List.sort compare l
+
 let dummy =
   { ph = Instant; name = ""; ts_us = 0.0; tid = 0; span_id = 0; args = [] }
 
@@ -151,6 +169,7 @@ let reset () =
       b.next_id <- 0;
       b.dropped <- 0)
     !registry;
+  Hashtbl.reset track_names;
   Mutex.unlock registry_m
 
 (* ------------------------------------------------------------------ *)
@@ -198,6 +217,15 @@ let to_json () =
   let out = Buffer.create 4096 in
   let first = ref true in
   Buffer.add_string out "{\"traceEvents\": [\n";
+  List.iter
+    (fun (tid, name) ->
+      if not !first then Buffer.add_string out ",\n";
+      first := false;
+      Buffer.add_string out
+        (Printf.sprintf
+           "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": \
+            %d, \"args\": {\"name\": \"%s\"}}" tid (escape name)))
+    (track_name_list ());
   List.iter
     (fun (_, evs) ->
       (* The owner domain may be mid-span (or a crash may be unwinding):

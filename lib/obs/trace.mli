@@ -58,6 +58,12 @@ val with_span : name:string -> ?args:(string * string) list -> (unit -> 'a) -> '
 (** Record a zero-duration instant event (rendered as a vertical mark). *)
 val instant : ?args:(string * string) list -> string -> unit
 
+(** [set_track_name name] labels the calling domain's track in the
+    exported trace (Chrome [thread_name] metadata).  Portfolio workers
+    call this once so their tracks read "w1:lingeling" rather than a bare
+    domain id.  Latest call per domain wins; cleared by {!reset}. *)
+val set_track_name : string -> unit
+
 (** {2 Inspection (tests, reporting)} *)
 
 (** Snapshot of all recorded events, grouped by recording domain in

@@ -220,6 +220,87 @@ let run ?cancel t thunks =
         (function Ok v -> v | Error e -> raise e)
         (run_results ?cancel t thunks)
 
+(* ------------------------------------------------------------------ *)
+(* Pinned long-running tasks                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A second process-global worker set, reserved for long-running tasks
+   (portfolio SAT workers, background services).  Keeping it separate
+   from [global] means a task that occupies its domain for a whole solve
+   cannot sit in front of queued kernel chunks: the work queue keeps its
+   short-task latency, and pinned tasks keep their dedicated domains.
+
+   [pinned_inflight] counts tasks currently queued or running across all
+   concurrent [run_pinned] calls; the worker set is grown to match before
+   submission, so every pinned task has a dedicated domain and racing
+   tasks (whose protocol is "first finisher cancels the rest") can never
+   deadlock behind one another. *)
+let pinned : shared option ref = ref None
+let pinned_m = Mutex.create ()
+let pinned_inflight = ref 0
+
+let pinned_reserve n =
+  Mutex.lock pinned_m;
+  let sh =
+    match !pinned with
+    | Some sh -> sh
+    | None ->
+        let sh = make_shared () in
+        pinned := Some sh;
+        Stdlib.at_exit (fun () -> shutdown_shared sh);
+        sh
+  in
+  pinned_inflight := !pinned_inflight + n;
+  spawn_workers sh !pinned_inflight;
+  Mutex.unlock pinned_m;
+  sh
+
+let pinned_release n =
+  Mutex.lock pinned_m;
+  pinned_inflight := !pinned_inflight - n;
+  Mutex.unlock pinned_m
+
+let run_pinned ?cancel thunks =
+  match thunks with
+  | [] -> []
+  | [ f ] -> [ (try Ok ((guard cancel f) ()) with e -> Error e) ]
+  | _ ->
+      (* the caller runs the first thunk inline (it is a full participant
+         in the race); the rest get dedicated pinned domains *)
+      let tasks = Array.of_list thunks in
+      let n = Array.length tasks in
+      let sh = pinned_reserve (n - 1) in
+      Fun.protect
+        ~finally:(fun () -> pinned_release (n - 1))
+        (fun () ->
+          let futs =
+            Array.init (n - 1) (fun i ->
+                let fut =
+                  { fm = Mutex.create (); fc = Condition.create (); state = Pending }
+                in
+                submit sh fut (guard cancel tasks.(i + 1));
+                fut)
+          in
+          let first = try Ok ((guard cancel tasks.(0)) ()) with e -> Error e in
+          let out = Array.make n first in
+          for i = 0 to n - 2 do
+            (* plain join, no queue helping: stealing another caller's
+               pinned long task here would pin *us* for its duration *)
+            let fut = futs.(i) in
+            Mutex.lock fut.fm;
+            let rec wait () =
+              match fut.state with
+              | Pending ->
+                  Condition.wait fut.fc fut.fm;
+                  wait ()
+              | Done v -> Ok v
+              | Failed e -> Error e
+            in
+            out.(i + 1) <- wait ();
+            Mutex.unlock fut.fm
+          done;
+          Array.to_list out)
+
 let chunk_ranges ~chunks ~lo ~hi =
   let n = hi - lo in
   if n <= 0 then []
@@ -334,15 +415,41 @@ module Grain = struct
      jobs=1 is the failure mode the bench gate guards. *)
   let overhead_factor = 4.0
 
+  (* Dispatch estimate used before any pool has been measured.  It errs
+     pessimistic (a generous round-trip for a cold queue), which biases
+     the first decisions toward inline — the cheap failure mode. *)
+  let default_dispatch_ns = 20_000.0
+
+  let estimated_saving g ~ops ~eff =
+    let est_seq = float_of_int ops *. op_ns g in
+    let j = float_of_int eff in
+    est_seq *. (j -. 1.0) /. j
+
+  (* Decide from [jobs] alone, without creating, growing or even touching
+     a pool.  This is the probe-cost guarantee the kernels rely on: on
+     OCaml 5 every *spawned* domain joins each stop-the-world minor
+     collection, so merely asking "would jobs=4 pay off?" must not spawn
+     three idle domains and tax the sequential run it then chooses (a
+     measured ~20% on the allocation-heavy linearizer).  The dispatch
+     round-trip is taken from the process-wide cache when a real dispatch
+     has been measured, else from a conservative default; the first time
+     the cheap verdict says "parallel" the caller obtains the pool and
+     the measurement happens there, once, amortised over the process. *)
+  let worth_parallel_jobs ~jobs g ~ops =
+    let eff = min jobs (Domain.recommended_domain_count ()) in
+    eff > 1 && ops > 0
+    &&
+    let saving = estimated_saving g ~ops ~eff in
+    let cached = Atomic.get dispatch_cache in
+    let est = if cached > 0.0 then cached else default_dispatch_ns in
+    saving > overhead_factor *. est
+
   let worth_parallel t g ~ops =
     (* a pool can be oversubscribed (jobs=4 on a 1-core host): only the
        hardware parallelism can actually shorten the wall clock *)
     let eff = min t.pjobs (Domain.recommended_domain_count ()) in
     eff > 1 && ops > 0
-    &&
-    let est_seq = float_of_int ops *. op_ns g in
-    let j = float_of_int eff in
-    est_seq *. (j -. 1.0) /. j > overhead_factor *. dispatch_ns t
+    && estimated_saving g ~ops ~eff > overhead_factor *. dispatch_ns t
 
   let choose t g ~ops = if worth_parallel t g ~ops then t else sequential
 

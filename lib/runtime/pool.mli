@@ -87,6 +87,19 @@ val run : ?cancel:Cancel.t -> t -> (unit -> 'a) list -> 'a list
     chunks while abandoned ones are accounted for, never lost. *)
 val run_results : ?cancel:Cancel.t -> t -> (unit -> 'a) list -> ('a, exn) result list
 
+(** [run_pinned ?cancel thunks] runs long-lived tasks on {e dedicated}
+    domains beside the work queue: the calling domain runs the first
+    thunk, every other thunk gets a domain from a separate process-global
+    long-task worker set (grown so that all currently pinned tasks have
+    one, reaped at exit).  Unlike {!run}, pinned tasks never share the
+    kernel work queue — a portfolio solver that occupies its domain for
+    seconds cannot starve queued m4rm/xl chunks — and the joining caller
+    never steals another caller's long task.  Results come back in
+    submission order, every future joined, [Error] for failed or
+    token-skipped slots (in-flight tasks must poll [cancel] themselves,
+    exactly as with {!run}). *)
+val run_pinned : ?cancel:Cancel.t -> (unit -> 'a) list -> ('a, exn) result list
+
 (** [map_list t f xs] maps [f] over [xs] with chunk-level parallelism,
     preserving order: equal to [List.map f xs] whenever [f] is pure. *)
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
@@ -144,6 +157,19 @@ module Grain : sig
       [Domain.recommended_domain_count ()] — an oversubscribed pool on
       a small host stays inline, whatever its [jobs]. *)
   val worth_parallel : t -> gauge -> ops:int -> bool
+
+  (** [worth_parallel_jobs ~jobs g ~ops] is the same decision made from
+      the requested width alone, {e without} creating or growing a pool.
+      Kernels must consult this before calling {!get}: on OCaml 5 every
+      spawned domain participates in each stop-the-world minor
+      collection, so a probe that spawns [jobs - 1] idle domains taxes
+      the very sequential run it decides on.  Uses the process-wide
+      cached dispatch measurement when one exists, else a conservative
+      default (biasing cold processes toward inline); the real
+      measurement happens on the first genuine parallel dispatch and is
+      cached for the process lifetime — probe cost stays bounded and
+      amortised. *)
+  val worth_parallel_jobs : jobs:int -> gauge -> ops:int -> bool
 
   (** [choose t g ~ops] is [t] when parallelism is worth it, else the
       sequential pool. *)

@@ -125,6 +125,18 @@ let mark_deleted t c =
 
 let lits_array t c = Array.init (n_lits t c) (fun i -> lit t c i)
 
+(* Deep copy: one blit per backing store.  The snapshot shares no memory
+   with the original, so a cloned solver (portfolio worker) can mutate
+   its clause database freely while the source keeps solving. *)
+let snapshot t =
+  let capd = Int.max 16 (A1.dim t.data) in
+  let data = make_ibuf capd in
+  A1.blit t.data data;
+  let capa = Int.max 16 (A1.dim t.act) in
+  let act = make_fbuf capa in
+  A1.blit t.act act;
+  { data; act; size = t.size; wasted = t.wasted }
+
 (* ---------------- compaction ---------------- *)
 
 let forwarded t c = A1.unsafe_get t.data c < 0

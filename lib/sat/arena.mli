@@ -60,6 +60,12 @@ val act_store : t -> (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.A
 (** Mark a clause deleted (idempotent); watchers drop it lazily. *)
 val mark_deleted : t -> cref -> unit
 
+(** [snapshot t] is a deep copy sharing no backing memory with [t]: all
+    clause references remain valid in the copy.  One blit per store —
+    this is how a portfolio clones its workers from one immutable CNF
+    snapshot without re-running clause addition per worker. *)
+val snapshot : t -> t
+
 (** Fresh copy of the clause's literals. *)
 val lits_array : t -> cref -> int array
 

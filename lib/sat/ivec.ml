@@ -85,9 +85,52 @@ let of_list xs =
   List.iter (push v) xs;
   v
 
+(* In-place heapsort directly on the word store.  The previous
+   implementation copied the live prefix into an OCaml array for
+   [Array.sort] — at a learnt-database reduction that is a minor-heap
+   allocation proportional to the database size, and reductions are the
+   dominant residual allocator in an otherwise allocation-free solve.
+   Heapsort needs no scratch space, and determinism only requires a fixed
+   permutation for a fixed input, not stability (callers' comparators
+   break ties on clause identity). *)
 let sort_in_place cmp v =
-  let live = Array.init v.size (fun i -> A1.unsafe_get v.data i) in
-  Array.sort cmp live;
-  for i = 0 to v.size - 1 do
-    A1.unsafe_set v.data i (Array.unsafe_get live i)
+  let d = v.data and n = v.size in
+  let sift root last =
+    let x = A1.unsafe_get d root in
+    let i = ref root in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 in
+      if l > last then continue := false
+      else begin
+        let c =
+          if l < last && cmp (A1.unsafe_get d l) (A1.unsafe_get d (l + 1)) < 0
+          then l + 1
+          else l
+        in
+        if cmp x (A1.unsafe_get d c) < 0 then begin
+          A1.unsafe_set d !i (A1.unsafe_get d c);
+          i := c
+        end
+        else continue := false
+      end
+    done;
+    A1.unsafe_set d !i x
+  in
+  for root = (n - 2) / 2 downto 0 do
+    sift root (n - 1)
+  done;
+  for last = n - 1 downto 1 do
+    let x = A1.unsafe_get d 0 in
+    A1.unsafe_set d 0 (A1.unsafe_get d last);
+    A1.unsafe_set d last x;
+    sift 0 (last - 1)
   done
+
+(* A structural copy sharing nothing with the original: the backing store
+   is blitted word-for-word, so iteration order and contents are
+   identical.  Used by the solver's clone (portfolio worker setup). *)
+let copy v =
+  let data = make_buf (Int.max 1 (A1.dim v.data)) in
+  A1.blit v.data data;
+  { data; size = v.size }

@@ -23,4 +23,12 @@ val iter : (int -> unit) -> t -> unit
 val filter_in_place : (int -> bool) -> t -> unit
 val to_list : t -> int list
 val of_list : int list -> t
+
+(** In-place heapsort on the word store: no scratch allocation, so a
+    learnt-database reduction sorts without touching the minor heap.  The
+    sort is not stable; for a deterministic result the comparator must
+    totally order the elements (the solver's break ties on identity). *)
 val sort_in_place : (int -> int -> int) -> t -> unit
+
+(** Deep copy sharing no storage with the original. *)
+val copy : t -> t

@@ -1,0 +1,399 @@
+(* Racing portfolio over the CDCL core.
+
+   Concurrency architecture, in one paragraph: worker 0 runs the caller's
+   solver in place, workers 1..K-1 run deep clones built on the caller's
+   domain before anything races — the clause database is therefore an
+   immutable common snapshot and no solver store is ever shared.  The only
+   cross-domain state is (a) the exchange (single-writer lanes, publish by
+   one atomic store, private reader cursors), (b) the race's cancel token
+   and (c) the winner CAS.  Workers touch all three only at solve
+   boundaries (the ~interrupt hook every 128 conflicts, and between solve
+   slices), so the propagate/analyze hot loop is exactly the lone solver's:
+   allocation-free and, with sharing off, bit-identical. *)
+
+module A = Atomic
+
+(* ---------------- the clause exchange ---------------- *)
+
+module Exchange = struct
+  type lane = {
+    buf : int array A.t; (* grow-only backing store, packed records *)
+    published : int A.t; (* words visible to readers; <= live buf length *)
+  }
+
+  type t = { lanes : lane array }
+  type cursor = int array
+
+  let record_words = 4
+
+  let create ~workers =
+    {
+      lanes =
+        Array.init workers (fun _ ->
+            { buf = A.make [||]; published = A.make 0 });
+    }
+
+  let cursor t = Array.make (Array.length t.lanes) 0
+
+  (* Single writer per lane, so [published] doubles as the writer's length
+     counter.  Order matters twice: a grown buffer is installed before the
+     record is published, and the record's plain stores happen before the
+     publishing atomic store — a reader that loads [published] first and
+     [buf] second therefore always finds the words it was promised. *)
+  let publish t ~worker ~n ~a ~b ~c =
+    let lane = t.lanes.(worker) in
+    let len = A.get lane.published in
+    let buf = A.get lane.buf in
+    let buf =
+      if len + record_words > Array.length buf then begin
+        let grown = Array.make (Int.max 256 (2 * Array.length buf)) 0 in
+        Array.blit buf 0 grown 0 len;
+        A.set lane.buf grown;
+        grown
+      end
+      else buf
+    in
+    buf.(len) <- n;
+    buf.(len + 1) <- a;
+    buf.(len + 2) <- b;
+    buf.(len + 3) <- c;
+    A.set lane.published (len + record_words)
+
+  (* Readers clamp to the loaded buffer's length defensively: the
+     invariant above makes the clamp a no-op, but a reader must never be
+     one bug away from an out-of-bounds read on shared memory. *)
+  let drain t cur ~self f =
+    let delivered = ref 0 in
+    Array.iteri
+      (fun j lane ->
+        if j <> self then begin
+          let p = A.get lane.published in
+          let buf = A.get lane.buf in
+          let p = Int.min p (Array.length buf) in
+          let pos = ref cur.(j) in
+          while !pos + record_words <= p do
+            f ~n:buf.(!pos) ~a:buf.(!pos + 1) ~b:buf.(!pos + 2)
+              ~c:buf.(!pos + 3);
+            incr delivered;
+            pos := !pos + record_words
+          done;
+          cur.(j) <- !pos
+        end)
+      t.lanes;
+    !delivered
+
+  let pending t cur ~self =
+    let n = Array.length t.lanes in
+    let rec go j =
+      j < n
+      && ((j <> self && A.get t.lanes.(j).published > cur.(j)) || go (j + 1))
+    in
+    go 0
+
+  let n_records t =
+    Array.fold_left
+      (fun acc lane -> acc + (A.get lane.published / record_words))
+      0 t.lanes
+
+  let records t =
+    Array.to_list t.lanes
+    |> List.concat_map (fun lane ->
+           let p = A.get lane.published in
+           let buf = A.get lane.buf in
+           let p = Int.min p (Array.length buf) in
+           let rec go i acc =
+             if i + record_words <= p then
+               go (i + record_words)
+                 (Array.init buf.(i) (fun j -> buf.(i + 1 + j)) :: acc)
+             else List.rev acc
+           in
+           go 0 [])
+end
+
+(* ---------------- workers ---------------- *)
+
+type worker = { name : string; config : Solver.config; phase_seed : int }
+
+let profiles = [| Profiles.Minisat; Profiles.Lingeling; Profiles.Cms5 |]
+
+(* Deterministic diversification: the profile spectrum crossed with small
+   jitter.  Worker 0 is the pristine template (phase seed 0 = keep saved
+   phases) so a sharing-off portfolio contains the lone solver verbatim. *)
+let default_workers ~k =
+  List.init k (fun i ->
+      if i = 0 then
+        {
+          name = "w0:minisat";
+          config = Profiles.config Profiles.Minisat;
+          phase_seed = 0;
+        }
+      else begin
+        let p = profiles.(i mod Array.length profiles) in
+        let base = Profiles.config p in
+        let variant = i / Array.length profiles in
+        let config =
+          {
+            base with
+            Solver.var_decay =
+              Float.min 0.999
+                (base.Solver.var_decay +. (0.005 *. float_of_int variant));
+            restart_first = base.Solver.restart_first * (1 + (variant land 1));
+            use_luby =
+              (if variant land 2 = 0 then base.Solver.use_luby
+               else not base.Solver.use_luby);
+          }
+        in
+        {
+          name = Printf.sprintf "w%d:%s" i (Profiles.name p);
+          config;
+          (* odd, so distinct workers never collapse to the same stream *)
+          phase_seed = (i * 0x9E3779B1) lor 1;
+        }
+      end)
+
+(* ---------------- the race ---------------- *)
+
+type report = {
+  rname : string;
+  rresult : Types.result;
+  rstats : Types.stats;
+  rwinner : bool;
+}
+
+type outcome = {
+  result : Types.result;
+  winner : int;
+  reports : report list;
+  solver : Solver.t;
+  units : Cnf.Lit.t list;
+  binaries : (Cnf.Lit.t * Cnf.Lit.t) list;
+  exchanged : int array list;
+  imported : int;
+  exported : int;
+}
+
+(* Forced export cadence: with sharing on, a worker bounces out of the
+   search every 8th interrupt poll (~1024 conflicts) even when nothing is
+   pending, so its learnt clauses reach the exchange without waiting for
+   another worker to publish first. *)
+let export_poll_mask = 7
+
+let race ?conflict_budget ?time_budget_s ?(interrupt = fun () -> false)
+    ?(share = true) ?(ternary_lbd_cap = 0) ~workers template =
+  if List.compare_length_with workers 0 = 0 then
+    invalid_arg "Portfolio.race: no workers";
+  let workers = Array.of_list workers in
+  let k = Array.length workers in
+  (* Clones are built here, on the caller's domain, before anything runs:
+     cloning a solver that another domain is mutating would be a race. *)
+  let solvers =
+    Array.mapi
+      (fun i w ->
+        if i = 0 then template
+        else begin
+          let s = Solver.clone ~config:w.config template in
+          if w.phase_seed <> 0 then Solver.randomize_phases s ~seed:w.phase_seed;
+          s
+        end)
+      workers
+  in
+  if share && ternary_lbd_cap > 0 then
+    Array.iter (fun s -> Solver.set_ternary_export s ~max_lbd:ternary_lbd_cap) solvers;
+  let ex = Exchange.create ~workers:k in
+  let cancel = Runtime.Pool.Cancel.create () in
+  let winner = A.make (-1) in
+  let deadline = Option.map (fun t -> Unix.gettimeofday () +. t) time_budget_s in
+  let run_worker i () =
+    let w = workers.(i) and s = solvers.(i) in
+    if Obs.Trace.enabled () then Obs.Trace.set_track_name w.name;
+    Obs.Trace.with_span ~name:("portfolio." ^ w.name) @@ fun () ->
+    let conflicts0 = (Solver.stats s).Types.conflicts in
+    let cur = Exchange.cursor ex in
+    (* Export high-water marks start at the template's current logs: facts
+       already present at race start are in every clone, so only clauses
+       learnt during this race travel. *)
+    let u_hwm = ref (Solver.n_root_units s)
+    and b_hwm = ref (Solver.binlog_words s)
+    and t_hwm = ref (Solver.ternlog_words s) in
+    let export () =
+      if share then begin
+        let nu = Solver.n_root_units s
+        and nb = Solver.binlog_words s
+        and nt = Solver.ternlog_words s in
+        let count = ref 0 in
+        for u = !u_hwm to nu - 1 do
+          Exchange.publish ex ~worker:i ~n:1
+            ~a:(Solver.root_unit_packed s u) ~b:0 ~c:0;
+          incr count
+        done;
+        let p = ref !b_hwm in
+        while !p + 2 <= nb do
+          Exchange.publish ex ~worker:i ~n:2 ~a:(Solver.binlog_word s !p)
+            ~b:(Solver.binlog_word s (!p + 1)) ~c:0;
+          incr count;
+          p := !p + 2
+        done;
+        let p = ref !t_hwm in
+        while !p + 3 <= nt do
+          Exchange.publish ex ~worker:i ~n:3 ~a:(Solver.ternlog_word s !p)
+            ~b:(Solver.ternlog_word s (!p + 1))
+            ~c:(Solver.ternlog_word s (!p + 2));
+          incr count;
+          p := !p + 3
+        done;
+        u_hwm := nu;
+        b_hwm := nb;
+        t_hwm := nt;
+        if !count > 0 then Solver.note_exported s !count
+      end
+    in
+    let import () =
+      if share then
+        ignore
+          (Exchange.drain ex cur ~self:i (fun ~n ~a ~b ~c ->
+               ignore (Solver.import_packed s ~a ~b ~c ~n)))
+    in
+    (* The in-search hook: cancellation and the caller's interrupt always;
+       with sharing on, also pending imports and the forced export
+       cadence.  No allocation — [pending] is one atomic load per lane. *)
+    let polls = ref 0 in
+    let hook () =
+      incr polls;
+      Runtime.Pool.Cancel.is_set cancel
+      || interrupt ()
+      || share
+         && (!polls land export_poll_mask = 0 || Exchange.pending ex cur ~self:i)
+    in
+    let remaining_conflicts () =
+      Option.map
+        (fun cb ->
+          Int.max 0 (cb - ((Solver.stats s).Types.conflicts - conflicts0)))
+        conflict_budget
+    in
+    let remaining_time () =
+      Option.map (fun d -> d -. Unix.gettimeofday ()) deadline
+    in
+    let exhausted () =
+      (match remaining_conflicts () with Some 0 -> true | _ -> false)
+      || match remaining_time () with Some t -> t <= 0.0 | _ -> false
+    in
+    (* Every exit path flushes the export log first (the winner's final
+       facts must reach the exchange before the race is harvested) and
+       then tries to claim the win: first decider takes the CAS and trips
+       the shared token; everyone else stops at their next poll. *)
+    let finish result =
+      export ();
+      let won =
+        match result with
+        | Types.Sat _ | Types.Unsat ->
+            if A.compare_and_set winner (-1) i then begin
+              Runtime.Pool.Cancel.set cancel;
+              Obs.Trace.instant "portfolio.win" ~args:[ ("worker", w.name) ];
+              true
+            end
+            else false
+        | Types.Undecided -> false
+      in
+      {
+        rname = w.name;
+        rresult = result;
+        rstats = Types.copy_stats (Solver.stats s);
+        rwinner = won;
+      }
+    in
+    let rec loop () =
+      import ();
+      if not (Solver.okay s) then finish Types.Unsat
+      else if Runtime.Pool.Cancel.is_set cancel || interrupt () then
+        finish Types.Undecided
+      else if exhausted () then finish Types.Undecided
+      else begin
+        let r =
+          Solver.solve ?conflict_budget:(remaining_conflicts ())
+            ?time_budget_s:(remaining_time ()) ~interrupt:hook s
+        in
+        export ();
+        match r with
+        | Types.Sat _ | Types.Unsat -> finish r
+        | Types.Undecided ->
+            if
+              Runtime.Pool.Cancel.is_set cancel || interrupt () || exhausted ()
+            then finish Types.Undecided
+            else loop ()
+      end
+    in
+    loop ()
+  in
+  let results = Runtime.Pool.run_pinned (List.init k run_worker) in
+  let reports =
+    List.map (function Ok r -> r | Error e -> raise e) results
+  in
+  let widx = A.get winner in
+  let result =
+    if widx >= 0 then (List.nth reports widx).rresult else Types.Undecided
+  in
+  let exchanged = Exchange.records ex in
+  let units =
+    List.filter_map
+      (fun r ->
+        if Array.length r = 1 then Some (Cnf.Lit.of_index r.(0)) else None)
+      exchanged
+  in
+  let binaries =
+    List.filter_map
+      (fun r ->
+        if Array.length r = 2 then
+          Some (Cnf.Lit.of_index r.(0), Cnf.Lit.of_index r.(1))
+        else None)
+      exchanged
+  in
+  let imported =
+    List.fold_left (fun acc r -> acc + r.rstats.Types.imported_clauses) 0 reports
+  in
+  let exported =
+    List.fold_left (fun acc r -> acc + r.rstats.Types.exported_clauses) 0 reports
+  in
+  Obs.Metrics.incr (Obs.Metrics.counter "portfolio.races");
+  Obs.Metrics.incr ~by:imported (Obs.Metrics.counter "portfolio.imported_clauses");
+  Obs.Metrics.incr ~by:exported (Obs.Metrics.counter "portfolio.exported_clauses");
+  if widx >= 0 then
+    Obs.Metrics.incr
+      (Obs.Metrics.counter ("portfolio.wins." ^ workers.(widx).name));
+  {
+    result;
+    winner = widx;
+    reports;
+    solver = solvers.(Int.max widx 0);
+    units;
+    binaries;
+    exchanged;
+    imported;
+    exported;
+  }
+
+let solve ?conflict_budget ?time_budget_s ?share ?ternary_lbd_cap ~k f =
+  let k = Int.max 1 k in
+  let s = Solver.create ~nvars:(Cnf.Formula.nvars f) () in
+  if not (Solver.add_formula s f) then
+    {
+      result = Types.Unsat;
+      winner = 0;
+      reports =
+        [
+          {
+            rname = "w0:minisat";
+            rresult = Types.Unsat;
+            rstats = Types.copy_stats (Solver.stats s);
+            rwinner = true;
+          };
+        ];
+      solver = s;
+      units = [];
+      binaries = [];
+      exchanged = [];
+      imported = 0;
+      exported = 0;
+    }
+  else
+    race ?conflict_budget ?time_budget_s ?share ?ternary_lbd_cap
+      ~workers:(default_workers ~k) s

@@ -34,6 +34,11 @@ let lingeling_config =
 
 let cms5_config = { minisat_config with Solver.var_decay = 0.92 }
 
+let config = function
+  | Minisat -> minisat_config
+  | Lingeling -> lingeling_config
+  | Cms5 -> cms5_config
+
 let run_solver ?conflict_budget ?time_budget_s config f =
   let s = Solver.create ~config ~nvars:(Cnf.Formula.nvars f) () in
   if not (Solver.add_formula s f) then

@@ -18,6 +18,10 @@ val all : profile list
 val name : profile -> string
 val of_name : string -> profile option
 
+(** Search tunables of a profile, for callers that build the solver
+    themselves (the portfolio diversifies these across workers). *)
+val config : profile -> Solver.config
+
 type output = {
   result : Types.result;  (** model given in the original variable numbering *)
   stats : Types.stats option;  (** CDCL statistics ([None] if preprocessing decided) *)

@@ -91,6 +91,17 @@ type t = {
   clauses : Ivec.t; (* problem clause crefs *)
   learnts : Ivec.t; (* learnt clause crefs (live only) *)
   binlog : Ivec.t; (* grow-only log of learnt binaries, packed lit pairs *)
+  ternlog : Ivec.t; (* grow-only log of learnt ternaries, packed lit triples *)
+  mutable ternary_lbd_cap : int; (* log ternaries with LBD <= cap; 0 = off *)
+  (* import_packed scratch: scalar slots for the up-to-three surviving
+     literals of a clause under adoption, as record fields so the import
+     path allocates no ref cells (check.hotpaths holds it to the
+     zero-allocation rule) *)
+  mutable imp_l0 : int;
+  mutable imp_l1 : int;
+  mutable imp_l2 : int;
+  mutable imp_keep : int;
+  mutable imp_sat : bool;
   mutable watches : Ivec.t array; (* literal -> (cref, blocker) pairs *)
   mutable assigns : iarr; (* variable -> code_true/false/unknown *)
   mutable phase : iarr; (* saved phase per variable, 0/1 *)
@@ -141,6 +152,13 @@ let create ?(config = default_config) ~nvars () =
       clauses = Ivec.create ();
       learnts = Ivec.create ();
       binlog = Ivec.create ();
+      ternlog = Ivec.create ();
+      ternary_lbd_cap = 0;
+      imp_l0 = -1;
+      imp_l1 = -1;
+      imp_l2 = -1;
+      imp_keep = 0;
+      imp_sat = false;
       watches = Array.init (2 * n) (fun _ -> Ivec.create ());
       assigns = make_iarr n code_unknown;
       phase = make_iarr n 0;
@@ -785,7 +803,13 @@ let add_xor t ~vars ~parity =
 let compact t =
   Obs.Trace.with_span ~name:"sat.arena_gc" @@ fun () ->
   let old = t.arena in
-  let into = Arena.create ~cap:(Arena.words old - Arena.wasted old + 16) () in
+  (* half-again headroom over the live words: an exactly-sized arena
+     forces the very next learnt allocation to double-and-copy the store
+     compaction just built — measurable residual allocation on long
+     solves (the bcp_ksat_250 gate) for no memory saving that survives
+     the next growth anyway *)
+  let live = Arena.words old - Arena.wasted old in
+  let into = Arena.create ~cap:(live + (live / 2) + 16) () in
   let remap vec =
     for i = 0 to Ivec.size vec - 1 do
       Ivec.set vec i (Arena.move old ~into (Ivec.get vec i))
@@ -890,7 +914,15 @@ let record_learnt t lbd =
     if nl = 2 then
       Ivec.push2 t.binlog
         (Ivec.unsafe_get t.learnt_scratch 0)
-        (Ivec.unsafe_get t.learnt_scratch 1);
+        (Ivec.unsafe_get t.learnt_scratch 1)
+    else if nl = 3 && lbd <= t.ternary_lbd_cap then begin
+      (* opt-in (portfolio sharing): low-LBD ternaries join the grow-only
+         export log; the cap defaults to 0, so a lone solver never logs *)
+      Ivec.push t.ternlog (Ivec.unsafe_get t.learnt_scratch 0);
+      Ivec.push2 t.ternlog
+        (Ivec.unsafe_get t.learnt_scratch 1)
+        (Ivec.unsafe_get t.learnt_scratch 2)
+    end;
     attach t c;
     bump_clause t c;
     t.stats.learnt_clauses <- t.stats.learnt_clauses + 1;
@@ -1242,6 +1274,193 @@ let learnt_clauses t =
         List.init (Arena.n_lits a c) (fun i -> Cnf.Lit.of_index (Arena.lit a c i)) :: !acc)
     t.learnts;
   List.rev !acc
+
+(* ---------------- portfolio hooks: clone, jitter, clause exchange ----- *)
+
+let copy_iarr (a : iarr) : iarr =
+  let b = A1.create Bigarray.int Bigarray.c_layout (A1.dim a) in
+  A1.blit a b;
+  b
+
+let copy_farr (a : farr) : farr =
+  let b = A1.create Bigarray.float64 Bigarray.c_layout (A1.dim a) in
+  A1.blit a b;
+  b
+
+(* XOR rows are shared between exactly the two watch lists of their
+   watched variables; the copy must preserve that aliasing (one mutable
+   row object per source row), so rows are memoised by physical
+   identity.  [n_xors] is small, so a linear scan suffices. *)
+let clone_xor_watches t =
+  if t.n_xors = 0 then Array.make (Array.length t.xor_watches) []
+  else begin
+    let copies : (xor_row * xor_row) list ref = ref [] in
+    let copy_row row =
+      match List.find_opt (fun (o, _) -> o == row) !copies with
+      | Some (_, c) -> c
+      | None ->
+          let c = { row with vars = Array.copy row.vars } in
+          copies := (row, c) :: !copies;
+          c
+    in
+    Array.map (List.map copy_row) t.xor_watches
+  end
+
+(* Deep copy for portfolio workers: every mutable store is blitted, so
+   until configs, phases or imported clauses make them diverge, clone and
+   source walk bit-identical trajectories.  [config] swaps the search
+   tunables; the write-once proof log is shared structurally. *)
+let clone ?config t =
+  let config = Option.value config ~default:t.config in
+  let activity = copy_farr t.activity in
+  {
+    config;
+    nvars = t.nvars;
+    arena = Arena.snapshot t.arena;
+    clauses = Ivec.copy t.clauses;
+    learnts = Ivec.copy t.learnts;
+    binlog = Ivec.copy t.binlog;
+    ternlog = Ivec.copy t.ternlog;
+    ternary_lbd_cap = t.ternary_lbd_cap;
+    imp_l0 = -1;
+    imp_l1 = -1;
+    imp_l2 = -1;
+    imp_keep = 0;
+    imp_sat = false;
+    watches = Array.map Ivec.copy t.watches;
+    assigns = copy_iarr t.assigns;
+    phase = copy_iarr t.phase;
+    activity;
+    reason = copy_iarr t.reason;
+    level = copy_iarr t.level;
+    trail = copy_iarr t.trail;
+    trail_size = t.trail_size;
+    trail_lim = Ivec.copy t.trail_lim;
+    qhead = t.qhead;
+    heap = Var_heap.copy t.heap activity;
+    ok = t.ok;
+    incs = copy_farr t.incs;
+    seen = copy_iarr t.seen;
+    max_learnts = t.max_learnts;
+    xor_watches = clone_xor_watches t;
+    n_xors = t.n_xors;
+    proof_enabled = t.proof_enabled;
+    proof_log = t.proof_log;
+    prop_conflict = t.prop_conflict;
+    analyze_scratch = Ivec.copy t.analyze_scratch;
+    learnt_scratch = Ivec.copy t.learnt_scratch;
+    to_clear = Ivec.copy t.to_clear;
+    analyze_bt = t.analyze_bt;
+    analyze_lbd = t.analyze_lbd;
+    lbd_stamp = copy_iarr t.lbd_stamp;
+    stamp = t.stamp;
+    redu_seen = copy_iarr t.redu_seen;
+    redu_val = copy_iarr t.redu_val;
+    redu_epoch = t.redu_epoch;
+    stats = copy_stats t.stats;
+  }
+
+(* Deterministic xorshift64 over the saved phases: cheap diversification
+   for portfolio workers (a different initial polarity steers the first
+   descent into a different region of the search tree).  Seed 0 is mapped
+   away from the generator's all-zeros fixed point. *)
+let randomize_phases t ~seed =
+  let s = ref (if seed = 0 then 0x2545F4914F6CDD1D else seed) in
+  for v = 0 to t.nvars - 1 do
+    let x = !s in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    s := x;
+    A1.set t.phase v (x land 1)
+  done
+
+(* Raw views of the grow-only export logs, in packed-literal form: the
+   portfolio's export path copies words straight from these into its
+   exchange lanes without building intermediate lists. *)
+let root_unit_packed t i = A1.get t.trail i
+let binlog_words t = Ivec.size t.binlog
+let binlog_word t k = Ivec.get t.binlog k
+let ternlog_words t = Ivec.size t.ternlog
+let ternlog_word t k = Ivec.get t.ternlog k
+let set_ternary_export t ~max_lbd = t.ternary_lbd_cap <- max_lbd
+
+let note_exported t n =
+  t.stats.exported_clauses <- t.stats.exported_clauses + n
+
+(* Adopt a clause learnt by another portfolio worker; level-0 only (the
+   portfolio calls it between [solve] slices, after the restart-boundary
+   interrupt).  The up-to-three packed literals are root-simplified in
+   scalar slots — no list or array is built: satisfied clauses are
+   dropped, false literals removed, survivors dispatched as unit / binary
+   / ternary.  Imported clauses enter the database as learnts with LBD =
+   length but are never echoed into this solver's binary/ternary export
+   logs (the exchange already holds them) and are not added to the proof
+   log (they are not RUP against this solver's database at import time;
+   the exchange is certified globally instead — see Audit/tests).
+   Returns [false] once the solver is root-UNSAT. *)
+let import_consider t p =
+  if not t.imp_sat then begin
+    if lit_var p >= t.nvars then begin
+      grow_arrays t (lit_var p + 1);
+      for v = t.nvars to lit_var p do
+        Var_heap.insert t.heap v
+      done;
+      t.nvars <- lit_var p + 1
+    end;
+    let code = lit_code t p in
+    if code = code_true then t.imp_sat <- true
+    else if code = code_false then ()
+    else if p = t.imp_l0 || p = t.imp_l1 || p = t.imp_l2 then () (* duplicate *)
+    else if lit_neg p = t.imp_l0 || lit_neg p = t.imp_l1 || lit_neg p = t.imp_l2
+    then t.imp_sat <- true (* tautology *)
+    else begin
+      (if t.imp_keep = 0 then t.imp_l0 <- p
+       else if t.imp_keep = 1 then t.imp_l1 <- p
+       else t.imp_l2 <- p);
+      t.imp_keep <- t.imp_keep + 1
+    end
+  end
+
+let import_packed t ~a ~b ~c ~n =
+  if not t.ok then false
+  else begin
+    assert (decision_level t = 0);
+    t.imp_l0 <- -1;
+    t.imp_l1 <- -1;
+    t.imp_l2 <- -1;
+    t.imp_keep <- 0;
+    t.imp_sat <- false;
+    import_consider t a;
+    if n >= 2 then import_consider t b;
+    if n >= 3 then import_consider t c;
+    if t.imp_sat then true
+    else
+      match t.imp_keep with
+      | 0 ->
+          mark_unsat t;
+          false
+      | 1 ->
+          enqueue t t.imp_l0 Arena.none;
+          if propagate t <> Arena.none then begin
+            mark_unsat t;
+            false
+          end
+          else begin
+            t.stats.imported_clauses <- t.stats.imported_clauses + 1;
+            true
+          end
+      | nk ->
+          let cr = Arena.alloc_blank t.arena ~learnt:true ~temp:false nk in
+          Arena.set_lit t.arena cr 0 t.imp_l0;
+          Arena.set_lit t.arena cr 1 t.imp_l1;
+          if nk = 3 then Arena.set_lit t.arena cr 2 t.imp_l2;
+          Arena.set_lbd t.arena cr nk;
+          Ivec.push t.learnts cr;
+          attach t cr;
+          t.stats.imported_clauses <- t.stats.imported_clauses + 1;
+          true
+  end
 
 (* Test/diagnostic hooks for the arena lifecycle. *)
 let reduce_learnts t = reduce_db t

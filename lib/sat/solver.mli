@@ -155,6 +155,57 @@ val arena_wasted_words : t -> int
 (** Learnt clauses currently live (not deletion-marked). *)
 val n_live_learnts : t -> int
 
+(** {2 Portfolio hooks: cloning, jitter and the clause exchange}
+
+    A portfolio (see {!Portfolio}) races diversified clones of one solver
+    on separate domains.  The hooks below are all no-ops or unused on a
+    lone solver: with sharing off, a solver's trajectory is bit-identical
+    to one that never heard of them. *)
+
+(** [clone ?config t] is a deep copy of the solver — arena, watch lists,
+    trail, saved phases, activities, heap order, learnt logs — sharing no
+    mutable state with [t], optionally with different search tunables.
+    Until configs, phases or imported clauses diverge, clone and source
+    walk bit-identical trajectories.  Cost: one blit per store. *)
+val clone : ?config:config -> t -> t
+
+(** [randomize_phases t ~seed] re-seeds the saved decision polarities
+    from a deterministic xorshift stream — portfolio jitter.  Call at
+    decision level 0, before {!solve}. *)
+val randomize_phases : t -> seed:int -> unit
+
+(** [set_ternary_export t ~max_lbd] also logs learnt 3-clauses with LBD
+    at most [max_lbd] into a grow-only export log ([0], the default,
+    logs none).  Affects only what the portfolio can export — never the
+    search itself. *)
+val set_ternary_export : t -> max_lbd:int -> unit
+
+(** Packed-literal views of the grow-only export logs (a packed literal
+    is [2*var + sign], the arena encoding).  [root_unit_packed t i] for
+    [i < n_root_units t]; binary log words come in pairs, ternary words
+    in triples.  The portfolio's export path copies these words straight
+    into its exchange lanes — no intermediate lists. *)
+val root_unit_packed : t -> int -> int
+
+val binlog_words : t -> int
+val binlog_word : t -> int -> int
+val ternlog_words : t -> int
+val ternlog_word : t -> int -> int
+
+(** [import_packed t ~a ~b ~c ~n] adopts a clause of [n] (1..3) packed
+    literals learnt by another worker, at decision level 0: the clause is
+    root-simplified without allocation and enters the database as a
+    learnt (unit imports are enqueued and propagated).  Imports are never
+    echoed into this solver's export logs and never enter its proof log —
+    soundness of exchanged clauses is certified externally (RUP replay
+    over the exchange, see Audit).  Returns [false] once the solver is
+    root-UNSAT. *)
+val import_packed : t -> a:int -> b:int -> c:int -> n:int -> bool
+
+(** [note_exported t n] credits [n] exported clauses to {!stats} (the
+    exchange, not the solver, performs the export). *)
+val note_exported : t -> int -> unit
+
 (** [invariant_violations t] checks internal consistency — watch lists
     (every clause watched on its first two literals, every watcher
     well-formed), trail/assignment agreement, queue-head bounds, and XOR

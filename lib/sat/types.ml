@@ -29,6 +29,8 @@ type stats = {
   mutable max_decision_level : int;
   mutable lazy_detach_drops : int;
   mutable arena_gcs : int;
+  mutable imported_clauses : int;
+  mutable exported_clauses : int;
 }
 
 let fresh_stats () =
@@ -42,11 +44,29 @@ let fresh_stats () =
     max_decision_level = 0;
     lazy_detach_drops = 0;
     arena_gcs = 0;
+    imported_clauses = 0;
+    exported_clauses = 0;
+  }
+
+let copy_stats s =
+  {
+    conflicts = s.conflicts;
+    decisions = s.decisions;
+    propagations = s.propagations;
+    restarts = s.restarts;
+    learnt_clauses = s.learnt_clauses;
+    deleted_clauses = s.deleted_clauses;
+    max_decision_level = s.max_decision_level;
+    lazy_detach_drops = s.lazy_detach_drops;
+    arena_gcs = s.arena_gcs;
+    imported_clauses = s.imported_clauses;
+    exported_clauses = s.exported_clauses;
   }
 
 let pp_stats ppf s =
   Format.fprintf ppf
     "conflicts=%d decisions=%d propagations=%d restarts=%d learnt=%d deleted=%d max_level=%d \
-     lazy_drops=%d arena_gcs=%d"
+     lazy_drops=%d arena_gcs=%d imported=%d exported=%d"
     s.conflicts s.decisions s.propagations s.restarts s.learnt_clauses s.deleted_clauses
-    s.max_decision_level s.lazy_detach_drops s.arena_gcs
+    s.max_decision_level s.lazy_detach_drops s.arena_gcs s.imported_clauses
+    s.exported_clauses

@@ -28,7 +28,15 @@ type stats = {
       (** watchers of deleted clauses dropped during propagation (the lazy
           replacement for eager watch-list detach scans) *)
   mutable arena_gcs : int;  (** clause-arena compactions performed *)
+  mutable imported_clauses : int;
+      (** clauses adopted from other portfolio workers via the exchange *)
+  mutable exported_clauses : int;
+      (** clauses this solver published to the exchange *)
 }
 
 val fresh_stats : unit -> stats
+
+(** Structural copy (a cloned solver keeps counting from its source's
+    totals rather than aliasing them). *)
+val copy_stats : stats -> stats
 val pp_stats : Format.formatter -> stats -> unit

@@ -40,6 +40,16 @@ let grow h n activity =
   h.activity <- activity;
   h
 
+(* Structural copy onto a fresh (already copied) activity store: slots and
+   positions are blitted, so the copy pops variables in exactly the same
+   order as the source — a cloned solver's first decisions match. *)
+let copy h activity =
+  let n = A1.dim h.pos in
+  let heap = make_iarr n 0 and pos = make_iarr n (-1) in
+  A1.blit h.heap heap;
+  A1.blit h.pos pos;
+  { heap; pos; size = h.size; activity }
+
 let is_empty h = h.size = 0
 let mem h v = v < A1.dim h.pos && A1.unsafe_get h.pos v >= 0
 

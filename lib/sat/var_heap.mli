@@ -18,6 +18,10 @@ val create : int -> farr -> t
     activity store (which may have been reallocated). *)
 val grow : t -> int -> farr -> t
 
+(** [copy h activity] is a structural copy bound to [activity] (itself a
+    copy of the source store): identical pop order, shared nothing. *)
+val copy : t -> farr -> t
+
 val is_empty : t -> bool
 val mem : t -> int -> bool
 

@@ -101,6 +101,7 @@ type mode = {
   incremental : bool;
   jobs : int;
   budgeted : bool;
+  portfolio : int;
 }
 
 let config_of mode =
@@ -112,6 +113,7 @@ let config_of mode =
       sat_budget_start = 500;
       incremental_sat = mode.incremental;
       jobs = mode.jobs;
+      portfolio = mode.portfolio;
     }
   in
   if mode.budgeted then
@@ -141,10 +143,30 @@ let modes =
                 incremental;
                 jobs;
                 budgeted;
+                portfolio = 1;
               })
             [ false; true ])
         [ 1; 4 ])
     [ true; false ]
+  (* the portfolio races diversified solver clones per SAT round; its
+     facts (winner's plus the clause exchange) must be exactly as sound
+     as the single-solver modes' *)
+  @ [
+      {
+        mode_name = "incremental/portfolio2";
+        incremental = true;
+        jobs = 1;
+        budgeted = false;
+        portfolio = 2;
+      };
+      {
+        mode_name = "fresh/portfolio3";
+        incremental = false;
+        jobs = 1;
+        budgeted = false;
+        portfolio = 3;
+      };
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* The differential check                                              *)

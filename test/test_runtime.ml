@@ -124,6 +124,104 @@ let test_default_jobs_positive () =
 (* Grain: measured granularity auto-tuning                              *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* run_pinned: dedicated domains for long tasks                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_run_pinned_order_and_errors () =
+  (match Pool.run_pinned [] with
+  | [] -> ()
+  | _ -> Alcotest.fail "empty batch");
+  (match Pool.run_pinned [ (fun () -> 41 + 1) ] with
+  | [ Ok 42 ] -> ()
+  | _ -> Alcotest.fail "singleton runs inline");
+  let results =
+    Pool.run_pinned
+      [ (fun () -> 1); (fun () -> raise (Boom 5)); (fun () -> 3) ]
+  in
+  (match results with
+  | [ Ok 1; Error (Boom 5); Ok 3 ] -> ()
+  | _ -> Alcotest.fail "submission order with per-slot errors");
+  (* the pinned worker set is reusable *)
+  match Pool.run_pinned [ (fun () -> 7); (fun () -> 8) ] with
+  | [ Ok 7; Ok 8 ] -> ()
+  | _ -> Alcotest.fail "pinned set reusable after a failed batch"
+
+let test_run_pinned_beside_queue () =
+  (* pinned tasks run beside the work queue, not in it: while two pinned
+     tasks occupy their dedicated domains (spinning on [release]), a
+     batch on the shared pool must still complete — if the pinned tasks
+     had been queued instead, they could hold the queue's workers and
+     the release below would never be reached *)
+  let release = Atomic.make false in
+  let results =
+    Pool.run_pinned
+      [
+        (fun () ->
+          (* runs on the caller, per the run_pinned contract *)
+          let pool = Pool.get ~jobs:2 in
+          let batch = Pool.run pool (List.init 8 (fun i () -> i)) in
+          Atomic.set release true;
+          List.fold_left ( + ) 0 batch);
+        (fun () ->
+          while not (Atomic.get release) do
+            Domain.cpu_relax ()
+          done;
+          1);
+        (fun () ->
+          while not (Atomic.get release) do
+            Domain.cpu_relax ()
+          done;
+          2);
+      ]
+  in
+  match results with
+  | [ Ok 28; Ok 1; Ok 2 ] -> ()
+  | _ -> Alcotest.fail "shared queue starved by pinned tasks"
+
+let test_run_pinned_with_inner_queue_work () =
+  (* a pinned task may itself dispatch on the shared pool *)
+  let results =
+    Pool.run_pinned
+      (List.init 3 (fun i () ->
+           let pool = Pool.get ~jobs:2 in
+           List.fold_left ( + ) 0 (Pool.run pool (List.init 4 (fun j () -> (10 * i) + j)))))
+  in
+  match results with
+  | [ Ok 6; Ok 46; Ok 86 ] -> ()
+  | _ -> Alcotest.fail "pinned tasks dispatching inner queue batches"
+
+let test_run_pinned_cancel_skips () =
+  let c = Pool.Cancel.create () in
+  Pool.Cancel.set c;
+  let results = Pool.run_pinned ~cancel:c [ (fun () -> 1); (fun () -> 2) ] in
+  List.iter
+    (function
+      | Error Pool.Cancelled -> ()
+      | Ok _ -> Alcotest.fail "pre-set token must skip pinned slots"
+      | Error e -> Alcotest.fail ("wrong exception: " ^ Printexc.to_string e))
+    results
+
+let test_worth_parallel_jobs_no_pool () =
+  let g = Pool.Grain.gauge ~name:"test.worth_jobs" ~default_op_ns:1000.0 in
+  Alcotest.(check bool) "jobs=1 never parallel" false
+    (Pool.Grain.worth_parallel_jobs ~jobs:1 g ~ops:1_000_000_000);
+  Alcotest.(check bool) "zero work stays inline" false
+    (Pool.Grain.worth_parallel_jobs ~jobs:4 g ~ops:0);
+  let host_parallel = Domain.recommended_domain_count () > 1 in
+  Alcotest.(check bool) "huge work dispatches iff the host can"
+    host_parallel
+    (Pool.Grain.worth_parallel_jobs ~jobs:4 g ~ops:1_000_000_000);
+  (* the probe decision agrees with the pool-in-hand decision *)
+  let par = Pool.get ~jobs:2 in
+  List.iter
+    (fun ops ->
+      Alcotest.(check bool)
+        (Printf.sprintf "agrees with worth_parallel at ops=%d" ops)
+        (Pool.Grain.worth_parallel par g ~ops)
+        (Pool.Grain.worth_parallel_jobs ~jobs:2 g ~ops))
+    [ 0; 1; 1_000; 1_000_000_000 ]
+
 let test_grain_observe_ema () =
   let g = Pool.Grain.gauge ~name:"test.ema" ~default_op_ns:100.0 in
   Alcotest.(check (float 1e-9)) "seeded" 100.0 (Pool.Grain.op_ns g);
@@ -178,9 +276,22 @@ let suite =
         Alcotest.test_case "shared pool handles" `Quick test_shared_pool;
         Alcotest.test_case "default_jobs positive" `Quick test_default_jobs_positive;
       ] );
+    ( "runtime.pinned",
+      [
+        Alcotest.test_case "order and per-slot errors" `Quick
+          test_run_pinned_order_and_errors;
+        Alcotest.test_case "runs beside the work queue" `Quick
+          test_run_pinned_beside_queue;
+        Alcotest.test_case "inner queue dispatch" `Quick
+          test_run_pinned_with_inner_queue_work;
+        Alcotest.test_case "pre-set token skips slots" `Quick
+          test_run_pinned_cancel_skips;
+      ] );
     ( "runtime.grain",
       [
         Alcotest.test_case "observe feeds the EMA" `Quick test_grain_observe_ema;
         Alcotest.test_case "worth_parallel thresholds" `Quick test_grain_worth_parallel;
+        Alcotest.test_case "worth_parallel_jobs probes without a pool" `Quick
+          test_worth_parallel_jobs_no_pool;
       ] );
   ]
