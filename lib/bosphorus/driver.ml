@@ -36,6 +36,62 @@ type stages = {
 
 let all_stages = { use_xl = true; use_elimlin = true; use_sat = true; use_groebner = false }
 
+module PSet = Set.Make (P)
+
+module Session = struct
+  (* What survives between runs: the incremental conversion state, the
+     warm solver, the fact-extraction high-water marks that keep already
+     harvested units/binaries from being re-extracted, and the variable
+     range the conversion was fixed to.  [fed] counts the delta clauses
+     fed to this solver since it was pinned — exactly what a compatible
+     next run starts out knowing. *)
+  type state = {
+    inc : Anf_to_cnf.incremental;
+    solver : Sat.Solver.t;
+    mutable units_hwm : int;
+    mutable bins_hwm : int;
+    anf_nvars : int;
+    mutable fed : int;
+    mutable polys : int;
+  }
+
+  type t = {
+    mutable st : state option;
+    mutable inputs : PSet.t;  (** the pinning run's input, as a set *)
+    mutable cfg : Config.t option;
+    mutable n_runs : int;
+    mutable n_resets : int;
+  }
+
+  let create () =
+    { st = None; inputs = PSet.empty; cfg = None; n_runs = 0; n_resets = 0 }
+
+  let runs t = t.n_runs
+  let resets t = t.n_resets
+  let carried_clauses t = match t.st with Some st -> st.fed | None -> 0
+  let carried_polys t = match t.st with Some st -> st.polys | None -> 0
+
+  (* Reuse is sound iff every clause already in the pinned solver is a
+     GF(2) consequence of the *new* input.  Pinned clauses encode
+     polynomials that are consequences of the previous input (the
+     incremental converter's own invariant), so input-superset is the
+     whole test; config equality keeps the encoding parameters (and the
+     audit-trail/portfolio gating) identical, and the variable range
+     must fit the conversion state fixed at pinning time. *)
+  let compatible t ~config polys =
+    config.Config.incremental_sat
+    && (match t.cfg with Some c -> c = config | None -> false)
+    &&
+    match t.st with
+    | None -> false
+    | Some st ->
+        let nvars =
+          List.fold_left (fun acc p -> max acc (P.max_var p + 1)) 0 polys
+        in
+        nvars <= st.anf_nvars
+        && PSet.subset t.inputs (PSet.of_list polys)
+end
+
 (* Extract ANF facts from the SAT solver's learnt units and binaries
    (Section II-D).  Units on ANF variables give value assignments; pairs of
    complementary binary clauses give equivalences.  Units on monomial
@@ -129,27 +185,41 @@ let probe_facts ~config ~anf_nvars solver =
   done;
   !acc
 
-let run_with_stages ?(config = Config.default) ~stages polys =
+let run_with_stages ?(config = Config.default) ?budget ?session ~stages polys =
   let rng = Random.State.make [| config.Config.seed |] in
   (* One budget governs the whole run: wall clock, monomial/clause gauge
      and cumulative solver conflicts.  It is created even when unlimited
-     so that fault injection can trip any layer deterministically. *)
+     so that fault injection can trip any layer deterministically.  A
+     caller-supplied budget (the service daemon, which needs the handle
+     for external cancellation) replaces it wholesale — config's ceiling
+     fields are then the caller's business. *)
   (* The learning loop gets the configured wall budget minus a
      finalization reserve (25%, capped at 1s): after a trip the driver
      still has to fold the last partial fact batch in and emit the
      processed CNF, and that grace period is what lets the whole call
      respect [timeout_s] rather than just the loop. *)
-  let loop_timeout_s =
-    Option.map
-      (fun t -> t -. Float.min 1.0 (0.25 *. t))
-      config.Config.timeout_s
-  in
   let budget =
-    Harness.Budget.create ?timeout_s:loop_timeout_s
-      ?max_memory_monomials:config.Config.max_memory_monomials
-      ?max_total_conflicts:config.Config.max_total_conflicts ()
+    match budget with
+    | Some b -> b
+    | None ->
+        let loop_timeout_s =
+          Option.map
+            (fun t -> t -. Float.min 1.0 (0.25 *. t))
+            config.Config.timeout_s
+        in
+        Harness.Budget.create ?timeout_s:loop_timeout_s
+          ?max_memory_monomials:config.Config.max_memory_monomials
+          ?max_total_conflicts:config.Config.max_total_conflicts ()
   in
   let orig_nvars = List.fold_left (fun acc p -> max acc (P.max_var p + 1)) 0 polys in
+  (* Pinned-session reuse is decided once, up front, against the same
+     compatibility rule the daemon consults; an incompatible session is
+     ignored here and re-pinned (reset) at the end of the run. *)
+  let session_reused =
+    match session with
+    | Some s -> Session.compatible s ~config polys
+    | None -> false
+  in
   let master = S.create polys in
   let trail =
     if config.Config.audit_trail then Some (Audit_trail.create ~input:polys)
@@ -365,6 +435,15 @@ let run_with_stages ?(config = Config.default) ~stages polys =
      found since the previous round via high-water marks. *)
   let inc_sat = ref None in
   let units_hwm = ref 0 and bins_hwm = ref 0 in
+  (match session with
+  | Some s when session_reused -> (
+      match s.Session.st with
+      | Some st ->
+          inc_sat := Some (st.Session.inc, st.Session.solver);
+          units_hwm := st.Session.units_hwm;
+          bins_hwm := st.Session.bins_hwm
+      | None -> ())
+  | Some _ | None -> ());
   let sat_stage_incremental () =
     incr sat_calls;
     let inc, solver =
@@ -499,6 +578,43 @@ let run_with_stages ?(config = Config.default) ~stages polys =
      done
    with Exit | Harness.Budget.Tripped _ -> ());
   if (not !unsat) && Harness.Budget.tripped budget = None then compress_linear ();
+  (* Re-pin (or reset) the session with whatever this run leaves behind.
+     Degraded runs pin too: the solver is still consistent after a
+     cooperative trip, and everything it holds is sound for this input. *)
+  (match session with
+  | None -> ()
+  | Some s -> (
+      s.Session.n_runs <- s.Session.n_runs + 1;
+      let sum f = List.fold_left (fun a r -> a + f r) 0 !sat_rounds in
+      match (!inc_sat, config.Config.incremental_sat) with
+      | Some (inc, solver), true ->
+          let prev_fed = if session_reused then Session.carried_clauses s else 0 in
+          let prev_polys =
+            if session_reused then Session.carried_polys s else 0
+          in
+          if (not session_reused) && Option.is_some s.Session.st then
+            s.Session.n_resets <- s.Session.n_resets + 1;
+          s.Session.st <-
+            Some
+              {
+                Session.inc;
+                solver;
+                units_hwm = !units_hwm;
+                bins_hwm = !bins_hwm;
+                anf_nvars = orig_nvars;
+                fed = prev_fed + sum (fun r -> r.round_delta_clauses);
+                polys = prev_polys + sum (fun r -> r.round_encoded);
+              };
+          s.Session.inputs <- PSet.of_list polys;
+          s.Session.cfg <- Some config
+      | _ ->
+          (* nothing reusable was built (fresh-SAT config, or the run
+             never reached a SAT stage): drop any stale pin *)
+          if Option.is_some s.Session.st then
+            s.Session.n_resets <- s.Session.n_resets + 1;
+          s.Session.st <- None;
+          s.Session.inputs <- PSet.empty;
+          s.Session.cfg <- None));
   let tripped = Harness.Budget.tripped budget in
   let status =
     if !unsat then Solved_unsat
@@ -525,9 +641,10 @@ let run_with_stages ?(config = Config.default) ~stages polys =
     sat_calls = !sat_calls; sat_rounds = List.rev !sat_rounds; trail;
     budget_report }
 
-let run ?config polys = run_with_stages ?config ~stages:all_stages polys
+let run ?config ?budget ?session polys =
+  run_with_stages ?config ?budget ?session ~stages:all_stages polys
 
-let run_cnf ?(config = Config.default) ?(xors = []) f =
+let run_cnf ?(config = Config.default) ?budget ?(xors = []) f =
   let conv = Cnf_to_anf.convert ~config f in
   let xor_polys =
     List.map
@@ -537,7 +654,7 @@ let run_cnf ?(config = Config.default) ?(xors = []) f =
           (P.constant parity) vars)
       xors
   in
-  let outcome = run ~config (conv.Cnf_to_anf.polys @ xor_polys) in
+  let outcome = run ~config ?budget (conv.Cnf_to_anf.polys @ xor_polys) in
   match outcome.status with
   | Solved_sat sol ->
       (* report only the original CNF variables *)

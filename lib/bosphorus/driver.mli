@@ -56,8 +56,64 @@ type outcome = {
           untripped run *)
 }
 
-(** [run ?config polys] preprocesses the ANF system [polys]. *)
-val run : ?config:Config.t -> Anf.Poly.t list -> outcome
+(** {1 Pinned solver sessions}
+
+    A {!Session.t} lets a caller that iterates on one system — a service
+    client refining a cipher instance request after request — keep the
+    incremental ANF-to-CNF conversion state and the warm SAT solver
+    alive {e across} driver runs, not just across the rounds of one run.
+
+    Soundness rule: the pinned solver's clauses are consequences of the
+    session's previous input system, so they may carry over exactly when
+    the new input is a {b superset} of the previous one (same
+    {!Config.t}, variables within the pinned range).  {!Session.compatible}
+    is that test; an incompatible run silently resets the session and
+    runs from scratch, so a session can never make a run unsound — only
+    warmer.  Results of a compatible warm run may differ from a cold run
+    only by {e knowing more} (the solver starts with the previous run's
+    learnt clauses); statuses Sat/Unsat agree with the cold semantics.
+
+    A session is single-owner: it must not be used by two concurrent
+    runs (the service daemon checks sessions out under a lock). *)
+module Session : sig
+  type t
+
+  val create : unit -> t
+
+  (** Driver runs that were handed this session (compatible or not). *)
+  val runs : t -> int
+
+  (** Times a handed-in session had pinned state that could not be
+      reused and was discarded. *)
+  val resets : t -> int
+
+  (** Clauses already sitting in the pinned solver — what the next
+      compatible run reuses without re-encoding (0 when nothing is
+      pinned). *)
+  val carried_clauses : t -> int
+
+  (** Polynomials already encoded by the pinned conversion state. *)
+  val carried_polys : t -> int
+
+  (** Would a run of [polys] under [config] reuse the pinned state?
+      True iff state is pinned, [config] equals the pinning run's
+      (including [incremental_sat] on), [polys] is a superset of the
+      previous input and stays within the pinned variable range. *)
+  val compatible : t -> config:Config.t -> Anf.Poly.t list -> bool
+end
+
+(** [run ?config ?budget ?session polys] preprocesses the ANF system
+    [polys].  [budget], when given, replaces the budget the driver would
+    build from [config]'s ceilings — the caller owns ceilings, trips and
+    external cancellation ({!Harness.Budget.cancel_now}); [config]'s
+    ceiling fields are ignored.  [session] pins the incremental solver
+    across calls (see {!Session}). *)
+val run :
+  ?config:Config.t ->
+  ?budget:Harness.Budget.t ->
+  ?session:Session.t ->
+  Anf.Poly.t list ->
+  outcome
 
 (** [run_cnf ?config ?xors f] uses Bosphorus as a CNF preprocessor
     (Section III-D): convert to ANF with clause cutting, learn, and return
@@ -67,7 +123,12 @@ val run : ?config:Config.t -> Anf.Poly.t list -> outcome
     invented to avoid.  Per the paper, callers should solve the original
     CNF conjoined with the fact clauses; {!augmented_cnf} builds exactly
     that. *)
-val run_cnf : ?config:Config.t -> ?xors:(int list * bool) list -> Cnf.Formula.t -> outcome
+val run_cnf :
+  ?config:Config.t ->
+  ?budget:Harness.Budget.t ->
+  ?xors:(int list * bool) list ->
+  Cnf.Formula.t ->
+  outcome
 
 (** [augmented_cnf f outcome] is the original formula [f] strengthened with
     the learnt facts of [outcome] (facts over original CNF variables only),
@@ -89,4 +150,10 @@ val all_stages : stages
 
 (** [run_with_stages ?config ~stages polys] is {!run} with techniques
     disabled per [stages]. *)
-val run_with_stages : ?config:Config.t -> stages:stages -> Anf.Poly.t list -> outcome
+val run_with_stages :
+  ?config:Config.t ->
+  ?budget:Harness.Budget.t ->
+  ?session:Session.t ->
+  stages:stages ->
+  Anf.Poly.t list ->
+  outcome

@@ -239,7 +239,7 @@ let run_impl ~config ~rng ?budget polys =
   let expanded = List.rev !rows in
   match trip with
   | Some { Harness.Budget.kind = Harness.Budget.Time | Harness.Budget.Injected
-         | Harness.Budget.Conflicts; _ } ->
+         | Harness.Budget.Conflicts | Harness.Budget.Cancelled; _ } ->
       (* out of time (or deliberately faulted): the linearise-and-reduce
          step on the partial expansion could itself blow the deadline, so
          return no facts this round — the facts already in the master are

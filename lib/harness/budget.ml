@@ -1,10 +1,11 @@
-type kind = Time | Memory | Conflicts | Injected
+type kind = Time | Memory | Conflicts | Injected | Cancelled
 
 let kind_name = function
   | Time -> "time"
   | Memory -> "memory"
   | Conflicts -> "conflicts"
   | Injected -> "injected"
+  | Cancelled -> "cancelled"
 
 type trip = { kind : kind; layer : string; at_iteration : int; detail : string }
 
@@ -129,6 +130,14 @@ let rec injection_fires ~layer =
 let trip_exn t ~kind ~layer ~detail =
   raise (Tripped (record t { kind; layer; at_iteration = t.iteration; detail }))
 
+(* External revocation: the recorder raises only in the *polling* party,
+   so the canceller itself just records and returns.  [record] keeps
+   first-trip-wins semantics: cancelling an already-tripped budget is a
+   no-op beyond reading the winner. *)
+let cancel_now t ~layer ~detail =
+  ignore
+    (record t { kind = Cancelled; layer; at_iteration = t.iteration; detail })
+
 (* The full check, cheapest condition first; reads the clock only when a
    deadline is configured. *)
 let check t ~layer =
@@ -203,6 +212,65 @@ let pp_report ppf r =
         (kind_name trip.kind) trip.layer trip.at_iteration trip.detail);
   Format.fprintf ppf "; wall %.3fs, %d conflicts, peak %d cells, %d checks"
     r.wall_s r.conflicts_used r.cells_peak r.polls
+
+(* ------------------------------------------------------------------ *)
+(* limits                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type limits = {
+  timeout_s : float option;
+  max_memory_monomials : int option;
+  max_total_conflicts : int option;
+}
+
+let no_limits =
+  { timeout_s = None; max_memory_monomials = None; max_total_conflicts = None }
+
+let limits_limited l =
+  l.timeout_s <> None || l.max_memory_monomials <> None
+  || l.max_total_conflicts <> None
+
+let min_opt min2 a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (min2 a b)
+
+let clamp_limits ~ceiling l =
+  {
+    timeout_s = min_opt Float.min l.timeout_s ceiling.timeout_s;
+    max_memory_monomials =
+      min_opt Int.min l.max_memory_monomials ceiling.max_memory_monomials;
+    max_total_conflicts =
+      min_opt Int.min l.max_total_conflicts ceiling.max_total_conflicts;
+  }
+
+let slice_limits ~share l =
+  if share < 1 then invalid_arg "Budget.slice_limits: share must be >= 1";
+  let div_up n = (n + share - 1) / share in
+  {
+    timeout_s =
+      Option.map (fun s -> Float.max 0.01 (s /. float_of_int share)) l.timeout_s;
+    max_memory_monomials = Option.map div_up l.max_memory_monomials;
+    max_total_conflicts = Option.map div_up l.max_total_conflicts;
+  }
+
+let of_limits ?poll_every l =
+  create ?timeout_s:l.timeout_s
+    ?max_memory_monomials:l.max_memory_monomials
+    ?max_total_conflicts:l.max_total_conflicts ?poll_every ()
+
+let limits_numeric_fields l =
+  List.filter_map
+    (fun x -> x)
+    [
+      Option.map (fun s -> ("limit_timeout_s", s)) l.timeout_s;
+      Option.map
+        (fun n -> ("limit_memory_monomials", float_of_int n))
+        l.max_memory_monomials;
+      Option.map
+        (fun n -> ("limit_total_conflicts", float_of_int n))
+        l.max_total_conflicts;
+    ]
 
 let report_numeric_fields r =
   let trip_fields =

@@ -34,6 +34,7 @@ type kind =
   | Memory  (** the monomial/clause gauge exceeded the ceiling *)
   | Conflicts  (** the cumulative CDCL conflict ceiling was reached *)
   | Injected  (** an armed {!inject_trip_after} fault fired *)
+  | Cancelled  (** an external party called {!cancel_now} (job cancel) *)
 
 val kind_name : kind -> string
 
@@ -73,6 +74,15 @@ val tripped : t -> trip option
 
 (** Tag subsequent trips with the driver-loop iteration (for reports). *)
 val set_iteration : t -> int -> unit
+
+(** [cancel_now t ~layer ~detail] trips the budget from outside the
+    computation (kind {!Cancelled}): the trip is recorded, the
+    {!Runtime.Pool.Cancel} token is set, and every cooperative poll in
+    the running work raises from then on.  Never raises itself — the
+    caller (a service daemon cancelling a job, a signal handler) is not
+    the party doing the work.  Idempotent after any first trip.  This is
+    how a long-lived server revokes a request it already dispatched. *)
+val cancel_now : t -> layer:string -> detail:string -> unit
 
 (** [check t ~layer] runs a full check now: raises {!Tripped} if the
     budget already tripped or any ceiling is exceeded.  Safe from any
@@ -140,6 +150,43 @@ type report = {
 
 val report : t -> report
 val pp_report : Format.formatter -> report -> unit
+
+(** {2 Limits — first-class ceiling triples}
+
+    A {!limits} value is the plain-data form of the three ceilings a
+    {!t} enforces, so policy code (the service daemon's fair-share
+    scheduler) can clamp and subdivide ceilings {e before} the budget
+    object exists.  [None] is unlimited, field-wise. *)
+
+type limits = {
+  timeout_s : float option;
+  max_memory_monomials : int option;
+  max_total_conflicts : int option;
+}
+
+val no_limits : limits
+
+(** [true] iff at least one field is limited. *)
+val limits_limited : limits -> bool
+
+(** [clamp_limits ~ceiling l] is field-wise [min l ceiling]: a request
+    may only tighten the ceiling it is given, never escape it.  An
+    unlimited request field inherits the ceiling's. *)
+val clamp_limits : ceiling:limits -> limits -> limits
+
+(** [slice_limits ~share l] divides each limited field by [share]
+    (>= 1): the fair-share slice handed to one of [share] concurrent
+    jobs of the same tenant.  Integer fields round up so a slice is
+    never zero; time slices keep a 10ms floor. *)
+val slice_limits : share:int -> limits -> limits
+
+(** [of_limits ?poll_every l] is {!create} with the triple unpacked. *)
+val of_limits : ?poll_every:int -> limits -> t
+
+(** Flat numeric view (JSON emitters): [limit_timeout_s],
+    [limit_memory_monomials], [limit_total_conflicts]; unlimited fields
+    are omitted. *)
+val limits_numeric_fields : limits -> (string * float) list
 
 (** Flat key/value view of a report (JSON emitters, bench extras).  Keys:
     [tripped] (0/1), [trip_kind], [trip_layer], [trip_iteration],

@@ -1,0 +1,258 @@
+module V = Json_out.Value
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+(* Recursive-descent parser over a string with one mutable cursor.  The
+   grammar is small enough that the reader state is just (input, pos);
+   every [parse_*] leaves the cursor on the first byte after what it
+   consumed. *)
+type reader = { s : string; mutable pos : int; max_depth : int }
+
+let peek r = if r.pos < String.length r.s then Some r.s.[r.pos] else None
+
+let advance r = r.pos <- r.pos + 1
+
+let rec skip_ws r =
+  match peek r with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance r;
+      skip_ws r
+  | Some _ | None -> ()
+
+let expect r c =
+  match peek r with
+  | Some d when d = c -> advance r
+  | Some d -> fail "expected %C at offset %d, found %C" c r.pos d
+  | None -> fail "expected %C at offset %d, found end of input" c r.pos
+
+let literal r word value =
+  let n = String.length word in
+  if r.pos + n <= String.length r.s && String.sub r.s r.pos n = word then begin
+    r.pos <- r.pos + n;
+    value
+  end
+  else fail "invalid literal at offset %d" r.pos
+
+(* Strings: the four JSON escape classes plus \uXXXX, decoded to UTF-8.
+   Surrogate pairs are combined when both halves are present; a lone
+   surrogate is encoded as-is (WTF-8 style) rather than rejected — the
+   daemon must never die on a weird-but-framed request. *)
+let utf8_add b code =
+  if code < 0x80 then Buffer.add_char b (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else if code < 0x10000 then begin
+    Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xF0 lor (code lsr 18)));
+    Buffer.add_char b (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let hex4 r =
+  let digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> fail "invalid \\u escape at offset %d" r.pos
+  in
+  if r.pos + 4 > String.length r.s then fail "truncated \\u escape";
+  let v =
+    (digit r.s.[r.pos] lsl 12)
+    lor (digit r.s.[r.pos + 1] lsl 8)
+    lor (digit r.s.[r.pos + 2] lsl 4)
+    lor digit r.s.[r.pos + 3]
+  in
+  r.pos <- r.pos + 4;
+  v
+
+let parse_string_body r =
+  expect r '"';
+  let b = Buffer.create 16 in
+  let rec loop () =
+    if r.pos >= String.length r.s then fail "unterminated string";
+    let c = r.s.[r.pos] in
+    advance r;
+    match c with
+    | '"' -> Buffer.contents b
+    | '\\' -> (
+        if r.pos >= String.length r.s then fail "unterminated escape";
+        let e = r.s.[r.pos] in
+        advance r;
+        match e with
+        | '"' | '\\' | '/' ->
+            Buffer.add_char b e;
+            loop ()
+        | 'b' -> Buffer.add_char b '\b'; loop ()
+        | 'f' -> Buffer.add_char b '\012'; loop ()
+        | 'n' -> Buffer.add_char b '\n'; loop ()
+        | 'r' -> Buffer.add_char b '\r'; loop ()
+        | 't' -> Buffer.add_char b '\t'; loop ()
+        | 'u' ->
+            let hi = hex4 r in
+            let code =
+              if hi >= 0xD800 && hi <= 0xDBFF
+                 && r.pos + 1 < String.length r.s
+                 && r.s.[r.pos] = '\\'
+                 && r.s.[r.pos + 1] = 'u'
+              then begin
+                r.pos <- r.pos + 2;
+                let lo = hex4 r in
+                if lo >= 0xDC00 && lo <= 0xDFFF then
+                  0x10000 + ((hi - 0xD800) lsl 10) + (lo - 0xDC00)
+                else begin
+                  (* not a low surrogate: emit both independently *)
+                  utf8_add b hi;
+                  lo
+                end
+              end
+              else hi
+            in
+            utf8_add b code;
+            loop ()
+        | _ -> fail "invalid escape \\%C at offset %d" e (r.pos - 1))
+    | c when Char.code c < 0x20 ->
+        fail "unescaped control character at offset %d" (r.pos - 1)
+    | c ->
+        Buffer.add_char b c;
+        loop ()
+  in
+  loop ()
+
+(* Numbers: the JSON grammar, parsed as [Int] when there is neither a
+   fraction nor an exponent and the digits fit in an OCaml int. *)
+let parse_number r =
+  let start = r.pos in
+  let is_digit c = c >= '0' && c <= '9' in
+  (match peek r with Some '-' -> advance r | _ -> ());
+  (match peek r with
+  | Some '0' -> advance r
+  | Some c when is_digit c ->
+      while match peek r with Some c -> is_digit c | None -> false do
+        advance r
+      done
+  | _ -> fail "invalid number at offset %d" start);
+  let integral = ref true in
+  (match peek r with
+  | Some '.' ->
+      integral := false;
+      advance r;
+      (match peek r with
+      | Some c when is_digit c -> ()
+      | _ -> fail "invalid number at offset %d" start);
+      while match peek r with Some c -> is_digit c | None -> false do
+        advance r
+      done
+  | _ -> ());
+  (match peek r with
+  | Some ('e' | 'E') ->
+      integral := false;
+      advance r;
+      (match peek r with Some ('+' | '-') -> advance r | _ -> ());
+      (match peek r with
+      | Some c when is_digit c -> ()
+      | _ -> fail "invalid number at offset %d" start);
+      while match peek r with Some c -> is_digit c | None -> false do
+        advance r
+      done
+  | _ -> ());
+  let text = String.sub r.s start (r.pos - start) in
+  if !integral then
+    match int_of_string_opt text with
+    | Some n -> V.Int n
+    | None -> V.Float (float_of_string text)
+  else V.Float (float_of_string text)
+
+let rec parse_value r ~depth =
+  if depth > r.max_depth then fail "nesting deeper than %d" r.max_depth;
+  skip_ws r;
+  match peek r with
+  | None -> fail "empty input"
+  | Some '{' ->
+      advance r;
+      skip_ws r;
+      if peek r = Some '}' then begin
+        advance r;
+        V.Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec members () =
+          skip_ws r;
+          let key = parse_string_body r in
+          skip_ws r;
+          expect r ':';
+          let v = parse_value r ~depth:(depth + 1) in
+          fields := (key, v) :: !fields;
+          skip_ws r;
+          match peek r with
+          | Some ',' ->
+              advance r;
+              members ()
+          | Some '}' -> advance r
+          | _ -> fail "expected ',' or '}' at offset %d" r.pos
+        in
+        members ();
+        V.Obj (List.rev !fields)
+      end
+  | Some '[' ->
+      advance r;
+      skip_ws r;
+      if peek r = Some ']' then begin
+        advance r;
+        V.List []
+      end
+      else begin
+        let items = ref [] in
+        let rec elements () =
+          let v = parse_value r ~depth:(depth + 1) in
+          items := v :: !items;
+          skip_ws r;
+          match peek r with
+          | Some ',' ->
+              advance r;
+              elements ()
+          | Some ']' -> advance r
+          | _ -> fail "expected ',' or ']' at offset %d" r.pos
+        in
+        elements ();
+        V.List (List.rev !items)
+      end
+  | Some '"' -> V.String (parse_string_body r)
+  | Some 't' -> literal r "true" (V.Bool true)
+  | Some 'f' -> literal r "false" (V.Bool false)
+  | Some 'n' -> literal r "null" V.Null
+  | Some ('-' | '0' .. '9') -> parse_number r
+  | Some c -> fail "unexpected %C at offset %d" c r.pos
+
+let parse ?(max_depth = 256) s =
+  let r = { s; pos = 0; max_depth } in
+  let v = parse_value r ~depth:0 in
+  skip_ws r;
+  if r.pos <> String.length s then
+    fail "trailing garbage at offset %d" r.pos;
+  v
+
+let member key = function
+  | V.Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_string_opt = function V.String s -> Some s | _ -> None
+let to_int_opt = function V.Int n -> Some n | _ -> None
+
+let to_float_opt = function
+  | V.Float f -> Some f
+  | V.Int n -> Some (float_of_int n)
+  | _ -> None
+
+let to_bool_opt = function V.Bool b -> Some b | _ -> None
+let to_list_opt = function V.List l -> Some l | _ -> None

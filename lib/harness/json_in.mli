@@ -1,0 +1,34 @@
+(** Strict JSON parser producing {!Json_out.Value.t}.
+
+    The repository emits JSON through the hand-rolled {!Json_out}; the
+    service protocol (lib/service) needs the other direction, so this is
+    the matching hand-rolled reader — no vendored JSON library.  It
+    accepts exactly the documents {!Json_out.Value.to_string} produces
+    (RFC 8259 minus the parts JSON itself forbids): [NaN]/[inf] tokens
+    are rejected, as are trailing garbage, unpaired surrogates escapes are
+    passed through verbatim, and numbers with neither fraction nor
+    exponent parse as [Int].
+
+    Depth is bounded ([max_depth], default 256) so a hostile request of
+    100k open brackets cannot blow the daemon's stack. *)
+
+exception Parse_error of string
+
+(** [parse s] parses one complete JSON document; anything but trailing
+    whitespace after it raises {!Parse_error}. *)
+val parse : ?max_depth:int -> string -> Json_out.Value.t
+
+(** {2 Accessors} — shallow helpers for protocol decoding. *)
+
+(** [member key v] is the field [key] of object [v] ([None] when absent
+    or when [v] is not an object). *)
+val member : string -> Json_out.Value.t -> Json_out.Value.t option
+
+val to_string_opt : Json_out.Value.t -> string option
+val to_int_opt : Json_out.Value.t -> int option
+
+(** Accepts both [Int] and [Float]. *)
+val to_float_opt : Json_out.Value.t -> float option
+
+val to_bool_opt : Json_out.Value.t -> bool option
+val to_list_opt : Json_out.Value.t -> Json_out.Value.t list option

@@ -1,0 +1,68 @@
+type entry = { mutable stamp : int; summary : Protocol.summary }
+
+type t = {
+  capacity : int;
+  tbl : (string, entry) Hashtbl.t;
+  m : Mutex.t;
+  mutable tick : int;
+  mutable n_hits : int;
+  mutable n_misses : int;
+}
+
+let create ?(capacity = 256) () =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  {
+    capacity;
+    tbl = Hashtbl.create (2 * capacity);
+    m = Mutex.create ();
+    tick = 0;
+    n_hits = 0;
+    n_misses = 0;
+  }
+
+let key ~config ~format ~canonical =
+  let tag = match format with Protocol.Anf -> "anf" | Protocol.Cnf -> "cnf" in
+  Digest.to_hex
+    (Digest.string
+       (tag ^ "\x00" ^ canonical ^ "\x00" ^ Marshal.to_string config []))
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let find t k =
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.tbl k with
+  | Some e ->
+      t.tick <- t.tick + 1;
+      e.stamp <- t.tick;
+      t.n_hits <- t.n_hits + 1;
+      Some e.summary
+  | None ->
+      t.n_misses <- t.n_misses + 1;
+      None
+
+(* Evict the least-recently-stamped entry; a linear scan is fine at the
+   capacities a daemon configures (default 256). *)
+let evict_one t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+      match !victim with
+      | Some (_, stamp) when stamp <= e.stamp -> ()
+      | _ -> victim := Some (k, e.stamp))
+    t.tbl;
+  match !victim with Some (k, _) -> Hashtbl.remove t.tbl k | None -> ()
+
+let store t k summary =
+  locked t @@ fun () ->
+  t.tick <- t.tick + 1;
+  match Hashtbl.find_opt t.tbl k with
+  | Some e -> e.stamp <- t.tick
+  | None ->
+      if Hashtbl.length t.tbl >= t.capacity then evict_one t;
+      Hashtbl.replace t.tbl k { stamp = t.tick; summary }
+
+let hits t = locked t @@ fun () -> t.n_hits
+let misses t = locked t @@ fun () -> t.n_misses
+let size t = locked t @@ fun () -> Hashtbl.length t.tbl

@@ -1,0 +1,47 @@
+type t = { fd : Unix.file_descr; max_frame : int }
+
+let connect ?(max_frame = Protocol.default_max_frame) path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; max_frame }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let read_response t =
+  match Protocol.read_frame ~max_len:t.max_frame t.fd with
+  | `Eof -> Error "connection closed by daemon"
+  | `Oversized n -> Error (Printf.sprintf "oversized reply (%d bytes)" n)
+  | `Frame s -> Protocol.decode_response s
+
+let rpc t req =
+  Protocol.write_frame t.fd (Protocol.encode_request req);
+  read_response t
+
+let submit t ~client ~format ?(wait = true)
+    ?(limits = Harness.Budget.no_limits) text =
+  rpc t (Protocol.Submit { Protocol.client; format; text; wait; limits })
+
+let status t id = rpc t (Protocol.Status id)
+let cancel t id = rpc t (Protocol.Cancel id)
+
+let stats t =
+  match rpc t Protocol.Stats with
+  | Ok (Protocol.Stats_reply kvs) -> Ok kvs
+  | Ok _ -> Error "unexpected reply to stats"
+  | Error e -> Error e
+
+let shutdown t = rpc t Protocol.Shutdown
+let send_raw t s = Protocol.write_frame t.fd s
+
+let send_bytes t s =
+  let b = Bytes.of_string s in
+  let rec go off len =
+    if len > 0 then
+      match Unix.write t.fd b off len with
+      | n -> go (off + n) (len - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off len
+  in
+  go 0 (Bytes.length b)

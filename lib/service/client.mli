@@ -1,0 +1,41 @@
+(** Blocking client for the solve daemon: one connection, synchronous
+    request/response.  Not thread-safe — use one client per thread (the
+    batch runner does exactly that). *)
+
+type t
+
+val connect : ?max_frame:int -> string -> t
+val close : t -> unit
+
+(** One round trip: encode, frame, read one reply frame, decode.
+    [Error _] covers transport EOF, an oversized reply and undecodable
+    replies. *)
+val rpc : t -> Protocol.request -> (Protocol.response, string) result
+
+(** [submit t ~client ~format ~text] with [wait] defaulting to [true]
+    (the reply is the final result). *)
+val submit :
+  t ->
+  client:string ->
+  format:Protocol.format ->
+  ?wait:bool ->
+  ?limits:Harness.Budget.limits ->
+  string ->
+  (Protocol.response, string) result
+
+val status : t -> int -> (Protocol.response, string) result
+val cancel : t -> int -> (Protocol.response, string) result
+val stats : t -> ((string * float) list, string) result
+val shutdown : t -> (Protocol.response, string) result
+
+(** {2 Hostile-peer testing hooks} *)
+
+(** Send raw bytes with a correct length prefix (e.g. non-JSON payload). *)
+val send_raw : t -> string -> unit
+
+(** Send arbitrary bytes with no framing at all (truncated frames,
+    absurd length headers). *)
+val send_bytes : t -> string -> unit
+
+(** Read one reply frame without sending anything. *)
+val read_response : t -> (Protocol.response, string) result

@@ -242,10 +242,92 @@ let run_mode mode () =
   check (mode.mode_name ^ ": swept a real batch") true
     (!n >= if reference then n_systems else 50)
 
+(* ------------------------------------------------------------------ *)
+(* Service mode: the daemon is observationally the one-shot driver      *)
+(* ------------------------------------------------------------------ *)
+
+(* Each system goes through a live daemon twice — cold (a cache miss
+   that runs the driver on a worker domain) and warm under a different
+   client name (a cache hit replaying the stored summary) — and both
+   replies must equal the summary of a direct [Driver.run] with the same
+   config, modulo wall-clock and the cache flag.  This is the end-to-end
+   check that the service layer (scheduling, budgets, sessions, cache)
+   adds no observable behaviour of its own. *)
+
+let service_config ~jobs =
+  {
+    B.Config.default with
+    B.Config.stop_on_solution = false;
+    max_iterations = 4;
+    sat_budget_start = 500;
+    incremental_sat = true;
+    jobs;
+    portfolio = 1;
+  }
+
+let strip_summary s =
+  { s with Service.Protocol.wall_s = 0.0; cache_hit = false }
+
+let run_service_mode ~jobs ~offset () =
+  let config = service_config ~jobs in
+  let socket_path = Printf.sprintf "tdiff-jobs%d.sock" jobs in
+  let cfg =
+    { (Service.Daemon.default_config ~socket_path) with Service.Daemon.base_config = config }
+  in
+  let daemon = Service.Daemon.start cfg in
+  Fun.protect ~finally:(fun () -> Service.Daemon.stop daemon) @@ fun () ->
+  let client = Service.Client.connect socket_path in
+  Fun.protect ~finally:(fun () -> Service.Client.close client) @@ fun () ->
+  let submit ~tenant text =
+    match
+      Service.Client.submit client ~client:tenant ~format:Service.Protocol.Anf text
+    with
+    | Ok (Service.Protocol.Result (_, s)) -> s
+    | Ok (Service.Protocol.Error_reply { code; message }) ->
+        Alcotest.failf "daemon error %s: %s" code message
+    | Ok _ -> Alcotest.fail "unexpected daemon reply"
+    | Error m -> Alcotest.failf "daemon transport error: %s" m
+  in
+  let n = ref 0 in
+  let i = ref offset in
+  while !i < n_systems do
+    let input, _ = system_of_index !i in
+    if input <> [] then begin
+      (* the wire instance is the canonical text; the reference run uses
+         its round-trip so both sides solve the identical system *)
+      let text = Anf.Anf_io.write_string input in
+      let reference = Anf.Anf_io.parse_string text in
+      let expected =
+        Service.Protocol.summary_of_outcome ~wall_s:0.0 ~cache_hit:false
+          ~session_reused_clauses:0
+          (B.Driver.run ~config reference)
+      in
+      let cold = submit ~tenant:(Printf.sprintf "diff-%d" !i) text in
+      check (Printf.sprintf "jobs%d: system %d: cold run not a hit" jobs !i)
+        false cold.Service.Protocol.cache_hit;
+      if strip_summary cold <> expected then
+        Alcotest.failf "jobs%d: system %d: daemon (cold) diverges from one-shot driver"
+          jobs !i;
+      let warm = submit ~tenant:(Printf.sprintf "diff-%d-warm" !i) text in
+      check (Printf.sprintf "jobs%d: system %d: warm run hits" jobs !i) true
+        warm.Service.Protocol.cache_hit;
+      if strip_summary warm <> expected then
+        Alcotest.failf "jobs%d: system %d: cache hit diverges from one-shot driver"
+          jobs !i;
+      incr n
+    end;
+    i := !i + 8
+  done;
+  check (Printf.sprintf "service/jobs%d: swept a real batch" jobs) true (!n >= 25)
+
 let suite =
   [
     ( "differential",
       List.map
         (fun mode -> Alcotest.test_case mode.mode_name `Quick (run_mode mode))
-        modes );
+        modes
+      @ [
+          Alcotest.test_case "service/jobs1" `Quick (run_service_mode ~jobs:1 ~offset:1);
+          Alcotest.test_case "service/jobs4" `Quick (run_service_mode ~jobs:4 ~offset:5);
+        ] );
   ]
