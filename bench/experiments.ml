@@ -605,3 +605,99 @@ let service ?(quick = false) ?json () =
               string_of_int failures;
             ])
           levels))
+
+let gauss ?(quick = false) ?json () =
+  header
+    "E9: in-search Gauss-Jordan parity reasoning on Tseitin parity formulas \
+     (gauss off / on / XNF rows only)";
+  let sizes = if quick then [ 12; 16 ] else [ 16; 24; 32 ] in
+  let arms = [ "off"; "on"; "xnf" ] in
+  let rows = ref [] in
+  List.iter
+    (fun vertices ->
+      List.iter
+        (fun satisfiable ->
+          let rng = Random.State.make [| 0x9a55 + vertices |] in
+          let f, xors =
+            Problems.Generators.parity_chain_xors ~vertices ~satisfiable ~rng
+          in
+          let nvars = Cnf.Formula.nvars f in
+          let label =
+            Printf.sprintf "parity_v%d_%s" vertices
+              (if satisfiable then "sat" else "unsat")
+          in
+          List.iter
+            (fun arm ->
+              let s = Sat.Solver.create ~nvars () in
+              let ok =
+                match arm with
+                | "off" -> Sat.Solver.add_formula s f
+                | "on" ->
+                    Sat.Solver.add_formula s f
+                    && List.for_all
+                         (fun (vars, parity) ->
+                           Sat.Solver.add_xor s ~vars ~parity)
+                         xors
+                | _ ->
+                    (* XNF-style: the parity rows alone carry the instance;
+                       the clausal encoding is dropped entirely *)
+                    List.for_all
+                      (fun (vars, parity) -> Sat.Solver.add_xor s ~vars ~parity)
+                      xors
+              in
+              let result, wall_s =
+                Harness.Timing.time (fun () ->
+                    if ok then Sat.Solver.solve ~conflict_budget:200_000 s
+                    else Sat.Types.Unsat)
+              in
+              (* a model found without the clauses must still satisfy them *)
+              let verdict =
+                match result with
+                | Sat.Types.Sat model ->
+                    if Cnf.Formula.eval (fun v -> model.(v)) f then 1. else nan
+                | Sat.Types.Unsat -> 0.
+                | Sat.Types.Undecided -> -1.
+              in
+              let st = Sat.Solver.stats s in
+              rows :=
+                (label, arm, verdict, st, wall_s) :: !rows;
+              match json with
+              | None -> ()
+              | Some j ->
+                  Json_out.add j ~experiment:"gauss"
+                    ~family:(label ^ "_" ^ arm) ~wall_s ~jobs:1
+                    ~extras:
+                      [
+                        ("verdict", verdict);
+                        ("conflicts", float_of_int st.Sat.Types.conflicts);
+                        ("propagations", float_of_int st.Sat.Types.propagations);
+                        ( "parity_propagations",
+                          float_of_int st.Sat.Types.parity_propagations );
+                        ( "parity_conflicts",
+                          float_of_int st.Sat.Types.parity_conflicts );
+                        ("gauss_rounds", float_of_int st.Sat.Types.gauss_rounds);
+                      ]
+                    ())
+            arms)
+        [ true; false ])
+    sizes;
+  Format.printf "%s@."
+    (Harness.Table.render
+       ~title:"in-search parity reasoning (conflict budget 200k)"
+       ~headers:
+         [ "instance"; "arm"; "verdict"; "conflicts"; "parity props";
+           "gauss rounds"; "time(s)" ]
+       (List.rev_map
+          (fun (label, arm, verdict, st, wall_s) ->
+            [
+              label;
+              arm;
+              (if verdict = 1. then "SAT"
+               else if verdict = 0. then "UNSAT"
+               else "UNDEC");
+              string_of_int st.Sat.Types.conflicts;
+              string_of_int st.Sat.Types.parity_propagations;
+              string_of_int st.Sat.Types.gauss_rounds;
+              Printf.sprintf "%.3f" wall_s;
+            ])
+          !rows))

@@ -7,14 +7,14 @@
      dune exec bench/main.exe -- table2 --family simon --quick
      dune exec bench/main.exe -- micro --quick --jobs 4 --json BENCH.json
    Experiments: table1 example fig2 table2 ablation encoding-sweep
-   representations incremental service micro *)
+   representations incremental service gauss micro *)
 
 module Json_out = Harness.Json_out
 
 let usage () =
   print_endline
     "usage: main.exe \
-     [table1|example|fig2|table2|ablation|encoding-sweep|representations|incremental|service|micro]*\n\
+     [table1|example|fig2|table2|ablation|encoding-sweep|representations|incremental|service|gauss|micro]*\n\
     \       [--quick] [--family aes|simon|speck|bitcoin|sat] [--jobs N] [--json FILE]\n\
     \       [--trace FILE] [--metrics FILE] [--alloc-gate] [--portfolio]\n\
      --alloc-gate: with micro, run only the GC-regression gate (exits 1 on \
@@ -85,7 +85,7 @@ let () =
         && not (List.mem a option_values))
       args
   in
-  let all = [ "table1"; "example"; "fig2"; "table2"; "ablation"; "encoding-sweep"; "representations"; "incremental"; "service"; "micro" ] in
+  let all = [ "table1"; "example"; "fig2"; "table2"; "ablation"; "encoding-sweep"; "representations"; "incremental"; "service"; "gauss"; "micro" ] in
   let selected = if selected = [] then all else selected in
   let (), wall_s, cpu_s =
     Harness.Timing.time_cpu (fun () ->
@@ -101,6 +101,7 @@ let () =
             | "representations" -> Experiments.representations ()
             | "incremental" -> Experiments.incremental ~quick ?json ()
             | "service" -> Experiments.service ~quick ?json ()
+            | "gauss" -> Experiments.gauss ~quick ?json ()
             | "micro" -> Micro.run ~quick ~jobs ~alloc_gate ~portfolio ?json ()
             | other ->
                 Printf.eprintf "unknown experiment %S\n" other;

@@ -210,6 +210,16 @@ let run_main input format_opt out_anf out_cnf solver budget no_learning lint aud
   let config =
     if audit then { config with Bosphorus.Config.audit_trail = true } else config
   in
+  let* () =
+    if config.Bosphorus.Config.audit_trail
+       && config.Bosphorus.Config.gauss = Bosphorus.Config.Gauss_on
+    then
+      Error
+        (`Msg
+           "--gauss on is incompatible with --audit: parity-derived reason \
+            clauses are not RUP-certifiable (use --gauss auto or off)")
+    else Ok ()
+  in
   arm_observability ~trace_path ~metrics_path ~budget_report_path;
   let* format =
     match format_opt with
@@ -395,8 +405,30 @@ let config_term =
                    facts.  1 (the default) keeps the single-solver \
                    semantics bit-for-bit.")
   in
+  let gauss =
+    let mode =
+      Arg.enum [ ("auto", Gauss_auto); ("on", Gauss_on); ("off", Gauss_off) ]
+    in
+    Arg.(value & opt mode default.gauss
+         & info [ "gauss" ] ~docv:"MODE"
+             ~doc:"In-search parity reasoning over the encoding's XOR \
+                   constraints: the SAT stages hand the recovered XOR rows \
+                   to the solver's incremental Gauss-Jordan engine, which \
+                   propagates implied literals and detects parity conflicts \
+                   during search.  MODE is $(b,auto) (engage when a round \
+                   carries at least --gauss-threshold rows; the default), \
+                   $(b,on) or $(b,off).  $(b,on) is rejected together with \
+                   --audit: parity-derived reason clauses are not \
+                   RUP-certifiable.")
+  in
+  let gauss_threshold =
+    Arg.(value & opt int default.gauss_threshold
+         & info [ "gauss-threshold" ] ~docv:"N"
+             ~doc:"Minimum XOR rows in a SAT round before --gauss auto \
+                   engages.")
+  in
   let build m dm d k l l' c0 iters seed jobs timeout_s max_memory_monomials
-      max_total_conflicts portfolio =
+      max_total_conflicts portfolio gauss gauss_threshold =
     {
       default with
       xl_sample_bits = m;
@@ -413,11 +445,13 @@ let config_term =
       max_memory_monomials;
       max_total_conflicts;
       portfolio = Int.max 1 portfolio;
+      gauss;
+      gauss_threshold = Int.max 1 gauss_threshold;
     }
   in
   Term.(
     const build $ m $ dm $ d $ k $ l $ l' $ c0 $ iters $ seed $ jobs $ timeout
-    $ max_mem $ max_conf $ portfolio)
+    $ max_mem $ max_conf $ portfolio $ gauss $ gauss_threshold)
 
 let cmd =
   let doc = "bridge ANF and CNF solvers by iterative fact learning" in

@@ -18,6 +18,7 @@ type conversion = {
   n_cut_aux : int;
   n_karnaugh : int;
   n_tseitin : int;
+  xors : (int list * bool) list;
 }
 
 (* A piece is an XOR of terms equated to [parity]; a term is either a
@@ -35,9 +36,15 @@ type state = {
   mutable n_cut_aux : int;
   mutable n_karnaugh : int;
   mutable n_tseitin : int;
+  mutable xors : (int list * bool) list; (* reversed, like [clauses] *)
 }
 
 let emit st c = st.clauses <- c :: st.clauses
+
+(* Record the XOR row underlying a linear piece so SAT stages can hand it
+   to the solver's parity engine alongside the clausal encoding. *)
+let note_xor st (x : Sat.Xor_module.xor) =
+  st.xors <- (x.Sat.Xor_module.vars, x.Sat.Xor_module.parity) :: st.xors
 
 let fresh_cut_var st =
   let v = st.next_var in
@@ -83,6 +90,25 @@ let eval_term assignment = function
    assignments), minimise it, and negate each cube into a clause. *)
 let karnaugh_piece st terms parity =
   st.n_karnaugh <- st.n_karnaugh + 1;
+  (* A piece whose terms are all single CNF variables is itself an XOR
+     row over those variables — record it (the minimised clauses below
+     encode exactly that function).  Pieces with genuine degree >= 2
+     monomials are not linear over CNF variables and are not recorded. *)
+  (if
+     List.for_all
+       (function
+         | Cut_aux _ -> true
+         | Mono m -> ( match M.vars m with [ _ ] -> true | _ -> false))
+       terms
+   then
+     let vars =
+       List.map
+         (function
+           | Cut_aux v -> v
+           | Mono m -> ( match M.vars m with [ x ] -> x | _ -> assert false))
+         terms
+     in
+     note_xor st (Sat.Xor_module.make_xor ~vars ~parity));
   let vars = Array.of_list (piece_vars terms) in
   let k = Array.length vars in
   let index = Hashtbl.create 8 in
@@ -124,6 +150,10 @@ let tseitin_piece st terms parity =
       terms
   in
   let x = Sat.Xor_module.make_xor ~vars ~parity in
+  (* after monomial-auxiliary substitution the piece is exactly this XOR
+     row over CNF variables (the aux definitions pin each aux to its
+     monomial), so the row is sound to propagate natively *)
+  note_xor st x;
   List.iter (emit st) (Sat.Xor_module.clauses_of_xor x)
 
 (* Convert one piece (<= L terms). *)
@@ -191,6 +221,7 @@ let make_state ~config ~anf_nvars =
     n_cut_aux = 0;
     n_karnaugh = 0;
     n_tseitin = 0;
+    xors = [];
   }
 
 let convert ?(nvars = 0) ~config polys =
@@ -207,6 +238,7 @@ let convert ?(nvars = 0) ~config polys =
     n_cut_aux = st.n_cut_aux;
     n_karnaugh = st.n_karnaugh;
     n_tseitin = st.n_tseitin;
+    xors = List.rev st.xors;
   }
 
 let convert_poly_clauses ~config p =
@@ -240,6 +272,7 @@ type incremental = {
 
 type delta = {
   delta_clauses : Cnf.Clause.t list;  (** clauses new in this round, in order *)
+  delta_xors : (int list * bool) list;  (** XOR rows new in this round, in order *)
   n_encoded : int;
   n_reused : int;
   cnf_nvars : int;
@@ -262,6 +295,7 @@ let clauses_since stop l =
 let encode_round inc polys =
   let st = inc.inc_state in
   let before = st.clauses in
+  let xors_before = st.xors in
   let n_encoded = ref 0 and n_reused = ref 0 in
   List.iter
     (fun p ->
@@ -279,6 +313,7 @@ let encode_round inc polys =
   inc.inc_rounds <- inc.inc_rounds + 1;
   {
     delta_clauses = clauses_since before st.clauses;
+    delta_xors = clauses_since xors_before st.xors;
     n_encoded = !n_encoded;
     n_reused = !n_reused;
     cnf_nvars = st.next_var;
@@ -296,6 +331,7 @@ let snapshot inc =
     n_cut_aux = st.n_cut_aux;
     n_karnaugh = st.n_karnaugh;
     n_tseitin = st.n_tseitin;
+    xors = List.rev st.xors;
   }
 
 let n_rounds inc = inc.inc_rounds

@@ -19,6 +19,12 @@ type conversion = {
   n_cut_aux : int;  (** XOR-cut auxiliary variables introduced *)
   n_karnaugh : int;  (** pieces converted via the Karnaugh-map path *)
   n_tseitin : int;  (** pieces converted via the Tseitin path *)
+  xors : (int list * bool) list;
+      (** the XOR rows underlying the linear pieces of the encoding, over
+          CNF variables (monomial auxiliaries substituted), in emission
+          order — what SAT stages feed to {!Sat.Solver.add_xor} when the
+          gauss mode is on.  Sound alongside (not instead of) the clauses:
+          every row is implied by the formula. *)
 }
 
 (** [convert ?nvars ~config polys] converts the system
@@ -47,6 +53,9 @@ type incremental
 (** Result of one {!encode_round}. *)
 type delta = {
   delta_clauses : Cnf.Clause.t list;  (** clauses new in this round, in order *)
+  delta_xors : (int list * bool) list;
+      (** XOR rows underlying this round's new linear pieces, in order
+          (see {!conversion.xors}) *)
   n_encoded : int;  (** polynomials encoded this round *)
   n_reused : int;  (** polynomials skipped as already encoded *)
   cnf_nvars : int;  (** total CNF variables after this round *)

@@ -2,7 +2,12 @@ module P = Anf.Poly
 module L = Cnf.Lit
 module C = Cnf.Clause
 
-type conversion = { polys : P.t list; cnf_nvars : int; n_aux : int }
+type conversion = {
+  polys : P.t list;
+  cnf_nvars : int;
+  n_aux : int;
+  xors : (int list * bool) list;
+}
 
 (* Clause l1 | ... | lk is violated exactly when every literal is false, so
    the constraint is the product of the "literal is false" polynomials:
@@ -61,4 +66,12 @@ let convert ~config f =
         if P.is_zero p then None else Some p)
       short_clauses
   in
-  { polys; cnf_nvars; n_aux = !n_aux }
+  (* One-shot XOR recovery over the original clauses: the rows feed both
+     the ANF side (linear polynomials, see Driver.run_cnf) and, when the
+     gauss mode is on, the SAT solver's in-search parity engine. *)
+  let xors =
+    List.map
+      (fun (x : Sat.Xor_module.xor) -> (x.Sat.Xor_module.vars, x.Sat.Xor_module.parity))
+      (Sat.Xor_module.recover f)
+  in
+  { polys; cnf_nvars; n_aux = !n_aux; xors }

@@ -9,6 +9,10 @@ type conversion = {
   polys : Anf.Poly.t list;
   cnf_nvars : int;  (** ANF variables [0..cnf_nvars-1] are the CNF variables *)
   n_aux : int;  (** clause-cutting auxiliary variables introduced *)
+  xors : (int list * bool) list;
+      (** XOR constraints recovered from the clause encoding
+          ({!Sat.Xor_module.recover}), over the original CNF variables —
+          candidates for the solver's in-search parity engine *)
 }
 
 val convert : config:Config.t -> Cnf.Formula.t -> conversion

@@ -1,3 +1,5 @@
+type gauss_mode = Gauss_auto | Gauss_on | Gauss_off
+
 type t = {
   xl_sample_bits : int;
   xl_expand_bits : int;
@@ -21,6 +23,8 @@ type t = {
   max_memory_monomials : int option;
   max_total_conflicts : int option;
   portfolio : int;
+  gauss : gauss_mode;
+  gauss_threshold : int;
 }
 
 let paper =
@@ -47,6 +51,8 @@ let paper =
     max_memory_monomials = None;
     max_total_conflicts = None;
     portfolio = 1;
+    gauss = Gauss_auto;
+    gauss_threshold = 8;
   }
 
 (* Laptop-scale defaults: same semantics, smaller linearised systems and

@@ -2,6 +2,14 @@
     paper's settings; defaults here are scaled to laptop-size instances,
     see DESIGN.md). *)
 
+(** Whether SAT stages hand the encoding's XOR constraints to the
+    solver's in-search parity engine ({!Sat.Parity}: watched-row
+    propagation plus level-0 Gauss-Jordan assimilation). *)
+type gauss_mode =
+  | Gauss_auto  (** on when the round carries at least [gauss_threshold] XORs *)
+  | Gauss_on
+  | Gauss_off
+
 type t = {
   xl_sample_bits : int;
       (** M: subsample so the linearised system has ~2^M cells (paper: 30) *)
@@ -86,6 +94,19 @@ type t = {
           bit-for-bit.  Ignored when [audit_trail] is on — per-worker
           DRUP logs are not exchange-aware, so audited runs stay
           single-solver. *)
+  gauss : gauss_mode;
+      (** in-search parity reasoning over the encoding's XOR constraints
+          ([--gauss]): the ANF-to-CNF conversion (and, for CNF inputs,
+          {!Sat.Xor_module.recover}) reports the XOR rows underlying the
+          emitted clauses, and SAT stages feed them to {!Sat.Solver.add_xor}
+          so the {!Sat.Parity} engine propagates them during search.
+          [Gauss_auto] (the default) engages when a round carries at least
+          [gauss_threshold] rows.  Incompatible with [audit_trail]
+          ([Gauss_on] + audit is rejected; auto simply stays off) —
+          parity-derived reasons are not RUP steps. *)
+  gauss_threshold : int;
+      (** minimum XOR rows in a round before [Gauss_auto] engages
+          (default 8) *)
 }
 
 val default : t

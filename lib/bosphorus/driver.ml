@@ -50,6 +50,9 @@ module Session = struct
     solver : Sat.Solver.t;
     mutable units_hwm : int;
     mutable bins_hwm : int;
+    mutable xors_hwm : int;
+        (* XOR rows of the cumulative conversion already fed to the
+           solver's parity engine *)
     anf_nvars : int;
     mutable fed : int;
     mutable polys : int;
@@ -186,6 +189,17 @@ let probe_facts ~config ~anf_nvars solver =
   !acc
 
 let run_with_stages ?(config = Config.default) ?budget ?session ~stages polys =
+  (* Config validation, mirroring the portfolio/audit gate but hard: an
+     audited run must be able to enable proof logging, and a solver that
+     carries XOR rows refuses it (parity-derived reason clauses are not
+     RUP steps over the clause database).  [Gauss_auto] merely stays off
+     under audit; an explicit [Gauss_on] is a contradiction the caller
+     should hear about. *)
+  if config.Config.audit_trail && config.Config.gauss = Config.Gauss_on then
+    invalid_arg
+      "Driver: gauss = Gauss_on is incompatible with audit_trail \
+       (parity-derived reason clauses are not RUP-certifiable; use \
+       Gauss_auto or Gauss_off)";
   let rng = Random.State.make [| config.Config.seed |] in
   (* One budget governs the whole run: wall clock, monomial/clause gauge
      and cumulative solver conflicts.  It is created even when unlimited
@@ -353,6 +367,26 @@ let run_with_stages ?(config = Config.default) ?budget ?session ~stages polys =
      Audited runs stay single-solver — a worker's DRUP log omits the
      clauses it imported, so it is not self-contained. *)
   let use_portfolio = config.Config.portfolio > 1 && trail = None in
+  (* In-search parity gate: audited runs never feed XOR rows (the solver
+     would have to certify non-RUP reason clauses), [Gauss_on] forces them
+     in, and [Gauss_auto] engages once a stage carries enough rows to pay
+     for the Gauss-Jordan bookkeeping. *)
+  let gauss_wanted n_xors =
+    trail = None
+    && n_xors > 0
+    &&
+    match config.Config.gauss with
+    | Config.Gauss_on -> true
+    | Config.Gauss_off -> false
+    | Config.Gauss_auto -> n_xors >= config.Config.gauss_threshold
+  in
+  (* Returns false on an immediate parity contradiction, same contract as
+     [Sat.Solver.add_formula]. *)
+  let feed_xors solver xors =
+    List.for_all
+      (fun (vars, parity) -> Sat.Solver.add_xor solver ~vars ~parity)
+      xors
+  in
   (* One SAT round on [solver]: either a lone solve (reference semantics)
      or a portfolio race.  Returns the result, the surviving solver (the
      race winner's — possibly a clone of [solver]), the losers' conflict
@@ -402,7 +436,12 @@ let run_with_stages ?(config = Config.default) ?budget ?session ~stages polys =
     if trail <> None then Sat.Solver.enable_proof solver0;
     let solver = ref solver0 and extra = ref 0 in
     let added =
-      if not (Sat.Solver.add_formula solver0 conv.Anf_to_cnf.formula) then begin
+      let ok =
+        Sat.Solver.add_formula solver0 conv.Anf_to_cnf.formula
+        && ((not (gauss_wanted (List.length conv.Anf_to_cnf.xors)))
+           || feed_xors solver0 conv.Anf_to_cnf.xors)
+      in
+      if not ok then begin
         ignore (add_facts Facts.Sat_solver [ P.one ]);
         unsat := true;
         0
@@ -434,14 +473,15 @@ let run_with_stages ?(config = Config.default) ?budget ?session ~stages polys =
      activities and saved phases survive), and extracts only the facts
      found since the previous round via high-water marks. *)
   let inc_sat = ref None in
-  let units_hwm = ref 0 and bins_hwm = ref 0 in
+  let units_hwm = ref 0 and bins_hwm = ref 0 and xors_hwm = ref 0 in
   (match session with
   | Some s when session_reused -> (
       match s.Session.st with
       | Some st ->
           inc_sat := Some (st.Session.inc, st.Session.solver);
           units_hwm := st.Session.units_hwm;
-          bins_hwm := st.Session.bins_hwm
+          bins_hwm := st.Session.bins_hwm;
+          xors_hwm := st.Session.xors_hwm
       | None -> ())
   | Some _ | None -> ());
   let sat_stage_incremental () =
@@ -466,6 +506,22 @@ let run_with_stages ?(config = Config.default) ?budget ?session ~stages polys =
       List.for_all
         (fun c -> Sat.Solver.add_clause solver (Cnf.Clause.to_list c))
         delta.Anf_to_cnf.delta_clauses
+    in
+    (* Feed the parity engine the cumulative conversion's rows beyond the
+       high-water mark.  The gate tests the cumulative count, so a run
+       under [Gauss_auto] that crosses the threshold mid-stream feeds every
+       row recorded so far, not just this round's delta; the mark only
+       advances when rows are actually fed. *)
+    let clauses_ok =
+      clauses_ok
+      &&
+      let all_xors = conv.Anf_to_cnf.xors in
+      let n_xors = List.length all_xors in
+      (not (gauss_wanted n_xors))
+      ||
+      let fresh_rows = List.filteri (fun i _ -> i >= !xors_hwm) all_xors in
+      xors_hwm := n_xors;
+      feed_xors solver fresh_rows
     in
     let surviving = ref solver and extra = ref 0 in
     let added =
@@ -601,6 +657,7 @@ let run_with_stages ?(config = Config.default) ?budget ?session ~stages polys =
                 solver;
                 units_hwm = !units_hwm;
                 bins_hwm = !bins_hwm;
+                xors_hwm = !xors_hwm;
                 anf_nvars = orig_nvars;
                 fed = prev_fed + sum (fun r -> r.round_delta_clauses);
                 polys = prev_polys + sum (fun r -> r.round_encoded);
@@ -646,13 +703,20 @@ let run ?config ?budget ?session polys =
 
 let run_cnf ?(config = Config.default) ?budget ?(xors = []) f =
   let conv = Cnf_to_anf.convert ~config f in
+  (* Explicit x-line rows and clause-recovered rows both join the system
+     as linear polynomials: the ANF side gains their GF(2) span, and the
+     ANF-to-CNF encoding re-reports them as XOR rows, which is how they
+     reach the solver's in-search parity engine when the gauss gate is
+     open.  Recovered rows are consequences of the clause polynomials, so
+     adding them is sound; [sort_uniq] drops rows present in both lists. *)
   let xor_polys =
-    List.map
-      (fun (vars, parity) ->
-        List.fold_left
-          (fun acc v -> P.add acc (P.var v))
-          (P.constant parity) vars)
-      xors
+    List.sort_uniq P.compare
+      (List.map
+         (fun (vars, parity) ->
+           List.fold_left
+             (fun acc v -> P.add acc (P.var v))
+             (P.constant parity) vars)
+         (xors @ conv.Cnf_to_anf.xors))
   in
   let outcome = run ~config ?budget (conv.Cnf_to_anf.polys @ xor_polys) in
   match outcome.status with

@@ -72,7 +72,14 @@ let parse_source ~allow_xor src =
            | a :: rest -> a :: dedup rest
            | [] -> []
          in
-         xors := (dedup sorted, flips mod 2 = 0) :: !xors
+         match (dedup sorted, flips mod 2 = 0) with
+         | [], true ->
+             (* the constraint degenerated to 0 = 1: surface it as the
+                empty clause (immediate UNSAT) instead of an undefined
+                ([], true) row that later stages would drop *)
+             clauses := Clause.of_list [] :: !clauses
+         | [], false -> () (* 0 = 0: trivially true *)
+         | row -> xors := row :: !xors
        end
        else clauses := Clause.of_list !current :: !clauses);
       current := [];
@@ -225,14 +232,31 @@ let parse_file_extended path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> parse_source ~allow_xor:true (source_of_channel ic))
 
+(* Canonical GF(2) form of an XOR row: variables sorted, duplicate pairs
+   cancelled.  The writer canonicalizes so that spelling-variant rows
+   render identically — the service cache digests the re-rendered text,
+   and equivalent x-lines must hit the same entry. *)
+let canonical_xor (vars, parity) =
+  let sorted = List.sort Int.compare vars in
+  let rec dedup = function
+    | a :: b :: rest when Int.equal a b -> dedup rest
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  (dedup sorted, parity)
+
 let write_string_extended f xors =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf (write_string f);
   List.iter
-    (fun (vars, parity) ->
-      match vars with
-      | [] -> ()
-      | first :: rest ->
+    (fun row ->
+      match canonical_xor row with
+      | [], false -> () (* 0 = 0: trivially true, nothing to write *)
+      | [], true ->
+          (* 0 = 1: a bare x-line, which parses back to immediate UNSAT
+             rather than silently losing the inconsistency *)
+          Buffer.add_string buf "x 0\n"
+      | first :: rest, parity ->
           (* encode the parity in the sign of the first literal *)
           Buffer.add_char buf 'x';
           Buffer.add_string buf

@@ -23,10 +23,20 @@ val write_file : string -> Formula.t -> unit
     A line [x1 -2 3 0] asserts the XOR of its literals is true, i.e.
     x1 (+) x2 (+) x3 = 0 here (each negative literal flips the parity).
     Parsed into [(variables, parity)] pairs meaning
-    [vars(0) (+) ... (+) vars(n-1) = parity]. *)
+    [vars(0) (+) ... (+) vars(n-1) = parity].
+
+    Rows are canonicalized in GF(2): variables are sorted and duplicate
+    pairs cancel (so [x1 -1 2 0] means x2 = 0).  A row that cancels to
+    the empty XOR with odd parity (0 = 1, e.g. [x1 1 0] or a bare
+    [x 0]) is an immediate inconsistency: the parser surfaces it as the
+    empty clause in the returned formula, and the writer renders it as
+    [x 0]; the trivially-true empty-even row is dropped by both. *)
 
 val parse_string_extended : string -> Formula.t * (int list * bool) list
 
 val parse_file_extended : string -> Formula.t * (int list * bool) list
 
+(** [write_string_extended f xors] renders the formula followed by one
+    canonicalized [x] line per (non-trivial) XOR row, the parity encoded
+    in the sign of the first literal. *)
 val write_string_extended : Formula.t -> (int list * bool) list -> string

@@ -36,7 +36,7 @@ let pigeonhole ~holes =
   in
   F.create ~nvars:(pigeons * holes) (at_least @ at_most)
 
-let parity_chain ~vertices ~satisfiable ~rng =
+let parity_chain_xors ~vertices ~satisfiable ~rng =
   if vertices < 4 || vertices mod 2 <> 0 then
     invalid_arg "parity_chain: vertices must be even and >= 4";
   (* random 3-regular multigraph via a random perfect matching on stubs *)
@@ -65,7 +65,13 @@ let parity_chain ~vertices ~satisfiable ~rng =
   in
   (* self-loop edges cancel inside make_xor; a vertex equation may thus be
      narrower than 3.  That only weakens hardness slightly. *)
-  F.create ~nvars:n_edges (List.concat_map Sat.Xor_module.clauses_of_xor xors)
+  ( F.create ~nvars:n_edges (List.concat_map Sat.Xor_module.clauses_of_xor xors),
+    List.map
+      (fun (x : Sat.Xor_module.xor) -> (x.Sat.Xor_module.vars, x.Sat.Xor_module.parity))
+      xors )
+
+let parity_chain ~vertices ~satisfiable ~rng =
+  fst (parity_chain_xors ~vertices ~satisfiable ~rng)
 
 let coloring ~vertices ~edges ~colors ~rng =
   let v vertex color = (vertex * colors) + color in

@@ -23,6 +23,17 @@ val pigeonhole : holes:int -> Cnf.Formula.t
 val parity_chain :
   vertices:int -> satisfiable:bool -> rng:Random.State.t -> Cnf.Formula.t
 
+(** Like {!parity_chain}, but also returns the underlying XOR rows (one
+    per vertex, variables sorted, self-loop pairs cancelled) — the ground
+    truth to feed {!Sat.Solver.add_xor} in parity-engine tests and
+    benchmarks.  Same RNG consumption as {!parity_chain}: identical seeds
+    yield identical formulas. *)
+val parity_chain_xors :
+  vertices:int ->
+  satisfiable:bool ->
+  rng:Random.State.t ->
+  Cnf.Formula.t * (int list * bool) list
+
 (** [coloring ~vertices ~edges ~colors ~rng] encodes k-colourability of a
     random graph with the given edge count. *)
 val coloring : vertices:int -> edges:int -> colors:int -> rng:Random.State.t -> Cnf.Formula.t

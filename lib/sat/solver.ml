@@ -66,15 +66,15 @@ let grow_farr (old : farr) n : farr =
   A1.blit old (A1.sub b 0 (A1.dim old));
   b
 
-(* Native XOR constraint: vars.(0) (+) ... (+) vars.(n-1) = parity, watched
-   on two positions (w0, w1) like clause literals — the in-search XOR
-   propagation of CryptoMiniSat-style solvers. *)
-type xor_row = {
-  vars : int array;
-  parity : bool;
-  mutable w0 : int; (* index into vars *)
-  mutable w1 : int;
-}
+(* Native XOR (parity) constraints live in a {!Parity} watched bitmatrix;
+   the solver drives its in-search scan at each propagated literal and its
+   level-0 Gauss-Jordan assimilation at solve entry and restart
+   boundaries. *)
+
+(* Feature combinations documented as unsupported (XOR constraints
+   together with proof logging) raise instead of silently producing
+   unsound runs. *)
+exception Unsupported of string
 
 (* Variable assignments are stored as int codes so that the value of a
    literal is one xor away from the value of its variable — no variant
@@ -118,8 +118,12 @@ type t = {
                    per-conflict decays never box a float field write *)
   mutable seen : iarr; (* variable -> 0/1 *)
   mutable max_learnts : float;
-  mutable xor_watches : xor_row list array; (* indexed by variable *)
-  mutable n_xors : int;
+  parity : Parity.t; (* XOR rows: watched bitmatrix + level-0 Gauss-Jordan *)
+  mutable parity_hwm : int; (* root units assimilated by the last gauss pass *)
+  mutable xor_constrained : bool; (* any add_xor seen (proof logging is off-limits) *)
+  parity_scratch : Ivec.t; (* parity reason clause being built *)
+  mutable parity_log_enabled : bool; (* record parity reasons for certification tests *)
+  mutable parity_log : int array list; (* reversed; packed literals *)
   mutable proof_enabled : bool;
   mutable proof_log : int array list; (* reversed; packed literals *)
   (* --- preallocated scratch of the zero-allocation hot path --- *)
@@ -174,8 +178,12 @@ let create ?(config = default_config) ~nvars () =
       incs = (let b = make_farr 2 in A1.fill b 1.0; b);
       seen = make_iarr n 0;
       max_learnts = 1000.0;
-      xor_watches = Array.make n [];
-      n_xors = 0;
+      parity = Parity.create ~cols:n ();
+      parity_hwm = 0;
+      xor_constrained = false;
+      parity_scratch = Ivec.create ();
+      parity_log_enabled = false;
+      parity_log = [];
       proof_enabled = false;
       proof_log = [];
       prop_conflict = Arena.none;
@@ -217,9 +225,7 @@ let grow_arrays t cap =
         if i < 2 * old then t.watches.(i) else Ivec.create ())
     in
     t.watches <- watches;
-    let xor_watches = Array.make n [] in
-    Array.blit t.xor_watches 0 xor_watches 0 old;
-    t.xor_watches <- xor_watches;
+    Parity.ensure_cols t.parity n;
     t.heap <- Var_heap.grow t.heap n t.activity
   end
 
@@ -243,7 +249,13 @@ let decision_level t = Ivec.size t.trail_lim
 
 (* ---------------- proof logging ---------------- *)
 
-let enable_proof t = t.proof_enabled <- true
+let enable_proof t =
+  if t.xor_constrained then
+    raise
+      (Unsupported
+         "Solver.enable_proof: XOR constraints present; parity-derived reason \
+          clauses are not RUP steps over the clause database");
+  t.proof_enabled <- true
 
 let log_derived t lits = if t.proof_enabled then t.proof_log <- lits :: t.proof_log
 
@@ -344,84 +356,56 @@ let locked t c =
 
 let var_bool t v = A1.unsafe_get t.assigns v = code_true
 
-(* Reason/conflict clause for an XOR row under the current assignment: the
-   currently-false literal of every assigned variable, with the implied
-   literal (if any) in front, as conflict analysis expects.  The clause is
-   allocated in the arena as a temporary — never attached, reclaimed when
-   its assignment is undone (or, for conflicts, right after analysis). *)
-let xor_clause t row ~implied =
-  let lits = ref [] in
-  Array.iter
-    (fun v ->
-      match implied with
-      | Some (iv, _) when iv = v -> ()
-      | Some _ | None ->
-          (* literal with sign = current value is false right now *)
-          lits := ((2 * v) + if var_bool t v then 1 else 0) :: !lits)
-    row.vars;
-  let lits =
-    match implied with
-    | Some (iv, b) -> ((2 * iv) + if b then 0 else 1) :: !lits
-    | None -> !lits
-  in
-  Arena.alloc_list t.arena ~learnt:false ~temp:true lits
+(* Reason/conflict clause for parity row [r] under the current
+   assignment: the currently-false literal of every assigned column, with
+   the implied literal (if any) in front, as conflict analysis expects.
+   Built in the preallocated [parity_scratch] and allocated in the arena
+   as a temporary — never attached, reclaimed when its assignment is
+   undone (or, for conflicts, right after analysis). *)
+let rec push_row_lits t r skip c =
+  let c = Parity.row_next_col t.parity r ~from:c in
+  if c >= 0 then begin
+    if c <> skip then
+      Ivec.push t.parity_scratch ((2 * c) + if var_bool t c then 1 else 0);
+    push_row_lits t r skip (c + 1)
+  end
 
-(* Process the XOR rows watching variable [v], which was just assigned.
-   Mirrors clause watching: find a replacement unassigned watch, otherwise
-   the row is unit (imply the other watch) or fully assigned (check
-   parity).  Returns the conflicting virtual clause's cref, if any. *)
-let propagate_xor t v =
-  let conflict = ref Arena.none in
-  let rows = t.xor_watches.(v) in
-  t.xor_watches.(v) <- [];
-  let rec process = function
-    | [] -> ()
-    | row :: rest -> (
-        let n = Array.length row.vars in
-        let my_w = if row.vars.(row.w0) = v then `W0 else `W1 in
-        let other_w = match my_w with `W0 -> row.w1 | `W1 -> row.w0 in
-        (* look for an unassigned replacement watch *)
-        let rec find k =
-          if k >= n then None
-          else if
-            k <> row.w0 && k <> row.w1
-            && A1.unsafe_get t.assigns row.vars.(k) = code_unknown
-          then Some k
-          else find (k + 1)
-        in
-        match find 0 with
-        | Some k ->
-            (match my_w with `W0 -> row.w0 <- k | `W1 -> row.w1 <- k);
-            let w = row.vars.(k) in
-            t.xor_watches.(w) <- row :: t.xor_watches.(w);
-            process rest
-        | None ->
-            (* keep watching v *)
-            t.xor_watches.(v) <- row :: t.xor_watches.(v);
-            let ov = row.vars.(other_w) in
-            if A1.unsafe_get t.assigns ov = code_unknown then begin
-              (* unit: the other watch is implied *)
-              let acc = ref row.parity in
-              Array.iter (fun x -> if x <> ov && var_bool t x then acc := not !acc) row.vars;
-              let reason = xor_clause t row ~implied:(Some (ov, !acc)) in
-              enqueue t ((2 * ov) + if !acc then 0 else 1) reason;
-              process rest
-            end
-            else begin
-              (* fully assigned: verify the parity *)
-              let acc = ref false in
-              Array.iter (fun x -> if var_bool t x then acc := not !acc) row.vars;
-              if !acc <> row.parity then begin
-                conflict := xor_clause t row ~implied:None;
-                List.iter
-                  (fun r -> t.xor_watches.(v) <- r :: t.xor_watches.(v))
-                  rest
-              end
-              else process rest
-            end)
-  in
-  process rows;
-  !conflict
+let parity_clause t r ~implied_var ~implied_val =
+  Ivec.clear t.parity_scratch;
+  if implied_var >= 0 then
+    Ivec.push t.parity_scratch ((2 * implied_var) + if implied_val then 0 else 1);
+  push_row_lits t r implied_var 0;
+  let n = Ivec.size t.parity_scratch in
+  let c = Arena.alloc_blank t.arena ~learnt:false ~temp:true n in
+  for i = 0 to n - 1 do
+    Arena.set_lit t.arena c i (Ivec.unsafe_get t.parity_scratch i)
+  done;
+  if t.parity_log_enabled then
+    t.parity_log <-
+      Array.init n (fun i -> Ivec.unsafe_get t.parity_scratch i) :: t.parity_log;
+  c
+
+(* Drive the parity scan for the just-assigned variable primed by
+   [Parity.scan_begin]: implied literals are enqueued with row-derived
+   temporary reasons; a falsified row surfaces through [t.prop_conflict]
+   and drains the queue, exactly like a clausal conflict. *)
+let rec parity_scan t =
+  let ev = Parity.scan_step t.parity ~assigns:t.assigns in
+  if ev = Parity.ev_unit then begin
+    let r = Parity.event_row t.parity in
+    let iv = Parity.implied_var t.parity in
+    let b = Parity.implied_val t.parity in
+    let reason = parity_clause t r ~implied_var:iv ~implied_val:b in
+    t.stats.parity_propagations <- t.stats.parity_propagations + 1;
+    enqueue t ((2 * iv) + if b then 0 else 1) reason;
+    parity_scan t
+  end
+  else if ev = Parity.ev_conflict then begin
+    t.stats.parity_conflicts <- t.stats.parity_conflicts + 1;
+    t.prop_conflict <-
+      parity_clause t (Parity.event_row t.parity) ~implied_var:(-1) ~implied_val:false;
+    t.qhead <- t.trail_size
+  end
 
 (* ---------------- propagation ---------------- *)
 
@@ -523,12 +507,9 @@ let propagate t =
        became false.  The watcher pairs are compacted in place. *)
     let ws = Array.unsafe_get t.watches p in
     Ivec.shrink ws (scan_watchers t ws (lit_neg p) 0 0 (Ivec.size ws));
-    if t.prop_conflict = Arena.none && t.n_xors > 0 then begin
-      let c = propagate_xor t (lit_var p) in
-      if c <> Arena.none then begin
-        t.prop_conflict <- c;
-        t.qhead <- t.trail_size
-      end
+    if t.prop_conflict = Arena.none && Parity.n_live t.parity > 0 then begin
+      Parity.scan_begin t.parity ~v:(lit_var p);
+      parity_scan t
     end
   done;
   t.prop_conflict
@@ -746,9 +727,15 @@ let add_formula t f =
   List.for_all (fun c -> add_clause t (Cnf.Clause.to_list c)) (Cnf.Formula.clauses f)
 
 let add_xor t ~vars ~parity =
+  if t.proof_enabled then
+    raise
+      (Unsupported
+         "Solver.add_xor: proof logging is enabled; parity-derived reason \
+          clauses are not RUP steps over the clause database");
   if not t.ok then false
   else begin
     assert (decision_level t = 0);
+    t.xor_constrained <- true;
     (* cancel duplicated variables (GF(2)) and fold root-level values *)
     let sorted = List.sort Int.compare vars in
     let rec dedup = function
@@ -784,11 +771,7 @@ let add_xor t ~vars ~parity =
         else true
     | [ v ] -> add_clause_internal t [ (2 * v) + if parity then 0 else 1 ]
     | _ :: _ :: _ ->
-        let row = { vars = Array.of_list (List.rev free); parity; w0 = 0; w1 = 1 } in
-        let a = row.vars.(0) and b = row.vars.(1) in
-        t.xor_watches.(a) <- row :: t.xor_watches.(a);
-        t.xor_watches.(b) <- row :: t.xor_watches.(b);
-        t.n_xors <- t.n_xors + 1;
+        Parity.add_row t.parity ~vars:(List.rev free) ~parity;
         true
   end
 
@@ -1076,17 +1059,7 @@ let invariant_violations t =
     if A1.get t.assigns v <> expected then
       err "trail literal %d disagrees with the assignment of variable %d" p v
   done;
-  Array.iteri
-    (fun v rows ->
-      List.iter
-        (fun (row : xor_row) ->
-          let n = Array.length row.vars in
-          if row.w0 < 0 || row.w0 >= n || row.w1 < 0 || row.w1 >= n || row.w0 = row.w1
-          then err "xor row watched on invalid positions (%d, %d)" row.w0 row.w1
-          else if row.vars.(row.w0) <> v && row.vars.(row.w1) <> v then
-            err "xor row on the watch list of variable %d watches neither position on it" v)
-        rows)
-    t.xor_watches;
+  List.iter (fun s -> err "%s" s) (Parity.invariant_violations t.parity);
   List.rev !out
 
 (* Domain-safety note: a solver instance is confined to the domain that
@@ -1106,6 +1079,36 @@ let self_check t =
     | [] -> ()
     | v :: _ -> failwith ("Solver invariant violated: " ^ v)
 
+(* Level-0 parity assimilation: run the Gauss-Jordan pass over the parity
+   rows, enqueue the implied units, propagate, and repeat while new root
+   facts keep feeding the substitution.  Returns [false] on a root-level
+   inconsistency (the caller marks the solver UNSAT).  Only called with
+   the trail at decision level 0 (solve entry and restart boundaries), so
+   [t.trail_size] is the root-unit count. *)
+let rec assimilate t =
+  if Parity.n_live t.parity = 0 && not (Parity.dirty t.parity) then true
+  else if (not (Parity.dirty t.parity)) && t.trail_size <= t.parity_hwm then true
+  else begin
+    t.parity_hwm <- t.trail_size;
+    t.stats.gauss_rounds <- t.stats.gauss_rounds + 1;
+    if not (Parity.gauss t.parity ~assigns:t.assigns) then false
+    else if not (enqueue_gauss_units t 0 (Parity.n_units t.parity)) then false
+    else if propagate t <> Arena.none then false
+    else assimilate t
+  end
+
+and enqueue_gauss_units t i n =
+  if i >= n then true
+  else begin
+    let pl = Parity.unit_lit t.parity i in
+    let code = lit_code t pl in
+    if code = code_false then false
+    else begin
+      if code = code_unknown then enqueue t pl Arena.none;
+      enqueue_gauss_units t (i + 1) n
+    end
+  end
+
 let solve_inner ?conflict_budget ?time_budget_s ?interrupt t =
   if not t.ok then Unsat
   else if (match interrupt with Some f -> f () | None -> false) then Undecided
@@ -1122,7 +1125,7 @@ let solve_inner ?conflict_budget ?time_budget_s ?interrupt t =
       match time_budget_s with Some s -> Unix.gettimeofday () +. s | None -> infinity
     in
     let interrupt = match interrupt with Some f -> f | None -> no_interrupt in
-    if propagate t <> Arena.none then begin
+    if propagate t <> Arena.none || not (assimilate t) then begin
       mark_unsat t;
       Unsat
     end
@@ -1142,7 +1145,11 @@ let solve_inner ?conflict_budget ?time_budget_s ?interrupt t =
         if r = sr_restart then begin
           t.stats.restarts <- t.stats.restarts + 1;
           cancel_until t 0;
-          run (restart_no + 1)
+          if assimilate t then run (restart_no + 1)
+          else begin
+            mark_unsat t;
+            sr_unsat
+          end
         end
         else r
       in
@@ -1166,6 +1173,9 @@ let m_propagations = Obs.Metrics.counter "sat.propagations"
 let m_conflicts = Obs.Metrics.counter "sat.conflicts"
 let m_restarts = Obs.Metrics.counter "sat.restarts"
 let m_decisions = Obs.Metrics.counter "sat.decisions"
+let m_parity_props = Obs.Metrics.counter "sat.parity_propagations"
+let m_parity_conflicts = Obs.Metrics.counter "sat.parity_conflicts"
+let m_gauss_rounds = Obs.Metrics.counter "sat.gauss_rounds"
 
 let solve ?conflict_budget ?time_budget_s ?interrupt t =
   Obs.Trace.with_span ~name:"sat.solve" @@ fun () ->
@@ -1173,13 +1183,19 @@ let solve ?conflict_budget ?time_budget_s ?interrupt t =
   let p0 = s.propagations
   and c0 = s.conflicts
   and r0 = s.restarts
-  and d0 = s.decisions in
+  and d0 = s.decisions
+  and pp0 = s.parity_propagations
+  and pc0 = s.parity_conflicts
+  and g0 = s.gauss_rounds in
   Fun.protect
     ~finally:(fun () ->
       Obs.Metrics.incr m_propagations ~by:(s.propagations - p0);
       Obs.Metrics.incr m_conflicts ~by:(s.conflicts - c0);
       Obs.Metrics.incr m_restarts ~by:(s.restarts - r0);
-      Obs.Metrics.incr m_decisions ~by:(s.decisions - d0))
+      Obs.Metrics.incr m_decisions ~by:(s.decisions - d0);
+      Obs.Metrics.incr m_parity_props ~by:(s.parity_propagations - pp0);
+      Obs.Metrics.incr m_parity_conflicts ~by:(s.parity_conflicts - pc0);
+      Obs.Metrics.incr m_gauss_rounds ~by:(s.gauss_rounds - g0))
     (fun () -> solve_inner ?conflict_budget ?time_budget_s ?interrupt t)
 
 let probe t l =
@@ -1287,25 +1303,6 @@ let copy_farr (a : farr) : farr =
   A1.blit a b;
   b
 
-(* XOR rows are shared between exactly the two watch lists of their
-   watched variables; the copy must preserve that aliasing (one mutable
-   row object per source row), so rows are memoised by physical
-   identity.  [n_xors] is small, so a linear scan suffices. *)
-let clone_xor_watches t =
-  if t.n_xors = 0 then Array.make (Array.length t.xor_watches) []
-  else begin
-    let copies : (xor_row * xor_row) list ref = ref [] in
-    let copy_row row =
-      match List.find_opt (fun (o, _) -> o == row) !copies with
-      | Some (_, c) -> c
-      | None ->
-          let c = { row with vars = Array.copy row.vars } in
-          copies := (row, c) :: !copies;
-          c
-    in
-    Array.map (List.map copy_row) t.xor_watches
-  end
-
 (* Deep copy for portfolio workers: every mutable store is blitted, so
    until configs, phases or imported clauses make them diverge, clone and
    source walk bit-identical trajectories.  [config] swaps the search
@@ -1342,8 +1339,12 @@ let clone ?config t =
     incs = copy_farr t.incs;
     seen = copy_iarr t.seen;
     max_learnts = t.max_learnts;
-    xor_watches = clone_xor_watches t;
-    n_xors = t.n_xors;
+    parity = Parity.copy t.parity;
+    parity_hwm = t.parity_hwm;
+    xor_constrained = t.xor_constrained;
+    parity_scratch = Ivec.copy t.parity_scratch;
+    parity_log_enabled = t.parity_log_enabled;
+    parity_log = t.parity_log;
     proof_enabled = t.proof_enabled;
     proof_log = t.proof_log;
     prop_conflict = t.prop_conflict;
@@ -1470,3 +1471,18 @@ let n_live_learnts t = Ivec.size t.learnts
 
 let value t v = if v < 0 || v >= t.nvars then Unknown else var_value t v
 let stats t = t.stats
+
+(* ---------------- parity diagnostics ---------------- *)
+
+let n_parity_rows t = Parity.n_live t.parity
+
+let set_parity_log t on =
+  t.parity_log_enabled <- on;
+  if not on then t.parity_log <- []
+
+let parity_reasons t =
+  List.rev_map
+    (fun lits -> Array.to_list (Array.map Cnf.Lit.of_index lits))
+    t.parity_log
+
+let parity_rows t = Parity.live_rows t.parity

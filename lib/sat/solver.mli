@@ -24,6 +24,13 @@ type config = {
 
 val default_config : config
 
+(** Raised by feature combinations that are documented as unsupported and
+    would otherwise silently produce unsound runs: {!add_xor} on a solver
+    with proof logging enabled, and {!enable_proof} on a solver already
+    carrying XOR constraints (parity-derived reason clauses are sound but
+    not RUP over the clause database). *)
+exception Unsupported of string
+
 (** [create ?config ~nvars ()] makes a solver over variables
     [0..nvars-1]. *)
 val create : ?config:config -> nvars:int -> unit -> t
@@ -44,11 +51,17 @@ val add_clause : t -> Cnf.Lit.t list -> bool
 val add_formula : t -> Cnf.Formula.t -> bool
 
 (** [add_xor t ~vars ~parity] adds a native XOR constraint
-    [vars(0) (+) ... (+) vars(n-1) = parity], propagated in-search with a
-    two-watched-variable scheme (the CryptoMiniSat-style XOR engine).
-    Duplicate variables cancel and root-level assignments are folded in;
-    like {!add_clause}, returns [false] on an immediate root conflict.
-    Must be called before {!solve} at decision level 0. *)
+    [vars(0) (+) ... (+) vars(n-1) = parity], handled by the {!Parity}
+    engine: a two-watched-variable scan propagates implied literals and
+    detects parity conflicts during search, and an incremental level-0
+    Gauss-Jordan pass (at solve entry and restart boundaries) combines
+    rows, surfaces implied units and detects root inconsistencies the
+    watch scheme alone cannot see.  Duplicate variables cancel and
+    root-level assignments are folded in; like {!add_clause}, returns
+    [false] on an immediate root conflict.  Must be called before
+    {!solve} at decision level 0.
+
+    @raise Unsupported if proof logging is enabled on this solver. *)
 val add_xor : t -> vars:int list -> parity:bool -> bool
 
 (** [solve ?conflict_budget ?time_budget_s ?interrupt t] runs CDCL search.
@@ -127,7 +140,9 @@ val learnt_clauses : t -> Cnf.Lit.t list list
 
 (** [enable_proof t] turns on DRUP-style proof logging (see {!Proof}).
     Call before adding clauses.  Not supported together with {!add_xor}
-    (XOR-derived clauses are sound but not RUP over the CNF). *)
+    (XOR-derived clauses are sound but not RUP over the CNF).
+
+    @raise Unsupported if the solver already carries XOR constraints. *)
 val enable_proof : t -> unit
 
 (** Learnt-clause derivation log in order, ending with the empty clause if
@@ -214,3 +229,24 @@ val note_exported : t -> int -> unit
     the audit layer's invariant registry; with the environment variable
     [BOSPHORUS_AUDIT] set, {!solve} runs it on entry and fails fast. *)
 val invariant_violations : t -> string list
+
+(** {2 Parity diagnostics}
+
+    Observation hooks for the {!Parity} engine — certification tests and
+    the driver's gauss gating read these; none of them affects search. *)
+
+(** Live parity rows currently held by the solver's {!Parity} engine. *)
+val n_parity_rows : t -> int
+
+(** Current live parity rows as (sorted variable list, parity) pairs. *)
+val parity_rows : t -> (int list * bool) list
+
+(** [set_parity_log t true] records every parity-derived reason/conflict
+    clause for later retrieval with {!parity_reasons}; [false] (the
+    default) stops recording and discards the log.  Recording allocates —
+    leave it off outside certification tests. *)
+val set_parity_log : t -> bool -> unit
+
+(** Parity-derived reason/conflict clauses recorded so far, oldest
+    first. *)
+val parity_reasons : t -> Cnf.Lit.t list list

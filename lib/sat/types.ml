@@ -31,6 +31,9 @@ type stats = {
   mutable arena_gcs : int;
   mutable imported_clauses : int;
   mutable exported_clauses : int;
+  mutable parity_propagations : int;
+  mutable parity_conflicts : int;
+  mutable gauss_rounds : int;
 }
 
 let fresh_stats () =
@@ -46,6 +49,9 @@ let fresh_stats () =
     arena_gcs = 0;
     imported_clauses = 0;
     exported_clauses = 0;
+    parity_propagations = 0;
+    parity_conflicts = 0;
+    gauss_rounds = 0;
   }
 
 let copy_stats s =
@@ -61,12 +67,16 @@ let copy_stats s =
     arena_gcs = s.arena_gcs;
     imported_clauses = s.imported_clauses;
     exported_clauses = s.exported_clauses;
+    parity_propagations = s.parity_propagations;
+    parity_conflicts = s.parity_conflicts;
+    gauss_rounds = s.gauss_rounds;
   }
 
 let pp_stats ppf s =
   Format.fprintf ppf
     "conflicts=%d decisions=%d propagations=%d restarts=%d learnt=%d deleted=%d max_level=%d \
-     lazy_drops=%d arena_gcs=%d imported=%d exported=%d"
+     lazy_drops=%d arena_gcs=%d imported=%d exported=%d parity_props=%d parity_conflicts=%d \
+     gauss_rounds=%d"
     s.conflicts s.decisions s.propagations s.restarts s.learnt_clauses s.deleted_clauses
     s.max_decision_level s.lazy_detach_drops s.arena_gcs s.imported_clauses
-    s.exported_clauses
+    s.exported_clauses s.parity_propagations s.parity_conflicts s.gauss_rounds

@@ -32,6 +32,12 @@ type stats = {
       (** clauses adopted from other portfolio workers via the exchange *)
   mutable exported_clauses : int;
       (** clauses this solver published to the exchange *)
+  mutable parity_propagations : int;
+      (** literals implied by the in-search parity (XOR) propagator *)
+  mutable parity_conflicts : int;
+      (** conflicts detected by the parity propagator *)
+  mutable gauss_rounds : int;
+      (** level-0 Gauss-Jordan assimilation passes over the parity rows *)
 }
 
 val fresh_stats : unit -> stats

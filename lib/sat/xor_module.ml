@@ -46,7 +46,18 @@ let recover ?(max_arity = 5) f =
     (fun c ->
       let vars = Cnf.Clause.vars c in
       let k = List.length vars in
-      if k >= 2 && k <= max_arity && k = Cnf.Clause.length c then begin
+      (* Canonicalize before the arity check: [Clause.of_list] collapses
+         duplicate literals (so [length] counts distinct literals), and a
+         tautology (x ∨ ¬x ∨ ...) is never part of an XOR encoding — skip
+         it outright instead of trusting the [k = length] comparison to
+         reject it.  A clause carrying both polarities of a variable would
+         otherwise fold both into one pattern bit and corrupt the
+         completeness count. *)
+      if
+        (not (Cnf.Clause.is_tautology c))
+        && k >= 2 && k <= max_arity
+        && k = Cnf.Clause.length c
+      then begin
         let pattern =
           List.fold_left
             (fun acc l ->
